@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation from Sec. 6 of the paper: "Widening the prediction counter
+ * from 3 bits to 4 bits would create other classes of branches with
+ * slightly decreasing probability of mispredictions, but ... would not
+ * significantly reduce the misprediction rate on the class of
+ * saturated counters; moreover widening the prediction counter has a
+ * slightly negative impact on the overall misprediction rate."
+ *
+ * This bench sweeps the tagged counter width over 2/3/4/5 bits
+ * (baseline automaton) and reports overall accuracy plus the saturated
+ * class statistics.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "util/table_printer.hpp"
+
+using namespace tagecon;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseOptions(argc, argv);
+    bench::printHeader("Ablation: tagged counter width (64Kbit)",
+                       "Seznec, RR-7371 / HPCA 2011, Sec. 6 discussion",
+                       opt);
+
+    TextTable t;
+    t.addColumn("ctr bits", TextTable::Align::Left);
+    t.addColumn("CBP-1 misp/KI");
+    t.addColumn("CBP-2 misp/KI");
+    t.addColumn("Stag Pcov (CBP-1)");
+    t.addColumn("Stag MPrate MKP (CBP-1)");
+
+    for (const int bits : {2, 3, 4, 5}) {
+        TageConfig cfg = TageConfig::medium64K();
+        cfg.taggedCtrBits = bits;
+        cfg.name = "64K/" + std::to_string(bits) + "b";
+        RunConfig rc;
+        rc.predictor = cfg;
+        const SetResult r1 = runBenchmarkSet(BenchmarkSet::Cbp1, rc,
+                                             opt.branchesPerTrace);
+        const SetResult r2 = runBenchmarkSet(BenchmarkSet::Cbp2, rc,
+                                             opt.branchesPerTrace);
+        t.addRow({std::to_string(bits),
+                  TextTable::num(r1.meanMpki, 3),
+                  TextTable::num(r2.meanMpki, 3),
+                  TextTable::frac(
+                      r1.aggregate.pcov(PredictionClass::Stag)),
+                  TextTable::num(
+                      r1.aggregate.mprateMkp(PredictionClass::Stag), 1)});
+    }
+    if (opt.csv)
+        t.renderCsv(std::cout);
+    else
+        t.render(std::cout);
+
+    std::cout << "\nexpected shape: widening beyond 3 bits does not "
+                 "collapse the Stag misprediction rate (unlike the "
+                 "probabilistic automaton) and does not improve overall "
+                 "accuracy.\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Extension ablation: TAGE vs L-TAGE (TAGE + the loop predictor of
+ * reference [12]). The loop predictor captures constant trip counts
+ * beyond the history window, which matters most for the small
+ * predictor on loop-heavy traces (FP-3's 40-250 iteration loops).
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "tage/ltage_predictor.hpp"
+#include "util/table_printer.hpp"
+
+using namespace tagecon;
+
+namespace {
+
+double
+runLtage(const std::string& trace_name, const TageConfig& cfg,
+         uint64_t branches)
+{
+    SyntheticTrace trace = makeTrace(trace_name, branches);
+    LTagePredictor pred(cfg);
+    uint64_t miss = 0;
+    uint64_t instr = 0;
+    BranchRecord rec;
+    while (trace.next(rec)) {
+        const LTagePrediction p = pred.predict(rec.pc);
+        if (p.taken != rec.taken)
+            ++miss;
+        instr += uint64_t{rec.instructionsBefore} + 1;
+        pred.update(rec.pc, p, rec.taken);
+    }
+    return 1000.0 * static_cast<double>(miss) /
+           static_cast<double>(instr);
+}
+
+double
+runTage(const std::string& trace_name, const TageConfig& cfg,
+        uint64_t branches)
+{
+    RunConfig rc;
+    rc.predictor = cfg;
+    return runNamedTrace(trace_name, rc, branches).stats.mpki();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseOptions(argc, argv);
+    bench::printHeader("Ablation: TAGE vs L-TAGE (loop predictor)",
+                       "Seznec, JILP 2007 (paper reference [12])", opt);
+
+    const std::vector<std::string> traces = {"FP-1", "FP-3", "INT-1",
+                                             "164.gzip", "300.twolf"};
+
+    TextTable t;
+    t.addColumn("trace", TextTable::Align::Left);
+    t.addColumn("config", TextTable::Align::Left);
+    t.addColumn("TAGE misp/KI");
+    t.addColumn("L-TAGE misp/KI");
+    t.addColumn("delta %");
+
+    for (const TageConfig& cfg :
+         {TageConfig::small16K(), TageConfig::medium64K()}) {
+        for (const auto& name : traces) {
+            const double tage =
+                runTage(name, cfg, opt.branchesPerTrace);
+            const double ltage =
+                runLtage(name, cfg, opt.branchesPerTrace);
+            t.addRow({name, cfg.name, TextTable::num(tage, 3),
+                      TextTable::num(ltage, 3),
+                      TextTable::num(100.0 * (ltage - tage) / tage, 1)});
+        }
+    }
+    if (opt.csv)
+        t.renderCsv(std::cout);
+    else
+        t.render(std::cout);
+
+    std::cout << "\nexpected shape: the loop predictor helps most where "
+                 "long constant-trip loops exceed the history window "
+                 "(FP-3 on the 16K predictor) and is neutral "
+                 "elsewhere.\n";
+    return 0;
+}

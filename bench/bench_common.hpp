@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared plumbing for the experiment binaries: flag parsing and the
+ * standard header each bench prints.
+ */
+
+#ifndef TAGECON_BENCH_BENCH_COMMON_HPP
+#define TAGECON_BENCH_BENCH_COMMON_HPP
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+
+namespace tagecon::bench {
+
+/** Options every experiment binary accepts. */
+struct BenchOptions {
+    /** Branches generated per trace (--branches). */
+    uint64_t branchesPerTrace = 1000000;
+
+    /** Extra seed salt applied to every trace (--seed). */
+    uint64_t seedSalt = 0;
+
+    /** Emit CSV instead of aligned text (--csv). */
+    bool csv = false;
+};
+
+/** Parse the standard flags. */
+inline BenchOptions
+parseOptions(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    BenchOptions opt;
+    opt.branchesPerTrace = args.getUint("branches", opt.branchesPerTrace);
+    opt.seedSalt = args.getUint("seed", 0);
+    opt.csv = args.getBool("csv", false);
+    return opt;
+}
+
+/** Print the standard experiment banner. */
+inline void
+printHeader(const std::string& experiment, const std::string& paper_ref,
+            const BenchOptions& opt)
+{
+    std::cout << "=== " << experiment << " ===\n"
+              << "reproduces: " << paper_ref << "\n"
+              << "branches/trace: " << opt.branchesPerTrace
+              << "  seed-salt: " << opt.seedSalt << "\n\n";
+}
+
+} // namespace tagecon::bench
+
+#endif // TAGECON_BENCH_BENCH_COMMON_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: simulation throughput of the TAGE
+ * predictor (predict + update per branch) for the three paper sizes,
+ * the incremental cost of confidence classification, and the synthetic
+ * trace generator's own throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/confidence_observer.hpp"
+#include "tage/tage_predictor.hpp"
+#include "trace/profiles.hpp"
+
+using namespace tagecon;
+
+namespace {
+
+constexpr uint64_t kTraceLength = 1u << 18;
+
+/** Pre-materialized branch stream so generation cost is excluded. */
+const VectorTrace&
+sharedTrace()
+{
+    static const VectorTrace trace = [] {
+        SyntheticTrace src = makeTrace("INT-1", kTraceLength);
+        return materialize(src, kTraceLength);
+    }();
+    return trace;
+}
+
+TageConfig
+configByIndex(int64_t idx)
+{
+    switch (idx) {
+      case 0:
+        return TageConfig::small16K();
+      case 1:
+        return TageConfig::medium64K();
+      default:
+        return TageConfig::large256K();
+    }
+}
+
+void
+BM_TagePredictUpdate(benchmark::State& state)
+{
+    const auto& records = sharedTrace().records();
+    TagePredictor predictor(configByIndex(state.range(0)));
+    size_t i = 0;
+    for (auto _ : state) {
+        const BranchRecord& rec = records[i];
+        TagePrediction p = predictor.predict(rec.pc);
+        benchmark::DoNotOptimize(p.taken);
+        predictor.update(rec.pc, p, rec.taken);
+        i = (i + 1) % records.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_TagePredictUpdateClassify(benchmark::State& state)
+{
+    const auto& records = sharedTrace().records();
+    TagePredictor predictor(configByIndex(state.range(0)));
+    ConfidenceObserver observer;
+    uint64_t class_histogram[kNumPredictionClasses] = {};
+    size_t i = 0;
+    for (auto _ : state) {
+        const BranchRecord& rec = records[i];
+        TagePrediction p = predictor.predict(rec.pc);
+        const PredictionClass cls = observer.classify(p);
+        ++class_histogram[classIndex(cls)];
+        observer.onResolve(p, rec.taken);
+        predictor.update(rec.pc, p, rec.taken);
+        i = (i + 1) % records.size();
+    }
+    benchmark::DoNotOptimize(class_histogram);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_SyntheticTraceGeneration(benchmark::State& state)
+{
+    SyntheticTrace trace = makeTrace("SERV-1", ~uint64_t{0});
+    BranchRecord rec;
+    for (auto _ : state) {
+        if (!trace.next(rec))
+            trace.reset();
+        benchmark::DoNotOptimize(rec.taken);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_TagePredictUpdate)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_TagePredictUpdateClassify)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_SyntheticTraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

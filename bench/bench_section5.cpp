@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Reproduces the aggregate numbers quoted in the text of Sec. 5.1 and
+ * Sec. 5.2 of the paper (CBP-1 set, 16Kbit and 256Kbit predictors,
+ * baseline automaton):
+ *  - BIM class share of predictions / mispredictions and its MPrate;
+ *  - within-BIM split into low/medium/high-conf-bim (share of BIM
+ *    predictions, share of BIM mispredictions, MPrate);
+ *  - per-class MPrate of the tagged classes Wtag/NWtag/NStag/Stag and
+ *    coverage of the non-saturated tagged classes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "util/table_printer.hpp"
+
+using namespace tagecon;
+
+namespace {
+
+double
+safePct(uint64_t num, uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : 100.0 * static_cast<double>(num) /
+                          static_cast<double>(den);
+}
+
+void
+report(const TageConfig& cfg, const tagecon::bench::BenchOptions& opt)
+{
+    RunConfig rc;
+    rc.predictor = cfg;
+    const SetResult r = runBenchmarkSet(BenchmarkSet::Cbp1, rc,
+                                        opt.branchesPerTrace);
+    const ClassStats& s = r.aggregate;
+
+    const auto bim_classes = {PredictionClass::HighConfBim,
+                              PredictionClass::MediumConfBim,
+                              PredictionClass::LowConfBim};
+    uint64_t bim_pred = 0;
+    uint64_t bim_miss = 0;
+    for (const auto c : bim_classes) {
+        bim_pred += s.predictions(c);
+        bim_miss += s.mispredictions(c);
+    }
+
+    std::cout << "=== " << cfg.name << " predictor, CBP-1 aggregate ===\n";
+    std::cout << "overall misprediction rate: "
+              << TextTable::num(s.totalMkp(), 0) << " MKP\n";
+    std::cout << "BIM class: " << TextTable::num(
+                     safePct(bim_pred, s.totalPredictions()), 0)
+              << " % of predictions, "
+              << TextTable::num(safePct(bim_miss,
+                                        s.totalMispredictions()), 0)
+              << " % of mispredictions, "
+              << TextTable::num(bim_pred ? 1000.0 *
+                                    static_cast<double>(bim_miss) /
+                                    static_cast<double>(bim_pred)
+                                         : 0.0, 0)
+              << " MKP\n\n";
+
+    TextTable bim;
+    bim.addColumn("BIM subclass", TextTable::Align::Left);
+    bim.addColumn("% of BIM preds");
+    bim.addColumn("% of BIM misses");
+    bim.addColumn("MPrate (MKP)");
+    for (const auto c : bim_classes) {
+        bim.addRow({predictionClassName(c),
+                    TextTable::num(safePct(s.predictions(c), bim_pred), 1),
+                    TextTable::num(safePct(s.mispredictions(c), bim_miss),
+                                   1),
+                    TextTable::num(s.mprateMkp(c), 0)});
+    }
+    bim.render(std::cout);
+
+    std::cout << "\n";
+    TextTable tag;
+    tag.addColumn("tagged class", TextTable::Align::Left);
+    tag.addColumn("Pcov %");
+    tag.addColumn("MPcov %");
+    tag.addColumn("MPrate (MKP)");
+    for (const auto c : {PredictionClass::Wtag, PredictionClass::NWtag,
+                         PredictionClass::NStag, PredictionClass::Stag}) {
+        tag.addRow({predictionClassName(c),
+                    TextTable::num(s.pcov(c) * 100.0, 1),
+                    TextTable::num(s.mpcov(c) * 100.0, 1),
+                    TextTable::num(s.mprateMkp(c), 0)});
+    }
+    tag.render(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseOptions(argc, argv);
+    bench::printHeader("Section 5 text numbers (CBP-1, 16K & 256K)",
+                       "Seznec, RR-7371 / HPCA 2011, Sec. 5.1-5.2", opt);
+
+    report(TageConfig::small16K(), opt);
+    report(TageConfig::large256K(), opt);
+
+    std::cout
+        << "paper reference (CBP-1): 16K BIM = 50% preds / 35% misses / "
+           "29 MKP; 256K BIM = 45% / 7% / 3 MKP.\n"
+           "16K within-BIM: low-conf-bim 3% preds, 32% misses, 317 MKP; "
+           "medium-conf-bim 12%, 39%, 87 MKP; high-conf-bim 85%, 29%, "
+           "9 MKP.\n"
+           "tagged rates 16K: Wtag 340, NWtag 313, NStag 213, Stag 29 "
+           "MKP (256K: 325/312/225/17).\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Confidence explorer: sweep every trace of a benchmark set under a
+ * chosen predictor size / automaton and print per-trace MPKI plus the
+ * per-class coverage and misprediction-rate breakdown — the tool you
+ * use to see the paper's Figures 2-6 data for any configuration.
+ *
+ * Flags:
+ *   --set=cbp1|cbp2      benchmark set (default cbp1)
+ *   --config=16K|64K|256K  predictor size (default 64K)
+ *   --modified           use the Sec. 6 probabilistic automaton
+ *   --prob=N             log2(1/p) for the modified automaton (default 7)
+ *   --branches=N         branches per trace (default 1M)
+ */
+
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "sim/reporting.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+
+using namespace tagecon;
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args(argc, argv);
+    const std::string set_name = args.getString("set", "cbp1");
+    const std::string config_name = args.getString("config", "64K");
+    const bool modified = args.getBool("modified", false);
+    const auto log2_prob =
+        static_cast<unsigned>(args.getUint("prob", 7));
+    const uint64_t branches = args.getUint("branches", 1000000);
+
+    const BenchmarkSet set = set_name == "cbp2" ? BenchmarkSet::Cbp2
+                                                : BenchmarkSet::Cbp1;
+
+    TageConfig cfg;
+    if (config_name == "16K")
+        cfg = TageConfig::small16K();
+    else if (config_name == "64K")
+        cfg = TageConfig::medium64K();
+    else if (config_name == "256K")
+        cfg = TageConfig::large256K();
+    else
+        fatal("unknown --config (use 16K, 64K or 256K)");
+    if (modified)
+        cfg = cfg.withProbabilisticSaturation(log2_prob);
+
+    RunConfig rc;
+    rc.predictor = cfg;
+    const SetResult result = runBenchmarkSet(set, rc, branches);
+
+    std::cout << "benchmark set: " << benchmarkSetName(set)
+              << "   predictor: " << cfg.name << " ("
+              << cfg.storageBits() / 1024 << " Kbit)   automaton: "
+              << (modified ? "modified (p=1/" +
+                                 std::to_string(1u << log2_prob) + ")"
+                           : "baseline")
+              << "\n\nPrediction coverage per class (%):\n";
+    coverageTable(result).render(std::cout);
+
+    std::cout << "\nMisprediction contribution per class (misp/KI):\n";
+    mpkiBreakdownTable(result).render(std::cout);
+
+    std::cout << "\nMisprediction rate per class (MKP):\n";
+    mprateTable(result, traceNames(set)).render(std::cout);
+
+    std::cout << "\nThree-level split (Sec. 6.1):\n";
+    TextTable three = threeClassTable();
+    three.addRow(threeClassRow(cfg.name + " " + benchmarkSetName(set),
+                               result.aggregate));
+    three.render(std::cout);
+
+    std::cout << "\nmean MPKI: " << TextTable::num(result.meanMpki, 2)
+              << "\n";
+    return 0;
+}

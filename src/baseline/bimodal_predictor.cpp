@@ -1,0 +1,54 @@
+#include "baseline/bimodal_predictor.hpp"
+
+#include "util/bit_utils.hpp"
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+BimodalPredictor::BimodalPredictor(int log_entries, int ctr_bits)
+    : logEntries_(log_entries), ctrBits_(ctr_bits)
+{
+    if (log_entries < 1 || log_entries > 24)
+        fatal("bimodal: bad table size");
+    table_.assign(size_t{1} << log_entries,
+                  UnsignedSatCounter(ctr_bits,
+                                     1u << (ctr_bits - 1)));
+}
+
+uint32_t
+BimodalPredictor::indexFor(uint64_t pc) const
+{
+    return static_cast<uint32_t>(pc & maskBits(logEntries_));
+}
+
+bool
+BimodalPredictor::predict(uint64_t pc)
+{
+    return table_[indexFor(pc)].taken();
+}
+
+void
+BimodalPredictor::update(uint64_t pc, bool taken)
+{
+    table_[indexFor(pc)].update(taken);
+}
+
+uint64_t
+BimodalPredictor::storageBits() const
+{
+    return (uint64_t{1} << logEntries_) * static_cast<uint64_t>(ctrBits_);
+}
+
+bool
+BimodalPredictor::highConfidence(uint64_t pc) const
+{
+    return !table_[indexFor(pc)].weak();
+}
+
+const UnsignedSatCounter&
+BimodalPredictor::counterFor(uint64_t pc) const
+{
+    return table_[indexFor(pc)];
+}
+
+} // namespace tagecon

@@ -1,0 +1,51 @@
+#include "baseline/gshare_predictor.hpp"
+
+#include <algorithm>
+
+#include "util/bit_utils.hpp"
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+GsharePredictor::GsharePredictor(int log_entries, int history_bits,
+                                 int ctr_bits)
+    : logEntries_(log_entries),
+      historyBits_(std::min(history_bits, log_entries)),
+      ctrBits_(ctr_bits)
+{
+    if (log_entries < 1 || log_entries > 24)
+        fatal("gshare: bad table size");
+    if (history_bits < 1)
+        fatal("gshare: bad history length");
+    table_.assign(size_t{1} << log_entries,
+                  UnsignedSatCounter(ctr_bits, 1u << (ctr_bits - 1)));
+}
+
+uint32_t
+GsharePredictor::indexFor(uint64_t pc) const
+{
+    const uint64_t hist = history_ & maskBits(historyBits_);
+    return static_cast<uint32_t>((pc ^ hist) & maskBits(logEntries_));
+}
+
+bool
+GsharePredictor::predict(uint64_t pc)
+{
+    return table_[indexFor(pc)].taken();
+}
+
+void
+GsharePredictor::update(uint64_t pc, bool taken)
+{
+    table_[indexFor(pc)].update(taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+               maskBits(historyBits_);
+}
+
+uint64_t
+GsharePredictor::storageBits() const
+{
+    return (uint64_t{1} << logEntries_) * static_cast<uint64_t>(ctrBits_);
+}
+
+} // namespace tagecon

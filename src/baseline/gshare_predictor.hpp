@@ -1,0 +1,52 @@
+/**
+ * @file
+ * McFarling's gshare predictor (DEC WRL TN-36, 1993): a table of 2-bit
+ * counters indexed by PC XOR global history. Serves as the host
+ * predictor the JRS confidence estimator was originally evaluated
+ * with, and as an accuracy baseline for TAGE.
+ */
+
+#ifndef TAGECON_BASELINE_GSHARE_PREDICTOR_HPP
+#define TAGECON_BASELINE_GSHARE_PREDICTOR_HPP
+
+#include <vector>
+
+#include "baseline/predictor.hpp"
+#include "util/saturating_counter.hpp"
+
+namespace tagecon {
+
+/** Classic gshare predictor. */
+class GsharePredictor : public ConditionalPredictor
+{
+  public:
+    /**
+     * @param log_entries log2 of the counter table size.
+     * @param history_bits Global history bits XORed into the index;
+     *        clamped to log_entries.
+     * @param ctr_bits Counter width.
+     */
+    GsharePredictor(int log_entries, int history_bits, int ctr_bits = 2);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    std::string name() const override { return "gshare"; }
+    uint64_t storageBits() const override;
+
+    /** Current global history register value. */
+    uint64_t history() const { return history_; }
+
+    /** Index used for @p pc with the current history (tests). */
+    uint32_t indexFor(uint64_t pc) const;
+
+  private:
+    std::vector<UnsignedSatCounter> table_;
+    uint64_t history_ = 0;
+    int logEntries_;
+    int historyBits_;
+    int ctrBits_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_BASELINE_GSHARE_PREDICTOR_HPP

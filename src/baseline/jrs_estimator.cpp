@@ -1,0 +1,69 @@
+#include "baseline/jrs_estimator.hpp"
+
+#include "util/bit_utils.hpp"
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+JrsConfidenceEstimator::JrsConfidenceEstimator()
+    : JrsConfidenceEstimator(Config{})
+{
+}
+
+JrsConfidenceEstimator::JrsConfidenceEstimator(Config cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.logEntries < 1 || cfg_.logEntries > 24)
+        fatal("JRS: bad table size");
+    if (cfg_.ctrBits < 1 || cfg_.ctrBits > 16)
+        fatal("JRS: bad counter width");
+    if (cfg_.threshold > ((1u << cfg_.ctrBits) - 1))
+        fatal("JRS: threshold exceeds counter range");
+    if (cfg_.historyBits < 1 || cfg_.historyBits > 32)
+        fatal("JRS: bad history length");
+    table_.assign(size_t{1} << cfg_.logEntries,
+                  UnsignedSatCounter(cfg_.ctrBits, 0));
+}
+
+uint32_t
+JrsConfidenceEstimator::indexFor(uint64_t pc, bool predicted_taken) const
+{
+    uint64_t idx = pc ^ (history_ & maskBits(cfg_.historyBits));
+    if (cfg_.indexWithPrediction)
+        idx = (idx << 1) | (predicted_taken ? 1 : 0);
+    return static_cast<uint32_t>(idx & maskBits(cfg_.logEntries));
+}
+
+bool
+JrsConfidenceEstimator::query(uint64_t pc, bool predicted_taken) const
+{
+    return table_[indexFor(pc, predicted_taken)].value() >= cfg_.threshold;
+}
+
+unsigned
+JrsConfidenceEstimator::counterValue(uint64_t pc,
+                                     bool predicted_taken) const
+{
+    return table_[indexFor(pc, predicted_taken)].value();
+}
+
+void
+JrsConfidenceEstimator::record(uint64_t pc, bool predicted_taken,
+                               bool correct, bool taken)
+{
+    UnsignedSatCounter& ctr = table_[indexFor(pc, predicted_taken)];
+    if (correct)
+        ctr.increment();
+    else
+        ctr.reset();
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+uint64_t
+JrsConfidenceEstimator::storageBits() const
+{
+    return (uint64_t{1} << cfg_.logEntries) *
+           static_cast<uint64_t>(cfg_.ctrBits);
+}
+
+} // namespace tagecon

@@ -1,0 +1,130 @@
+#include "baseline/ogehl_predictor.hpp"
+
+#include <cstdlib>
+
+#include "tage/tage_config.hpp"
+#include "util/bit_utils.hpp"
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+OgehlPredictor::OgehlPredictor()
+    : OgehlPredictor(Config{})
+{
+}
+
+OgehlPredictor::OgehlPredictor(Config cfg)
+    : cfg_(cfg),
+      history_(static_cast<size_t>(cfg.maxHistory) + 2),
+      theta_(cfg.initialTheta),
+      ctrMax_((1 << (cfg.ctrBits - 1)) - 1),
+      ctrMin_(-(1 << (cfg.ctrBits - 1)))
+{
+    if (cfg_.numTables < 2 || cfg_.numTables > 16)
+        fatal("O-GEHL: bad table count");
+    if (cfg_.logEntries < 4 || cfg_.logEntries > 20)
+        fatal("O-GEHL: bad table size");
+    if (cfg_.ctrBits < 2 || cfg_.ctrBits > 8)
+        fatal("O-GEHL: bad counter width");
+    if (cfg_.minHistory < 1 || cfg_.maxHistory < cfg_.minHistory)
+        fatal("O-GEHL: bad history bounds");
+
+    tables_.assign(static_cast<size_t>(cfg_.numTables),
+                   std::vector<int8_t>(size_t{1} << cfg_.logEntries, 0));
+
+    // Geometric history series for tables 1..M-1; table 0 is
+    // PC-indexed (history length 0).
+    const auto lengths = TageConfig::geometricHistories(
+        cfg_.minHistory, cfg_.maxHistory, cfg_.numTables - 1);
+    folds_.resize(static_cast<size_t>(cfg_.numTables));
+    for (int t = 1; t < cfg_.numTables; ++t) {
+        folds_[static_cast<size_t>(t)] = FoldedHistory(
+            lengths[static_cast<size_t>(t - 1)], cfg_.logEntries);
+    }
+}
+
+uint32_t
+OgehlPredictor::indexFor(uint64_t pc, int table) const
+{
+    const uint64_t mask = maskBits(cfg_.logEntries);
+    if (table == 0)
+        return static_cast<uint32_t>(pc & mask);
+    const uint64_t mixed =
+        pc ^ (pc >> (table + 1)) ^
+        folds_[static_cast<size_t>(table)].value();
+    return static_cast<uint32_t>(mixed & mask);
+}
+
+int
+OgehlPredictor::computeSum(uint64_t pc) const
+{
+    // The adder-tree bias: summing M ctr values plus M/2 centers the
+    // decision like the original (counters encode [-2^(b-1), 2^(b-1))
+    // around -0.5).
+    int sum = cfg_.numTables / 2;
+    for (int t = 0; t < cfg_.numTables; ++t)
+        sum += tables_[static_cast<size_t>(t)][indexFor(pc, t)];
+    return sum;
+}
+
+bool
+OgehlPredictor::predict(uint64_t pc)
+{
+    lastSum_ = computeSum(pc);
+    lastAbsSum_ = std::abs(lastSum_);
+    return lastSum_ >= 0;
+}
+
+void
+OgehlPredictor::update(uint64_t pc, bool taken)
+{
+    const int sum = computeSum(pc);
+    const bool predicted = sum >= 0;
+    const bool mispredicted = predicted != taken;
+    const bool low_confidence = std::abs(sum) < theta_;
+
+    // Train on a misprediction or a low-confidence correct prediction.
+    if (mispredicted || low_confidence) {
+        for (int t = 0; t < cfg_.numTables; ++t) {
+            int8_t& ctr =
+                tables_[static_cast<size_t>(t)][indexFor(pc, t)];
+            if (taken && ctr < ctrMax_)
+                ++ctr;
+            else if (!taken && ctr > ctrMin_)
+                --ctr;
+        }
+    }
+
+    // Adaptive threshold (ISCA 2005): mispredictions push theta up,
+    // low-confidence-but-correct updates push it down, through a
+    // saturating counter.
+    const int tc_max = (1 << (cfg_.thresholdCtrBits - 1)) - 1;
+    const int tc_min = -(1 << (cfg_.thresholdCtrBits - 1));
+    if (mispredicted) {
+        if (++thresholdCounter_ >= tc_max) {
+            thresholdCounter_ = 0;
+            ++theta_;
+        }
+    } else if (low_confidence) {
+        if (--thresholdCounter_ <= tc_min) {
+            thresholdCounter_ = 0;
+            if (theta_ > 1)
+                --theta_;
+        }
+    }
+
+    // Advance the global history and all folds.
+    history_.push(taken);
+    for (int t = 1; t < cfg_.numTables; ++t)
+        folds_[static_cast<size_t>(t)].update(history_);
+}
+
+uint64_t
+OgehlPredictor::storageBits() const
+{
+    return static_cast<uint64_t>(cfg_.numTables) *
+           (uint64_t{1} << cfg_.logEntries) *
+           static_cast<uint64_t>(cfg_.ctrBits);
+}
+
+} // namespace tagecon

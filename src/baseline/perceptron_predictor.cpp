@@ -1,0 +1,86 @@
+#include "baseline/perceptron_predictor.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/bit_utils.hpp"
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+PerceptronPredictor::PerceptronPredictor(int log_perceptrons,
+                                         int history_bits)
+    : logPerceptrons_(log_perceptrons), historyBits_(history_bits),
+      theta_(static_cast<int>(1.93 * history_bits + 14))
+{
+    if (log_perceptrons < 1 || log_perceptrons > 20)
+        fatal("perceptron: bad table size");
+    if (history_bits < 1 || history_bits > 64)
+        fatal("perceptron: bad history length");
+    weights_.assign(size_t{1} << log_perceptrons,
+                    std::vector<int16_t>(
+                        static_cast<size_t>(history_bits) + 1, 0));
+}
+
+uint32_t
+PerceptronPredictor::indexFor(uint64_t pc) const
+{
+    return static_cast<uint32_t>(xorFold(pc, logPerceptrons_) &
+                                 maskBits(logPerceptrons_));
+}
+
+int
+PerceptronPredictor::computeSum(uint64_t pc) const
+{
+    const auto& w = weights_[indexFor(pc)];
+    int sum = w[0]; // bias weight: input is the constant 1
+    for (int i = 0; i < historyBits_; ++i) {
+        const bool bit = ((history_ >> i) & 1) != 0;
+        sum += bit ? w[static_cast<size_t>(i) + 1]
+                   : -w[static_cast<size_t>(i) + 1];
+    }
+    return sum;
+}
+
+bool
+PerceptronPredictor::predict(uint64_t pc)
+{
+    lastSum_ = computeSum(pc);
+    lastAbsSum_ = std::abs(lastSum_);
+    return lastSum_ >= 0;
+}
+
+void
+PerceptronPredictor::update(uint64_t pc, bool taken)
+{
+    const int sum = computeSum(pc);
+    const bool predicted = sum >= 0;
+
+    // Train on a misprediction or when the output is not confident.
+    if (predicted != taken || std::abs(sum) <= theta_) {
+        auto& w = weights_[indexFor(pc)];
+        const int t = taken ? 1 : -1;
+        auto bump = [t](int16_t& weight, int input) {
+            const int next = weight + t * input;
+            if (next <= kWeightMax && next >= kWeightMin)
+                weight = static_cast<int16_t>(next);
+        };
+        bump(w[0], 1);
+        for (int i = 0; i < historyBits_; ++i) {
+            const int input = ((history_ >> i) & 1) != 0 ? 1 : -1;
+            bump(w[static_cast<size_t>(i) + 1], input);
+        }
+    }
+
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+uint64_t
+PerceptronPredictor::storageBits() const
+{
+    // 8-bit weights, (h + 1) weights per perceptron.
+    return (uint64_t{1} << logPerceptrons_) *
+           static_cast<uint64_t>(historyBits_ + 1) * 8;
+}
+
+} // namespace tagecon

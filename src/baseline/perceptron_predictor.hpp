@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The perceptron branch predictor (Jimenez & Lin, HPCA 2001) with its
+ * natural self-confidence estimate: a prediction is high confidence
+ * when |output sum| exceeds the training threshold (Sec. 2.2 cites
+ * this as the storage-free confidence scheme for neural predictors;
+ * the same idea was used for O-GEHL).
+ */
+
+#ifndef TAGECON_BASELINE_PERCEPTRON_PREDICTOR_HPP
+#define TAGECON_BASELINE_PERCEPTRON_PREDICTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/predictor.hpp"
+
+namespace tagecon {
+
+/** Global-history perceptron predictor with self-confidence. */
+class PerceptronPredictor : public ConditionalPredictor
+{
+  public:
+    /**
+     * @param log_perceptrons log2 of the number of perceptrons.
+     * @param history_bits Global history length (weights per
+     *        perceptron, excluding the bias weight).
+     */
+    PerceptronPredictor(int log_perceptrons, int history_bits);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+    std::string name() const override { return "perceptron"; }
+    uint64_t storageBits() const override;
+
+    /**
+     * Self-confidence of the last predict(): high when |sum| is above
+     * the training threshold theta.
+     */
+    bool lastHighConfidence() const { return lastAbsSum_ >= theta_; }
+
+    /** Output sum of the last predict() (introspection). */
+    int lastSum() const { return lastSum_; }
+
+    /** Training threshold theta = floor(1.93 * h + 14). */
+    int theta() const { return theta_; }
+
+  private:
+    uint32_t indexFor(uint64_t pc) const;
+    int computeSum(uint64_t pc) const;
+
+    std::vector<std::vector<int16_t>> weights_; // [perceptron][0..h]
+    uint64_t history_ = 0;
+    int logPerceptrons_;
+    int historyBits_;
+    int theta_;
+    int lastSum_ = 0;
+    int lastAbsSum_ = 0;
+
+    static constexpr int kWeightMax = 127;
+    static constexpr int kWeightMin = -128;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_BASELINE_PERCEPTRON_PREDICTOR_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Common interface for the pre-TAGE baseline predictors implemented
+ * for comparison (Sec. 2 of the paper surveys them).
+ */
+
+#ifndef TAGECON_BASELINE_PREDICTOR_HPP
+#define TAGECON_BASELINE_PREDICTOR_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace tagecon {
+
+/**
+ * A conditional branch predictor driven in predict/update pairs, like
+ * TagePredictor but with the minimal architectural interface.
+ */
+class ConditionalPredictor
+{
+  public:
+    virtual ~ConditionalPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(uint64_t pc) = 0;
+
+    /**
+     * Train with the resolved outcome. Must follow the matching
+     * predict(pc) call.
+     */
+    virtual void update(uint64_t pc, bool taken) = 0;
+
+    /** Display name of the predictor. */
+    virtual std::string name() const = 0;
+
+    /** Total predictor storage in bits. */
+    virtual uint64_t storageBits() const = 0;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_BASELINE_PREDICTOR_HPP

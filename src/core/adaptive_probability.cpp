@@ -1,0 +1,76 @@
+#include "core/adaptive_probability.hpp"
+
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+AdaptiveProbabilityController::AdaptiveProbabilityController()
+    : AdaptiveProbabilityController(Config{})
+{
+}
+
+AdaptiveProbabilityController::AdaptiveProbabilityController(Config cfg)
+    : cfg_(cfg), log2Prob_(cfg.initialLog2)
+{
+    if (cfg_.minLog2 > cfg_.maxLog2)
+        fatal("adaptive controller: minLog2 > maxLog2");
+    if (cfg_.initialLog2 < cfg_.minLog2 || cfg_.initialLog2 > cfg_.maxLog2)
+        fatal("adaptive controller: initialLog2 outside [min, max]");
+    if (cfg_.epochLength == 0)
+        fatal("adaptive controller: epochLength must be > 0");
+    if (cfg_.targetMkp <= 0.0)
+        fatal("adaptive controller: targetMkp must be positive");
+}
+
+bool
+AdaptiveProbabilityController::record(ConfidenceLevel level,
+                                      bool mispredicted)
+{
+    ++seen_;
+    if (level == ConfidenceLevel::High) {
+        ++highPred_;
+        if (mispredicted)
+            ++highMiss_;
+    }
+    if (seen_ >= cfg_.epochLength) {
+        closeEpoch();
+        return true;
+    }
+    return false;
+}
+
+void
+AdaptiveProbabilityController::closeEpoch()
+{
+    // With no high-confidence predictions this epoch there is nothing
+    // to measure; hold the probability.
+    if (highPred_ > 0) {
+        const double mkp = static_cast<double>(highMiss_) /
+                           static_cast<double>(highPred_) * 1000.0;
+        if (mkp > cfg_.targetMkp && log2Prob_ < cfg_.maxLog2) {
+            // Too many mispredictions sneak into the high class: make
+            // saturation rarer (halve p).
+            ++log2Prob_;
+        } else if (mkp < cfg_.targetMkp * cfg_.relaxFraction &&
+                   log2Prob_ > cfg_.minLog2) {
+            // Comfortably under target: grow coverage (double p).
+            --log2Prob_;
+        }
+    }
+    seen_ = 0;
+    highPred_ = 0;
+    highMiss_ = 0;
+    ++epochs_;
+}
+
+void
+AdaptiveProbabilityController::reset()
+{
+    log2Prob_ = cfg_.initialLog2;
+    seen_ = 0;
+    highPred_ = 0;
+    highMiss_ = 0;
+    epochs_ = 0;
+}
+
+} // namespace tagecon

@@ -1,0 +1,92 @@
+#include "core/class_stats.hpp"
+
+namespace tagecon {
+
+namespace {
+
+double
+safeDiv(uint64_t num, uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+}
+
+} // namespace
+
+uint64_t
+ClassStats::predictions(ConfidenceLevel l) const
+{
+    uint64_t n = 0;
+    for (const auto c : kAllPredictionClasses) {
+        if (confidenceLevel(c) == l)
+            n += predictions(c);
+    }
+    return n;
+}
+
+uint64_t
+ClassStats::mispredictions(ConfidenceLevel l) const
+{
+    uint64_t n = 0;
+    for (const auto c : kAllPredictionClasses) {
+        if (confidenceLevel(c) == l)
+            n += mispredictions(c);
+    }
+    return n;
+}
+
+double
+ClassStats::pcov(PredictionClass c) const
+{
+    return safeDiv(predictions(c), totalPredictions());
+}
+
+double
+ClassStats::mpcov(PredictionClass c) const
+{
+    return safeDiv(mispredictions(c), totalMispredictions());
+}
+
+double
+ClassStats::mprateMkp(PredictionClass c) const
+{
+    return safeDiv(mispredictions(c), predictions(c)) * 1000.0;
+}
+
+double
+ClassStats::pcov(ConfidenceLevel l) const
+{
+    return safeDiv(predictions(l), totalPredictions());
+}
+
+double
+ClassStats::mpcov(ConfidenceLevel l) const
+{
+    return safeDiv(mispredictions(l), totalMispredictions());
+}
+
+double
+ClassStats::mprateMkp(ConfidenceLevel l) const
+{
+    return safeDiv(mispredictions(l), predictions(l)) * 1000.0;
+}
+
+double
+ClassStats::totalMkp() const
+{
+    return safeDiv(totalMispredictions(), totalPredictions()) * 1000.0;
+}
+
+double
+ClassStats::mpki() const
+{
+    return safeDiv(totalMispredictions(), instructions_) * 1000.0;
+}
+
+double
+ClassStats::mpkiContribution(PredictionClass c) const
+{
+    return safeDiv(mispredictions(c), instructions_) * 1000.0;
+}
+
+} // namespace tagecon

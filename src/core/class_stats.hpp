@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Per-class prediction statistics in the metrics the paper uses
+ * (Sec. 4, "Confidence metrics"): prediction coverage Pcov,
+ * misprediction coverage MPcov and misprediction rate MPrate in
+ * mispredictions per kilo-prediction (MKP), plus whole-trace MPKI.
+ */
+
+#ifndef TAGECON_CORE_CLASS_STATS_HPP
+#define TAGECON_CORE_CLASS_STATS_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "core/prediction_class.hpp"
+
+namespace tagecon {
+
+/**
+ * Accumulates predictions and mispredictions per confidence class and
+ * per confidence level, and instruction counts for MPKI.
+ */
+class ClassStats
+{
+  public:
+    /**
+     * Record one graded, resolved prediction.
+     * @param c Class the prediction was graded into at predict time.
+     * @param mispredicted True when the prediction was wrong.
+     * @param instructions Instructions retired by this record
+     *        (non-branch instructions preceding the branch + 1).
+     */
+    void
+    record(PredictionClass c, bool mispredicted, uint64_t instructions)
+    {
+        const size_t ci = classIndex(c);
+        ++classPredictions_[ci];
+        if (mispredicted)
+            ++classMispredictions_[ci];
+        instructions_ += instructions;
+    }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const ClassStats& other)
+    {
+        for (size_t i = 0; i < kNumPredictionClasses; ++i) {
+            classPredictions_[i] += other.classPredictions_[i];
+            classMispredictions_[i] += other.classMispredictions_[i];
+        }
+        instructions_ += other.instructions_;
+    }
+
+    /** Total predictions across all classes. */
+    uint64_t
+    totalPredictions() const
+    {
+        uint64_t n = 0;
+        for (const auto v : classPredictions_)
+            n += v;
+        return n;
+    }
+
+    /** Total mispredictions across all classes. */
+    uint64_t
+    totalMispredictions() const
+    {
+        uint64_t n = 0;
+        for (const auto v : classMispredictions_)
+            n += v;
+        return n;
+    }
+
+    /** Total instructions (for MPKI). */
+    uint64_t instructions() const { return instructions_; }
+
+    /** Predictions graded into class @p c. */
+    uint64_t
+    predictions(PredictionClass c) const
+    {
+        return classPredictions_[classIndex(c)];
+    }
+
+    /** Mispredictions graded into class @p c. */
+    uint64_t
+    mispredictions(PredictionClass c) const
+    {
+        return classMispredictions_[classIndex(c)];
+    }
+
+    /** Predictions graded into level @p l (sum over its classes). */
+    uint64_t predictions(ConfidenceLevel l) const;
+
+    /** Mispredictions graded into level @p l. */
+    uint64_t mispredictions(ConfidenceLevel l) const;
+
+    /** Pcov: fraction of all predictions that fall in class @p c. */
+    double pcov(PredictionClass c) const;
+
+    /** MPcov: fraction of all mispredictions that fall in class @p c. */
+    double mpcov(PredictionClass c) const;
+
+    /** MPrate of class @p c in mispredictions per kilo-prediction. */
+    double mprateMkp(PredictionClass c) const;
+
+    /** Pcov of a confidence level. */
+    double pcov(ConfidenceLevel l) const;
+
+    /** MPcov of a confidence level. */
+    double mpcov(ConfidenceLevel l) const;
+
+    /** MPrate of a confidence level in MKP. */
+    double mprateMkp(ConfidenceLevel l) const;
+
+    /** Whole-stream misprediction rate in MKP. */
+    double totalMkp() const;
+
+    /** Whole-stream mispredictions per kilo-instruction. */
+    double mpki() const;
+
+    /**
+     * Per-class contribution to MPKI (the stacked bars on the right of
+     * the paper's Figures 2/3/5).
+     */
+    double mpkiContribution(PredictionClass c) const;
+
+  private:
+    std::array<uint64_t, kNumPredictionClasses> classPredictions_{};
+    std::array<uint64_t, kNumPredictionClasses> classMispredictions_{};
+    uint64_t instructions_ = 0;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_CORE_CLASS_STATS_HPP

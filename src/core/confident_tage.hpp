@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Convenience facade bundling the pieces of the paper into a single
+ * object: a TAGE predictor, the storage-free confidence observer and
+ * (optionally) the Sec. 6.2 adaptive saturation-probability
+ * controller, driven through one predict/update pair.
+ *
+ * Use the individual classes (TagePredictor, ConfidenceObserver,
+ * AdaptiveProbabilityController) when you need to wire them into an
+ * existing pipeline model; use this facade when you just want graded
+ * predictions.
+ */
+
+#ifndef TAGECON_CORE_CONFIDENT_TAGE_HPP
+#define TAGECON_CORE_CONFIDENT_TAGE_HPP
+
+#include <optional>
+
+#include "core/adaptive_probability.hpp"
+#include "core/class_stats.hpp"
+#include "core/confidence_observer.hpp"
+#include "tage/tage_predictor.hpp"
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+/** A TAGE prediction together with its storage-free confidence grade. */
+struct GradedPrediction {
+    /** Predicted direction. */
+    bool taken = false;
+
+    /** One of the paper's 7 observation classes. */
+    PredictionClass cls = PredictionClass::HighConfBim;
+
+    /** The Sec. 6.1 three-level grade. */
+    ConfidenceLevel level = ConfidenceLevel::High;
+
+    /** The raw prediction (for consumers needing the internals). */
+    TagePrediction raw;
+};
+
+/**
+ * TAGE + storage-free confidence in one object.
+ *
+ *   ConfidentTagePredictor ctp(
+ *       TageConfig::medium64K().withProbabilisticSaturation(7));
+ *   GradedPrediction g = ctp.predict(pc);
+ *   ... speculate according to g.level ...
+ *   ctp.update(pc, g, actual_taken);
+ */
+class ConfidentTagePredictor
+{
+  public:
+    /**
+     * @param config Predictor configuration (enable
+     *        probabilisticSaturation for the paper's 3-level split).
+     * @param bim_window medium-conf-bim burst window (Sec. 5.1.2).
+     */
+    explicit ConfidentTagePredictor(TageConfig config, int bim_window = 8)
+        : predictor_(std::move(config)), observer_(bim_window)
+    {
+    }
+
+    /**
+     * Attach the Sec. 6.2 adaptive controller; requires the config to
+     * enable probabilisticSaturation. fatal() otherwise.
+     */
+    void
+    enableAdaptiveProbability(
+        AdaptiveProbabilityController::Config cfg = {})
+    {
+        if (!predictor_.config().probabilisticSaturation)
+            fatal("adaptive probability requires a config with "
+                  "probabilisticSaturation enabled");
+        controller_.emplace(cfg);
+        predictor_.setSatLog2Prob(controller_->log2Prob());
+    }
+
+    /** Predict and grade the branch at @p pc. */
+    GradedPrediction
+    predict(uint64_t pc) const
+    {
+        GradedPrediction g;
+        g.raw = predictor_.predict(pc);
+        g.taken = g.raw.taken;
+        g.cls = observer_.classify(g.raw);
+        g.level = confidenceLevel(g.cls);
+        return g;
+    }
+
+    /**
+     * Train with the resolved outcome; @p g must come from the
+     * immediately preceding predict(pc). Also feeds the statistics
+     * accumulator and, when attached, the adaptive controller.
+     */
+    void
+    update(uint64_t pc, const GradedPrediction& g, bool taken,
+           uint64_t instructions = 1)
+    {
+        const bool mispredicted = g.taken != taken;
+        stats_.record(g.cls, mispredicted, instructions);
+        observer_.onResolve(g.raw, taken);
+        if (controller_ &&
+            controller_->record(g.level, mispredicted)) {
+            predictor_.setSatLog2Prob(controller_->log2Prob());
+        }
+        predictor_.update(pc, g.raw, taken);
+    }
+
+    /** Lifetime per-class statistics. */
+    const ClassStats& stats() const { return stats_; }
+
+    /** The underlying predictor (read-only). */
+    const TagePredictor& predictor() const { return predictor_; }
+
+    /** The burst-window observer (read-only). */
+    const ConfidenceObserver& observer() const { return observer_; }
+
+    /** The adaptive controller, when attached. */
+    const std::optional<AdaptiveProbabilityController>&
+    controller() const
+    {
+        return controller_;
+    }
+
+    /** Total predictor storage in bits (confidence adds none). */
+    uint64_t storageBits() const { return predictor_.storageBits(); }
+
+    /** Reset predictor, observer, controller and statistics. */
+    void
+    reset()
+    {
+        predictor_.reset();
+        observer_.reset();
+        stats_ = ClassStats{};
+        if (controller_) {
+            controller_->reset();
+            predictor_.setSatLog2Prob(controller_->log2Prob());
+        }
+    }
+
+  private:
+    TagePredictor predictor_;
+    ConfidenceObserver observer_;
+    ClassStats stats_;
+    std::optional<AdaptiveProbabilityController> controller_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_CORE_CONFIDENT_TAGE_HPP

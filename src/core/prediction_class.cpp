@@ -1,0 +1,41 @@
+#include "core/prediction_class.hpp"
+
+namespace tagecon {
+
+std::string
+predictionClassName(PredictionClass c)
+{
+    switch (c) {
+      case PredictionClass::HighConfBim:
+        return "high-conf-bim";
+      case PredictionClass::LowConfBim:
+        return "low-conf-bim";
+      case PredictionClass::MediumConfBim:
+        return "medium-conf-bim";
+      case PredictionClass::Stag:
+        return "Stag";
+      case PredictionClass::NStag:
+        return "NStag";
+      case PredictionClass::NWtag:
+        return "NWtag";
+      case PredictionClass::Wtag:
+        return "Wtag";
+    }
+    return "?";
+}
+
+std::string
+confidenceLevelName(ConfidenceLevel level)
+{
+    switch (level) {
+      case ConfidenceLevel::High:
+        return "high";
+      case ConfidenceLevel::Medium:
+        return "medium";
+      case ConfidenceLevel::Low:
+        return "low";
+    }
+    return "?";
+}
+
+} // namespace tagecon

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The 7 storage-free confidence classes of Sec. 5 and their grouping
+ * into the 3 confidence levels of Sec. 6.1.
+ */
+
+#ifndef TAGECON_CORE_PREDICTION_CLASS_HPP
+#define TAGECON_CORE_PREDICTION_CLASS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace tagecon {
+
+/**
+ * The 7 prediction classes distinguishable by pure observation of the
+ * TAGE outputs (Sec. 5). Order matches the paper's figure legends.
+ */
+enum class PredictionClass : uint8_t {
+    HighConfBim,   ///< bimodal provider, strong counter, no recent BIM miss
+    LowConfBim,    ///< bimodal provider, weak counter
+    MediumConfBim, ///< bimodal provider, within the post-miss burst window
+    Stag,          ///< tagged provider, saturated counter
+    NStag,         ///< tagged provider, nearly saturated counter
+    NWtag,         ///< tagged provider, nearly weak counter
+    Wtag,          ///< tagged provider, weak counter
+};
+
+/** Number of prediction classes. */
+inline constexpr size_t kNumPredictionClasses = 7;
+
+/** All classes in figure-legend order, for iteration. */
+inline constexpr std::array<PredictionClass, kNumPredictionClasses>
+    kAllPredictionClasses = {
+        PredictionClass::HighConfBim, PredictionClass::LowConfBim,
+        PredictionClass::MediumConfBim, PredictionClass::Stag,
+        PredictionClass::NStag, PredictionClass::NWtag,
+        PredictionClass::Wtag,
+};
+
+/** The 3-level grouping of Sec. 6.1. */
+enum class ConfidenceLevel : uint8_t {
+    High,   ///< high-conf-bim + Stag (sub-1% misprediction rate)
+    Medium, ///< medium-conf-bim + NStag (8-12% misprediction rate)
+    Low,    ///< low-conf-bim + NWtag + Wtag (~30%+ misprediction rate)
+};
+
+/** Number of confidence levels. */
+inline constexpr size_t kNumConfidenceLevels = 3;
+
+/** All levels, for iteration. */
+inline constexpr std::array<ConfidenceLevel, kNumConfidenceLevels>
+    kAllConfidenceLevels = {
+        ConfidenceLevel::High,
+        ConfidenceLevel::Medium,
+        ConfidenceLevel::Low,
+};
+
+/** Paper legend name of a class (e.g. "high-conf-bim", "Stag"). */
+std::string predictionClassName(PredictionClass c);
+
+/** Name of a level ("high", "medium", "low"). */
+std::string confidenceLevelName(ConfidenceLevel level);
+
+/**
+ * The Sec. 6.1 grouping: low = {low-conf-bim, Wtag, NWtag},
+ * medium = {NStag, medium-conf-bim}, high = {high-conf-bim, Stag}.
+ */
+constexpr ConfidenceLevel
+confidenceLevel(PredictionClass c)
+{
+    switch (c) {
+      case PredictionClass::HighConfBim:
+      case PredictionClass::Stag:
+        return ConfidenceLevel::High;
+      case PredictionClass::MediumConfBim:
+      case PredictionClass::NStag:
+        return ConfidenceLevel::Medium;
+      case PredictionClass::LowConfBim:
+      case PredictionClass::NWtag:
+      case PredictionClass::Wtag:
+        return ConfidenceLevel::Low;
+    }
+    return ConfidenceLevel::Low;
+}
+
+/** Index of a class into dense arrays. */
+constexpr size_t
+classIndex(PredictionClass c)
+{
+    return static_cast<size_t>(c);
+}
+
+/** Index of a level into dense arrays. */
+constexpr size_t
+levelIndex(ConfidenceLevel level)
+{
+    return static_cast<size_t>(level);
+}
+
+} // namespace tagecon
+
+#endif // TAGECON_CORE_PREDICTION_CLASS_HPP

@@ -1,0 +1,76 @@
+#include "sim/experiment.hpp"
+
+#include "core/confidence_observer.hpp"
+#include "tage/tage_predictor.hpp"
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+RunResult
+runTrace(TraceSource& trace, const RunConfig& cfg)
+{
+    if (cfg.adaptive && !cfg.predictor.probabilisticSaturation)
+        fatal("adaptive runs require probabilisticSaturation");
+
+    TagePredictor predictor(cfg.predictor);
+    ConfidenceObserver observer(cfg.bimWindow);
+    AdaptiveProbabilityController controller(cfg.adaptiveConfig);
+    if (cfg.adaptive)
+        predictor.setSatLog2Prob(controller.log2Prob());
+
+    RunResult result;
+    result.traceName = trace.name();
+    result.configName = cfg.predictor.name;
+
+    BranchRecord rec;
+    while (trace.next(rec)) {
+        const TagePrediction p = predictor.predict(rec.pc);
+        const PredictionClass cls = observer.classify(p);
+        const bool mispredicted = p.taken != rec.taken;
+
+        result.stats.record(cls, mispredicted,
+                            uint64_t{rec.instructionsBefore} + 1);
+        observer.onResolve(p, rec.taken);
+
+        if (cfg.adaptive &&
+            controller.record(confidenceLevel(cls), mispredicted)) {
+            predictor.setSatLog2Prob(controller.log2Prob());
+        }
+
+        predictor.update(rec.pc, p, rec.taken);
+    }
+
+    result.finalLog2Prob = predictor.satLog2Prob();
+    result.allocations = predictor.allocations();
+    return result;
+}
+
+SetResult
+runBenchmarkSet(BenchmarkSet set, const RunConfig& cfg,
+                uint64_t branches_per_trace)
+{
+    SetResult sr;
+    sr.set = set;
+    double mpki_sum = 0.0;
+    for (const auto& name : traceNames(set)) {
+        SyntheticTrace trace = makeTrace(name, branches_per_trace);
+        RunResult rr = runTrace(trace, cfg);
+        sr.aggregate.merge(rr.stats);
+        mpki_sum += rr.stats.mpki();
+        sr.perTrace.push_back(std::move(rr));
+    }
+    sr.meanMpki = sr.perTrace.empty()
+                      ? 0.0
+                      : mpki_sum / static_cast<double>(sr.perTrace.size());
+    return sr;
+}
+
+RunResult
+runNamedTrace(const std::string& trace_name, const RunConfig& cfg,
+              uint64_t branches)
+{
+    SyntheticTrace trace = makeTrace(trace_name, branches);
+    return runTrace(trace, cfg);
+}
+
+} // namespace tagecon

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Trace-driven experiment driver: runs a TAGE predictor with the
+ * storage-free confidence observer over traces and benchmark sets,
+ * producing the per-class statistics every table and figure of the
+ * paper is built from.
+ */
+
+#ifndef TAGECON_SIM_EXPERIMENT_HPP
+#define TAGECON_SIM_EXPERIMENT_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/adaptive_probability.hpp"
+#include "core/class_stats.hpp"
+#include "tage/tage_config.hpp"
+#include "trace/profiles.hpp"
+#include "trace/trace_source.hpp"
+
+namespace tagecon {
+
+/** Everything that parameterizes one simulation run. */
+struct RunConfig {
+    /** Predictor configuration (Sec. 4 sizes or custom). */
+    TageConfig predictor;
+
+    /** medium-conf-bim burst window (Sec. 5.1.2); paper uses 8. */
+    int bimWindow = 8;
+
+    /**
+     * Drive the saturation probability with the adaptive controller of
+     * Sec. 6.2. Requires predictor.probabilisticSaturation.
+     */
+    bool adaptive = false;
+
+    /** Controller parameters when adaptive is set. */
+    AdaptiveProbabilityController::Config adaptiveConfig{};
+};
+
+/** Outcome of simulating one trace. */
+struct RunResult {
+    std::string traceName;
+    std::string configName;
+
+    /** Per-class and total statistics. */
+    ClassStats stats;
+
+    /** Final log2(1/p) (only interesting for adaptive runs). */
+    unsigned finalLog2Prob = 0;
+
+    /** Tagged entry allocations performed by the predictor. */
+    uint64_t allocations = 0;
+};
+
+/** Outcome of simulating a whole benchmark set. */
+struct SetResult {
+    BenchmarkSet set;
+
+    /** One result per trace, in the set's canonical order. */
+    std::vector<RunResult> perTrace;
+
+    /** Pooled statistics over all branches of the set. */
+    ClassStats aggregate;
+
+    /** Arithmetic mean of per-trace MPKI (the paper's misp/KI rows). */
+    double meanMpki = 0.0;
+};
+
+/** Simulate @p trace (from its current position) under @p cfg. */
+RunResult runTrace(TraceSource& trace, const RunConfig& cfg);
+
+/**
+ * Simulate every trace of @p set, generating each synthetically with
+ * @p branches_per_trace branches.
+ */
+SetResult runBenchmarkSet(BenchmarkSet set, const RunConfig& cfg,
+                          uint64_t branches_per_trace);
+
+/**
+ * Simulate one named trace generated with @p branches branches.
+ */
+RunResult runNamedTrace(const std::string& trace_name, const RunConfig& cfg,
+                        uint64_t branches);
+
+} // namespace tagecon
+
+#endif // TAGECON_SIM_EXPERIMENT_HPP

@@ -1,0 +1,26 @@
+#include "sim/interval_stats.hpp"
+
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+IntervalRecorder::IntervalRecorder(uint64_t interval_length)
+    : length_(interval_length)
+{
+    if (length_ == 0)
+        fatal("interval length must be positive");
+}
+
+void
+IntervalRecorder::record(PredictionClass c, bool mispredicted,
+                         uint64_t instructions)
+{
+    current_.record(c, mispredicted, instructions);
+    if (++inCurrent_ >= length_) {
+        done_.push_back(current_);
+        current_ = ClassStats{};
+        inCurrent_ = 0;
+    }
+}
+
+} // namespace tagecon

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Interval (windowed) statistics: per-class stats collected over
+ * fixed-length windows of the branch stream. Used to observe the
+ * predictor's warming behaviour — Sec. 5.1 attributes the BIM-class
+ * mispredictions to "the warming phase of the predictor" and to
+ * capacity-problem phases, both of which are time-local phenomena that
+ * whole-trace averages hide.
+ */
+
+#ifndef TAGECON_SIM_INTERVAL_STATS_HPP
+#define TAGECON_SIM_INTERVAL_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/class_stats.hpp"
+
+namespace tagecon {
+
+/**
+ * Splits a stream of graded, resolved predictions into consecutive
+ * fixed-length intervals and keeps a ClassStats per interval.
+ */
+class IntervalRecorder
+{
+  public:
+    /** @param interval_length Predictions per interval; must be > 0. */
+    explicit IntervalRecorder(uint64_t interval_length);
+
+    /** Record one graded resolved prediction (see ClassStats). */
+    void record(PredictionClass c, bool mispredicted,
+                uint64_t instructions);
+
+    /** Completed intervals, in stream order. */
+    const std::vector<ClassStats>& intervals() const { return done_; }
+
+    /** The currently filling (incomplete) interval. */
+    const ClassStats& current() const { return current_; }
+
+    /** Predictions per interval. */
+    uint64_t intervalLength() const { return length_; }
+
+    /** Number of completed intervals. */
+    size_t completed() const { return done_.size(); }
+
+  private:
+    uint64_t length_;
+    uint64_t inCurrent_ = 0;
+    ClassStats current_;
+    std::vector<ClassStats> done_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_SIM_INTERVAL_STATS_HPP

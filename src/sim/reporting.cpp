@@ -1,0 +1,120 @@
+#include "sim/reporting.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+TextTable
+coverageTable(const SetResult& result)
+{
+    TextTable t;
+    t.addColumn("trace", TextTable::Align::Left);
+    for (const auto c : kAllPredictionClasses)
+        t.addColumn(predictionClassName(c));
+    for (const auto& rr : result.perTrace) {
+        std::vector<std::string> row{rr.traceName};
+        for (const auto c : kAllPredictionClasses)
+            row.push_back(TextTable::num(rr.stats.pcov(c) * 100.0, 1));
+        t.addRow(std::move(row));
+    }
+    std::vector<std::string> agg{"(all)"};
+    for (const auto c : kAllPredictionClasses)
+        agg.push_back(TextTable::num(result.aggregate.pcov(c) * 100.0, 1));
+    t.addSeparator();
+    t.addRow(std::move(agg));
+    return t;
+}
+
+TextTable
+mpkiBreakdownTable(const SetResult& result)
+{
+    TextTable t;
+    t.addColumn("trace", TextTable::Align::Left);
+    for (const auto c : kAllPredictionClasses)
+        t.addColumn(predictionClassName(c));
+    t.addColumn("total-MPKI");
+    for (const auto& rr : result.perTrace) {
+        std::vector<std::string> row{rr.traceName};
+        for (const auto c : kAllPredictionClasses)
+            row.push_back(TextTable::num(rr.stats.mpkiContribution(c), 3));
+        row.push_back(TextTable::num(rr.stats.mpki(), 2));
+        t.addRow(std::move(row));
+    }
+    std::vector<std::string> agg{"(all)"};
+    for (const auto c : kAllPredictionClasses)
+        agg.push_back(TextTable::num(
+            result.aggregate.mpkiContribution(c), 3));
+    agg.push_back(TextTable::num(result.aggregate.mpki(), 2));
+    t.addSeparator();
+    t.addRow(std::move(agg));
+    return t;
+}
+
+TextTable
+mprateTable(const SetResult& result,
+            const std::vector<std::string>& traces)
+{
+    TextTable t;
+    t.addColumn("trace", TextTable::Align::Left);
+    for (const auto c : kAllPredictionClasses)
+        t.addColumn(predictionClassName(c));
+    t.addColumn("average");
+
+    for (const auto& want : traces) {
+        const RunResult* found = nullptr;
+        for (const auto& rr : result.perTrace) {
+            if (rr.traceName == want) {
+                found = &rr;
+                break;
+            }
+        }
+        if (found == nullptr)
+            fatal("mprateTable: trace '" + want + "' not in result set");
+        std::vector<std::string> row{want};
+        for (const auto c : kAllPredictionClasses)
+            row.push_back(TextTable::num(found->stats.mprateMkp(c), 0));
+        row.push_back(TextTable::num(found->stats.totalMkp(), 0));
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+std::vector<std::string>
+threeClassRow(const std::string& label, const ClassStats& stats)
+{
+    std::vector<std::string> row{label};
+    for (const auto level : kAllConfidenceLevels) {
+        std::ostringstream cell;
+        cell << TextTable::frac(stats.pcov(level)) << "-"
+             << TextTable::frac(stats.mpcov(level)) << " ("
+             << TextTable::num(stats.mprateMkp(level), 0) << ")";
+        row.push_back(cell.str());
+    }
+    return row;
+}
+
+TextTable
+threeClassTable()
+{
+    TextTable t;
+    t.addColumn("config", TextTable::Align::Left);
+    t.addColumn("high conf");
+    t.addColumn("medium conf");
+    t.addColumn("low conf");
+    return t;
+}
+
+std::string
+summarize(const RunResult& result)
+{
+    std::ostringstream os;
+    os << result.traceName << " [" << result.configName
+       << "]: " << result.stats.totalPredictions() << " branches, "
+       << TextTable::num(result.stats.mpki(), 2) << " MPKI, "
+       << TextTable::num(result.stats.totalMkp(), 1) << " MKP";
+    return os.str();
+}
+
+} // namespace tagecon

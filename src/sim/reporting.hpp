@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Renderers producing the paper's tables and figure data series from
+ * simulation results. Figures are printed as aligned text tables (one
+ * row per trace, one column per class) — the same numbers the paper
+ * plots as stacked bars.
+ */
+
+#ifndef TAGECON_SIM_REPORTING_HPP
+#define TAGECON_SIM_REPORTING_HPP
+
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "util/table_printer.hpp"
+
+namespace tagecon {
+
+/**
+ * Figure 2/3/5-left style: per-trace prediction coverage (%) of each
+ * of the 7 classes.
+ */
+TextTable coverageTable(const SetResult& result);
+
+/**
+ * Figure 2/3/5-right style: per-trace misprediction contribution in
+ * misses per kilo-instruction of each of the 7 classes, plus the
+ * total MPKI.
+ */
+TextTable mpkiBreakdownTable(const SetResult& result);
+
+/**
+ * Figure 4/6 style: per-trace misprediction rate (MKP) of each class,
+ * with an average row, for the named subset of traces.
+ */
+TextTable mprateTable(const SetResult& result,
+                      const std::vector<std::string>& traces);
+
+/**
+ * Table 2/3 style row content for one configuration x benchmark set:
+ * "Pcov-MPcov (MPrate)" per confidence level.
+ */
+std::vector<std::string> threeClassRow(const std::string& label,
+                                       const ClassStats& stats);
+
+/** Build the Table 2/3 skeleton (header columns). */
+TextTable threeClassTable();
+
+/** Render a one-line summary of a RunResult (debugging / examples). */
+std::string summarize(const RunResult& result);
+
+} // namespace tagecon
+
+#endif // TAGECON_SIM_REPORTING_HPP

@@ -1,0 +1,141 @@
+#include "tage/loop_predictor.hpp"
+
+#include "util/bit_utils.hpp"
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+LoopPredictor::LoopPredictor()
+    : LoopPredictor(Config{})
+{
+}
+
+LoopPredictor::LoopPredictor(Config cfg)
+    : cfg_(cfg),
+      confMax_((1u << cfg.confBits) - 1),
+      ageMax_((1u << cfg.ageBits) - 1),
+      iterMax_((1u << cfg.iterBits) - 1)
+{
+    if (cfg_.logEntries < 1 || cfg_.logEntries > 16)
+        fatal("loop predictor: bad table size");
+    if (cfg_.tagBits < 2 || cfg_.tagBits > 16)
+        fatal("loop predictor: bad tag width");
+    if (cfg_.iterBits < 2 || cfg_.iterBits > 16)
+        fatal("loop predictor: bad iteration width");
+    entries_.assign(size_t{1} << cfg_.logEntries, Entry{});
+}
+
+uint32_t
+LoopPredictor::indexFor(uint64_t pc) const
+{
+    return static_cast<uint32_t>((pc ^ (pc >> cfg_.logEntries)) &
+                                 maskBits(cfg_.logEntries));
+}
+
+uint16_t
+LoopPredictor::tagFor(uint64_t pc) const
+{
+    return static_cast<uint16_t>((pc >> cfg_.logEntries) &
+                                 maskBits(cfg_.tagBits));
+}
+
+LoopPredictor::Result
+LoopPredictor::lookup(uint64_t pc) const
+{
+    const Entry& e = entries_[indexFor(pc)];
+    Result r;
+    if (!e.inUse || e.tag != tagFor(pc) || e.confidence != confMax_ ||
+        e.pastIter == 0) {
+        return r;
+    }
+    r.valid = true;
+    // Exit exactly at the learned trip count, continue otherwise.
+    r.taken = (e.currentIter + 1 == e.pastIter) ? !e.dir : e.dir;
+    return r;
+}
+
+void
+LoopPredictor::update(uint64_t pc, bool taken, bool main_mispredicted)
+{
+    Entry& e = entries_[indexFor(pc)];
+    const uint16_t tag = tagFor(pc);
+
+    if (e.inUse && e.tag == tag) {
+        if (e.age < ageMax_)
+            ++e.age;
+
+        if (taken == e.dir) {
+            // Another iteration of the loop body.
+            ++e.currentIter;
+            if (e.currentIter >= iterMax_) {
+                // Not a bounded loop we can track; free the entry.
+                e = Entry{};
+            }
+            return;
+        }
+
+        // Loop exit observed.
+        const uint16_t trip =
+            static_cast<uint16_t>(e.currentIter + 1);
+        if (e.pastIter == trip) {
+            if (e.confidence < confMax_)
+                ++e.confidence;
+        } else if (e.pastIter == 0) {
+            // First complete run: learn the trip count.
+            e.pastIter = trip;
+            e.confidence = 0;
+        } else {
+            // Trip count changed: this is not a constant loop.
+            e.pastIter = trip;
+            e.confidence = 0;
+            if (e.age > 0)
+                e.age = static_cast<uint8_t>(e.age >> 1);
+        }
+        e.currentIter = 0;
+        return;
+    }
+
+    // Miss: consider allocating, but only when the main predictor got
+    // this branch wrong (the entry would otherwise add no value).
+    if (!main_mispredicted)
+        return;
+    if (e.inUse && e.age > 0) {
+        --e.age;
+        return;
+    }
+    e = Entry{};
+    e.inUse = true;
+    e.tag = tag;
+    // Allocation happens at a mispredicted loop *exit*, so the
+    // loop-continue direction is the opposite of the outcome just
+    // observed (as in the L-TAGE reference implementation).
+    e.dir = !taken;
+    e.currentIter = 0;
+    e.pastIter = 0;
+    e.confidence = 0;
+    e.age = static_cast<uint8_t>(ageMax_ / 2);
+}
+
+uint64_t
+LoopPredictor::storageBits() const
+{
+    const uint64_t per_entry =
+        static_cast<uint64_t>(cfg_.tagBits) +
+        2u * static_cast<uint64_t>(cfg_.iterBits) +
+        static_cast<uint64_t>(cfg_.confBits) +
+        static_cast<uint64_t>(cfg_.ageBits) + 2; // dir + inUse
+    return (uint64_t{1} << cfg_.logEntries) * per_entry;
+}
+
+int
+LoopPredictor::confidentEntries() const
+{
+    int n = 0;
+    for (const auto& e : entries_) {
+        if (e.inUse && e.confidence == confMax_)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace tagecon

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The complete output of one TAGE lookup. This struct is the paper's
+ * whole point: everything the storage-free confidence estimator needs
+ * (provider component identity, provider counter strength, bimodal
+ * counter state) is already in here — no extra tables required.
+ */
+
+#ifndef TAGECON_TAGE_TAGE_PREDICTION_HPP
+#define TAGECON_TAGE_TAGE_PREDICTION_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "tage/tage_config.hpp"
+
+namespace tagecon {
+
+/**
+ * Result of TagePredictor::predict(). Carries both the architectural
+ * answer (taken) and the observable internals used for confidence
+ * grading, plus the per-table indices/tags so the paired update() does
+ * not recompute them.
+ */
+struct TagePrediction {
+    /** Final prediction delivered to the front-end. */
+    bool taken = false;
+
+    /** True when a tagged component provided the prediction. */
+    bool providerIsTagged = false;
+
+    /**
+     * Provider component: 1..M for tagged tables (M = longest history),
+     * 0 when the bimodal base predictor provided.
+     */
+    int providerTable = 0;
+
+    /** Provider's own direction (before any altpred substitution). */
+    bool providerPredTaken = false;
+
+    /** Tagged provider counter value; 0 when provider is bimodal. */
+    int providerCtr = 0;
+
+    /**
+     * Prediction strength |2*ctr + 1| of the tagged provider counter
+     * (1 = weak ... 2^bits-1 = saturated); 0 when provider is bimodal.
+     */
+    int providerStrength = 0;
+
+    /** True when the tagged provider counter is saturated. */
+    bool providerSaturated = false;
+
+    /** True when the tagged provider counter is weak (strength 1). */
+    bool providerWeak = false;
+
+    /** Bimodal table direction at this PC. */
+    bool bimodalTaken = false;
+
+    /** True when the bimodal counter at this PC is weak. */
+    bool bimodalWeak = false;
+
+    /** Alternate prediction (next matching component / bimodal). */
+    bool altTaken = false;
+
+    /** True when the alternate prediction came from a tagged table. */
+    bool altIsTagged = false;
+
+    /** Alternate provider table (0 = bimodal). */
+    int altTable = 0;
+
+    /**
+     * True when the final prediction used the alternate prediction
+     * because the provider entry was weak and USE_ALT_ON_NA was
+     * non-negative (Sec. 3.1).
+     */
+    bool usedAlt = false;
+
+    /** Per-table indices computed at lookup; [0] is the bimodal index. */
+    std::array<uint32_t, kMaxTaggedTables + 1> index{};
+
+    /** Per-table partial tags computed at lookup; [0] unused. */
+    std::array<uint16_t, kMaxTaggedTables + 1> tag{};
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_TAGE_TAGE_PREDICTION_HPP

@@ -1,0 +1,339 @@
+#include "tage/tage_predictor.hpp"
+
+#include <algorithm>
+
+#include "util/bit_utils.hpp"
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+namespace {
+
+/** Initial bimodal counter value: weakly taken. */
+unsigned
+bimodalInit(int bits)
+{
+    return 1u << (bits - 1); // e.g. 2 for a 2-bit counter
+}
+
+} // namespace
+
+TagePredictor::TagePredictor(TageConfig config, uint16_t lfsr_seed)
+    : config_(std::move(config)),
+      history_(static_cast<size_t>(config_.maxHistoryLength()) + 2),
+      pathHistory_(config_.pathHistoryBits),
+      useAltOnNa_(config_.useAltOnNaBits, 0),
+      lfsr_(lfsr_seed), lfsrSeed_(lfsr_seed)
+{
+    config_.validate();
+
+    bimodal_.assign(size_t{1} << config_.logBimodalEntries,
+                    UnsignedSatCounter(config_.bimodalCtrBits,
+                                       bimodalInit(config_.bimodalCtrBits)));
+
+    const int m = config_.numTaggedTables();
+    tables_.resize(static_cast<size_t>(m) + 1);
+    indexFold_.resize(static_cast<size_t>(m) + 1);
+    tagFold0_.resize(static_cast<size_t>(m) + 1);
+    tagFold1_.resize(static_cast<size_t>(m) + 1);
+    for (int i = 1; i <= m; ++i) {
+        const auto& tc = config_.tagged[static_cast<size_t>(i - 1)];
+        tables_[static_cast<size_t>(i)].assign(
+            size_t{1} << tc.logEntries,
+            TaggedEntry{SignedSatCounter(config_.taggedCtrBits, 0), 0,
+                        UnsignedSatCounter(config_.usefulBits, 0)});
+        indexFold_[static_cast<size_t>(i)] =
+            FoldedHistory(tc.historyLength, tc.logEntries);
+        tagFold0_[static_cast<size_t>(i)] =
+            FoldedHistory(tc.historyLength, tc.tagBits);
+        tagFold1_[static_cast<size_t>(i)] =
+            FoldedHistory(tc.historyLength, tc.tagBits - 1);
+    }
+}
+
+void
+TagePredictor::reset()
+{
+    *this = TagePredictor(config_, lfsrSeed_);
+}
+
+uint32_t
+TagePredictor::bimodalIndex(uint64_t pc) const
+{
+    const uint64_t shifted = pc >> config_.instShift;
+    return static_cast<uint32_t>(shifted &
+                                 maskBits(config_.logBimodalEntries));
+}
+
+uint32_t
+TagePredictor::pathHash(int table) const
+{
+    // Classic TAGE "F" function: fold the path history register into
+    // logEntries bits with a table-dependent rotation so components do
+    // not alias the same way.
+    const auto& tc = config_.tagged[static_cast<size_t>(table - 1)];
+    const int logg = tc.logEntries;
+    const int size = std::min(tc.historyLength, config_.pathHistoryBits);
+
+    uint32_t a = pathHistory_.value() & static_cast<uint32_t>(
+                                            maskBits(size));
+    const uint32_t a1 = a & static_cast<uint32_t>(maskBits(logg));
+    uint32_t a2 = a >> logg;
+    const int rot = table % logg;
+    a2 = static_cast<uint32_t>(
+        rotateLeft(a2, rot, logg));
+    a = a1 ^ a2;
+    a = static_cast<uint32_t>(rotateLeft(a, rot, logg));
+    return a;
+}
+
+uint32_t
+TagePredictor::taggedIndex(uint64_t pc, int table) const
+{
+    const auto& tc = config_.tagged[static_cast<size_t>(table - 1)];
+    const int logg = tc.logEntries;
+    const uint64_t shifted = pc >> config_.instShift;
+    const uint64_t mixed = shifted ^ (shifted >> (logg - table % logg)) ^
+                           indexFold_[static_cast<size_t>(table)].value() ^
+                           pathHash(table);
+    return static_cast<uint32_t>(mixed & maskBits(logg));
+}
+
+uint16_t
+TagePredictor::taggedTag(uint64_t pc, int table) const
+{
+    const auto& tc = config_.tagged[static_cast<size_t>(table - 1)];
+    const uint64_t shifted = pc >> config_.instShift;
+    const uint64_t mixed =
+        shifted ^ tagFold0_[static_cast<size_t>(table)].value() ^
+        (static_cast<uint64_t>(
+             tagFold1_[static_cast<size_t>(table)].value())
+         << 1);
+    return static_cast<uint16_t>(mixed & maskBits(tc.tagBits));
+}
+
+TagePrediction
+TagePredictor::predict(uint64_t pc) const
+{
+    TagePrediction p;
+    const int m = config_.numTaggedTables();
+
+    p.index[0] = bimodalIndex(pc);
+    const UnsignedSatCounter& bim = bimodal_[p.index[0]];
+    p.bimodalTaken = bim.taken();
+    p.bimodalWeak = bim.weak();
+
+    for (int i = 1; i <= m; ++i) {
+        p.index[static_cast<size_t>(i)] = taggedIndex(pc, i);
+        p.tag[static_cast<size_t>(i)] = taggedTag(pc, i);
+    }
+
+    // Find provider (longest matching history) and the alternate.
+    int provider = 0;
+    int alt = 0;
+    for (int i = m; i >= 1; --i) {
+        const auto& entry =
+            tables_[static_cast<size_t>(i)][p.index[static_cast<size_t>(i)]];
+        if (entry.tag == p.tag[static_cast<size_t>(i)]) {
+            if (provider == 0) {
+                provider = i;
+            } else {
+                alt = i;
+                break;
+            }
+        }
+    }
+
+    if (alt != 0) {
+        const auto& alt_entry =
+            tables_[static_cast<size_t>(alt)]
+                   [p.index[static_cast<size_t>(alt)]];
+        p.altTaken = alt_entry.ctr.taken();
+        p.altIsTagged = true;
+        p.altTable = alt;
+    } else {
+        p.altTaken = p.bimodalTaken;
+        p.altIsTagged = false;
+        p.altTable = 0;
+    }
+
+    if (provider != 0) {
+        const auto& entry =
+            tables_[static_cast<size_t>(provider)]
+                   [p.index[static_cast<size_t>(provider)]];
+        p.providerIsTagged = true;
+        p.providerTable = provider;
+        p.providerCtr = entry.ctr.value();
+        p.providerStrength = entry.ctr.strength();
+        p.providerSaturated = entry.ctr.saturated();
+        p.providerWeak = entry.ctr.weak();
+        p.providerPredTaken = entry.ctr.taken();
+
+        // Sec. 3.1: when the provider entry is weak and USE_ALT_ON_NA
+        // is non-negative, the alternate prediction is used instead.
+        if (config_.useAltOnNa && p.providerWeak &&
+            useAltOnNa_.value() >= 0) {
+            p.taken = p.altTaken;
+            p.usedAlt = true;
+        } else {
+            p.taken = p.providerPredTaken;
+        }
+    } else {
+        p.providerIsTagged = false;
+        p.providerTable = 0;
+        p.providerPredTaken = p.bimodalTaken;
+        p.taken = p.bimodalTaken;
+    }
+
+    return p;
+}
+
+void
+TagePredictor::updateTaggedCtr(SignedSatCounter& ctr, bool taken)
+{
+    if (config_.probabilisticSaturation &&
+        ctr.updateWouldSaturate(taken)) {
+        // Sec. 6: the transition into the saturated state only happens
+        // with probability 1/2^satLog2Prob. All other transitions are
+        // unchanged, so the accuracy impact is marginal while a
+        // saturated counter now implies a long recent mistake-free run.
+        if (!lfsr_.oneIn(config_.satLog2Prob))
+            return;
+    }
+    ctr.update(taken);
+}
+
+void
+TagePredictor::allocate(const TagePrediction& p, bool taken)
+{
+    const int m = config_.numTaggedTables();
+    const int start = p.providerTable + 1;
+    if (start > m)
+        return;
+
+    bool any_useless = false;
+    for (int k = start; k <= m && !any_useless; ++k) {
+        any_useless =
+            tables_[static_cast<size_t>(k)]
+                   [p.index[static_cast<size_t>(k)]].u.value() == 0;
+    }
+
+    if (!any_useless) {
+        // No free entry: gracefully decay the contenders so an
+        // allocation will succeed soon (anti-ping-pong).
+        for (int k = start; k <= m; ++k) {
+            auto& entry =
+                tables_[static_cast<size_t>(k)]
+                       [p.index[static_cast<size_t>(k)]];
+            entry.u.decrement();
+        }
+        return;
+    }
+
+    // Choose among useless entries with geometrically decreasing
+    // probability from the shortest history up, as in the reference
+    // TAGE implementations: each candidate is taken with probability
+    // 1/2, falling through to longer histories otherwise.
+    int chosen = 0;
+    for (int k = start; k <= m; ++k) {
+        const auto& entry =
+            tables_[static_cast<size_t>(k)][p.index[static_cast<size_t>(k)]];
+        if (entry.u.value() != 0)
+            continue;
+        chosen = k;
+        if (lfsr_.oneIn(1))
+            break;
+    }
+
+    auto& entry =
+        tables_[static_cast<size_t>(chosen)]
+               [p.index[static_cast<size_t>(chosen)]];
+    entry.tag = p.tag[static_cast<size_t>(chosen)];
+    entry.ctr.set(taken ? 0 : -1); // weak correct
+    entry.u.set(0);                // strong not useful
+    ++allocations_;
+}
+
+void
+TagePredictor::ageUsefulCounters()
+{
+    for (auto& table : tables_) {
+        for (auto& entry : table)
+            entry.u.shiftDown();
+    }
+}
+
+void
+TagePredictor::update(uint64_t pc, const TagePrediction& p, bool taken)
+{
+    const bool mispredicted = p.taken != taken;
+
+    if (p.providerIsTagged) {
+        auto& entry = tables_[static_cast<size_t>(p.providerTable)]
+                             [p.index[static_cast<size_t>(p.providerTable)]];
+
+        // Manage USE_ALT_ON_NA: on a weak ("pseudo newly allocated")
+        // provider whose direction differs from the alternate, learn
+        // which of the two tends to be right (Sec. 3.1).
+        if (p.providerWeak && p.providerPredTaken != p.altTaken)
+            useAltOnNa_.update(p.altTaken == taken);
+
+        updateTaggedCtr(entry.ctr, taken);
+
+        // Sec. 3.2: u is updated when the alternate prediction differs
+        // from the provider prediction.
+        if (p.providerPredTaken != p.altTaken)
+            entry.u.update(p.providerPredTaken == taken);
+    } else {
+        bimodal_[p.index[0]].update(taken);
+    }
+
+    // Sec. 3.3: allocate on mispredictions — but when a weak provider
+    // entry was itself correct, it only needs training, not backup.
+    bool alloc = mispredicted && p.providerTable < config_.numTaggedTables();
+    if (p.providerIsTagged && p.providerWeak &&
+        p.providerPredTaken == taken) {
+        alloc = false;
+    }
+    if (alloc)
+        allocate(p, taken);
+
+    ++updates_;
+    if (config_.uResetPeriod != 0 && updates_ % config_.uResetPeriod == 0)
+        ageUsefulCounters();
+
+    // Advance speculative state with the resolved outcome.
+    history_.push(taken);
+    pathHistory_.push(pc >> config_.instShift);
+    for (int i = 1; i <= config_.numTaggedTables(); ++i) {
+        indexFold_[static_cast<size_t>(i)].update(history_);
+        tagFold0_[static_cast<size_t>(i)].update(history_);
+        tagFold1_[static_cast<size_t>(i)].update(history_);
+    }
+}
+
+void
+TagePredictor::setSatLog2Prob(unsigned log2_prob)
+{
+    TAGECON_ASSERT(log2_prob <= 15, "saturation probability too small");
+    config_.satLog2Prob = log2_prob;
+}
+
+const TagePredictor::TaggedEntry&
+TagePredictor::taggedEntry(int table, uint32_t index) const
+{
+    TAGECON_ASSERT(table >= 1 && table <= config_.numTaggedTables(),
+                   "tagged table id out of range");
+    const auto& t = tables_[static_cast<size_t>(table)];
+    TAGECON_ASSERT(index < t.size(), "tagged index out of range");
+    return t[index];
+}
+
+const UnsignedSatCounter&
+TagePredictor::bimodalEntry(uint32_t index) const
+{
+    TAGECON_ASSERT(index < bimodal_.size(), "bimodal index out of range");
+    return bimodal_[index];
+}
+
+} // namespace tagecon

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The TAGE conditional branch predictor (Seznec & Michaud, JILP 2006),
+ * as described in Sec. 3 of the paper: a bimodal base predictor backed
+ * by M partially-tagged components indexed with geometrically
+ * increasing global history lengths, with USE_ALT_ON_NA alternate
+ * prediction, useful-counter driven allocation and graceful aging.
+ *
+ * The Sec. 6 modification — probabilistic transition into the
+ * saturated counter state — is implemented behind
+ * TageConfig::probabilisticSaturation, with a predictor-owned LFSR as
+ * the randomness source (as cheap hardware would use).
+ */
+
+#ifndef TAGECON_TAGE_TAGE_PREDICTOR_HPP
+#define TAGECON_TAGE_TAGE_PREDICTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tage/tage_config.hpp"
+#include "tage/tage_prediction.hpp"
+#include "util/global_history.hpp"
+#include "util/random.hpp"
+#include "util/saturating_counter.hpp"
+
+namespace tagecon {
+
+/**
+ * TAGE predictor. Usage per branch:
+ *
+ *   TagePrediction p = predictor.predict(pc);
+ *   ... grade p with a ConfidenceObserver, consume p.taken ...
+ *   predictor.update(pc, p, actual_taken);
+ *
+ * predict()/update() must alternate for the history folding to stay
+ * consistent; update() trains the provider, manages allocation, and
+ * advances all speculative histories with the resolved outcome.
+ */
+class TagePredictor
+{
+  public:
+    /** Build a predictor; the config is validated with fatal(). */
+    explicit TagePredictor(TageConfig config, uint16_t lfsr_seed = 0x1d4e);
+
+    /** Compute the prediction and its observable internals for @p pc. */
+    TagePrediction predict(uint64_t pc) const;
+
+    /**
+     * Train with the resolved outcome. @p p must be the object returned
+     * by the immediately preceding predict(pc).
+     */
+    void update(uint64_t pc, const TagePrediction& p, bool taken);
+
+    /** The configuration this predictor was built with. */
+    const TageConfig& config() const { return config_; }
+
+    /** Total storage in bits (prediction state only). */
+    uint64_t storageBits() const { return config_.storageBits(); }
+
+    /**
+     * Change the saturation probability at run time (used by the
+     * adaptive controller of Sec. 6.2). Only meaningful when the
+     * config enables probabilisticSaturation.
+     */
+    void setSatLog2Prob(unsigned log2_prob);
+
+    /** Current log2 of the inverse saturation probability. */
+    unsigned satLog2Prob() const { return config_.satLog2Prob; }
+
+    /** Value of the USE_ALT_ON_NA counter (introspection/tests). */
+    int useAltOnNa() const { return useAltOnNa_.value(); }
+
+    /** Number of tagged-entry allocations performed so far. */
+    uint64_t allocations() const { return allocations_; }
+
+    /** Number of update() calls so far. */
+    uint64_t updates() const { return updates_; }
+
+    /** Reset all tables, counters and histories to the initial state. */
+    void reset();
+
+    /** One entry of a tagged component (exposed for tests). */
+    struct TaggedEntry {
+        SignedSatCounter ctr{3, 0};
+        uint16_t tag = 0;
+        UnsignedSatCounter u{2, 0};
+    };
+
+    /** Read-only access to a tagged entry (tests / introspection). */
+    const TaggedEntry& taggedEntry(int table, uint32_t index) const;
+
+    /** Read-only access to a bimodal counter (tests / introspection). */
+    const UnsignedSatCounter& bimodalEntry(uint32_t index) const;
+
+  private:
+    /** Compute the index into tagged table @p table (1-based). */
+    uint32_t taggedIndex(uint64_t pc, int table) const;
+
+    /** Compute the partial tag for tagged table @p table (1-based). */
+    uint16_t taggedTag(uint64_t pc, int table) const;
+
+    /** Bimodal table index. */
+    uint32_t bimodalIndex(uint64_t pc) const;
+
+    /** Mix the path history into an index (classic TAGE F function). */
+    uint32_t pathHash(int table) const;
+
+    /**
+     * Update a tagged prediction counter toward @p taken, applying the
+     * Sec. 6 probabilistic saturation gate when enabled.
+     */
+    void updateTaggedCtr(SignedSatCounter& ctr, bool taken);
+
+    /** Allocate at most one entry above the provider on misprediction. */
+    void allocate(const TagePrediction& p, bool taken);
+
+    /** Graceful periodic aging of all useful counters. */
+    void ageUsefulCounters();
+
+    TageConfig config_;
+
+    std::vector<UnsignedSatCounter> bimodal_;
+    std::vector<std::vector<TaggedEntry>> tables_; // [1..M], [0] empty
+
+    GlobalHistory history_;
+    PathHistory pathHistory_;
+    std::vector<FoldedHistory> indexFold_;   // [1..M]
+    std::vector<FoldedHistory> tagFold0_;    // [1..M] tagBits fold
+    std::vector<FoldedHistory> tagFold1_;    // [1..M] tagBits-1 fold
+
+    SignedSatCounter useAltOnNa_;
+    Lfsr16 lfsr_;
+    uint16_t lfsrSeed_;
+
+    uint64_t updates_ = 0;
+    uint64_t allocations_ = 0;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_TAGE_TAGE_PREDICTOR_HPP

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The unit of work consumed by every predictor in this repository: one
+ * dynamic conditional branch, in the style of the CBP championship
+ * traces (conditional branches only, with the count of non-branch
+ * instructions preceding each so MPKI can be computed).
+ */
+
+#ifndef TAGECON_TRACE_BRANCH_RECORD_HPP
+#define TAGECON_TRACE_BRANCH_RECORD_HPP
+
+#include <cstdint>
+
+namespace tagecon {
+
+/**
+ * One dynamic conditional branch. @c instructionsBefore counts the
+ * non-branch instructions executed since the previous record, so the
+ * total instruction count of a trace is
+ * sum(instructionsBefore) + #branches.
+ */
+struct BranchRecord {
+    /** Instruction address of the branch. */
+    uint64_t pc = 0;
+
+    /** Architectural outcome: true when taken. */
+    bool taken = false;
+
+    /** Non-branch instructions since the previous branch record. */
+    uint32_t instructionsBefore = 0;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_TRACE_BRANCH_RECORD_HPP

@@ -1,0 +1,133 @@
+#include "trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'T', 'C', 'B', 'T'};
+
+template <typename T>
+void
+writeRaw(std::ofstream& out, const T& v)
+{
+    out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+readRaw(std::ifstream& in, T& v)
+{
+    in.read(reinterpret_cast<char*>(&v), sizeof(T));
+    return in.good();
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string& path,
+                         const std::string& trace_name)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        fatal("cannot create trace file '" + path + "'");
+    out_.write(kMagic.data(), static_cast<std::streamsize>(kMagic.size()));
+    writeRaw(out_, kTraceFormatVersion);
+    const auto name_len = static_cast<uint32_t>(trace_name.size());
+    writeRaw(out_, name_len);
+    out_.write(trace_name.data(), static_cast<std::streamsize>(name_len));
+    countPos_ = out_.tellp();
+    const uint64_t placeholder = 0;
+    writeRaw(out_, placeholder);
+    open_ = true;
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (open_)
+        close();
+}
+
+void
+TraceWriter::write(const BranchRecord& rec)
+{
+    TAGECON_ASSERT(open_, "write() on a closed TraceWriter");
+    writeRaw(out_, rec.pc);
+    writeRaw(out_, rec.instructionsBefore);
+    const uint8_t taken = rec.taken ? 1 : 0;
+    writeRaw(out_, taken);
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!open_)
+        return;
+    out_.seekp(countPos_);
+    writeRaw(out_, count_);
+    out_.close();
+    open_ = false;
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : path_(path), in_(path, std::ios::binary)
+{
+    if (!in_)
+        fatal("cannot open trace file '" + path + "'");
+    std::array<char, 4> magic{};
+    in_.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+    if (!in_ || magic != kMagic)
+        fatal("'" + path + "' is not a tagecon trace file");
+    uint32_t version = 0;
+    if (!readRaw(in_, version) || version != kTraceFormatVersion)
+        fatal("'" + path + "' has unsupported trace format version");
+    uint32_t name_len = 0;
+    if (!readRaw(in_, name_len) || name_len > 4096)
+        fatal("'" + path + "' has a malformed header");
+    name_.resize(name_len);
+    in_.read(name_.data(), static_cast<std::streamsize>(name_len));
+    if (!in_ || !readRaw(in_, total_))
+        fatal("'" + path + "' has a truncated header");
+    dataStart_ = in_.tellg();
+}
+
+bool
+TraceReader::next(BranchRecord& out)
+{
+    if (read_ >= total_)
+        return false;
+    uint8_t taken = 0;
+    if (!readRaw(in_, out.pc) || !readRaw(in_, out.instructionsBefore) ||
+        !readRaw(in_, taken)) {
+        fatal("'" + path_ + "' is truncated (header promises " +
+              std::to_string(total_) + " records)");
+    }
+    out.taken = taken != 0;
+    ++read_;
+    return true;
+}
+
+void
+TraceReader::reset()
+{
+    in_.clear();
+    in_.seekg(dataStart_);
+    read_ = 0;
+}
+
+uint64_t
+writeTraceFile(const std::string& path, TraceSource& src)
+{
+    TraceWriter writer(path, src.name());
+    BranchRecord rec;
+    while (src.next(rec))
+        writer.write(rec);
+    writer.close();
+    return writer.written();
+}
+
+} // namespace tagecon

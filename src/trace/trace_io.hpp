@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Compact binary on-disk trace format, so synthetic workloads can be
+ * materialized once and replayed exactly (the CBP traces played this
+ * role in the paper).
+ *
+ * Format (little-endian):
+ *   header:  magic "TCBT" (4 bytes) | version u32 | name length u32 |
+ *            name bytes | record count u64
+ *   records: pc u64 | instructionsBefore u32 | taken u8
+ */
+
+#ifndef TAGECON_TRACE_TRACE_IO_HPP
+#define TAGECON_TRACE_TRACE_IO_HPP
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "trace/trace_source.hpp"
+
+namespace tagecon {
+
+/** Current on-disk format version. */
+inline constexpr uint32_t kTraceFormatVersion = 1;
+
+/**
+ * Streaming writer for the binary trace format. The record count is
+ * back-patched on close(), so traces can be written without knowing
+ * their length up front.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header.
+     * fatal() when the file cannot be created.
+     */
+    TraceWriter(const std::string& path, const std::string& trace_name);
+
+    /** Closes (and back-patches) if still open. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /** Append one record. */
+    void write(const BranchRecord& rec);
+
+    /** Finish: back-patch the record count and close the file. */
+    void close();
+
+    /** Records written so far. */
+    uint64_t written() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    std::streampos countPos_;
+    uint64_t count_ = 0;
+    bool open_ = false;
+};
+
+/**
+ * Reader for the binary trace format; implements TraceSource so a file
+ * trace is a drop-in replacement for a synthetic one.
+ */
+class TraceReader : public TraceSource
+{
+  public:
+    /** Open @p path; fatal() on missing file or malformed header. */
+    explicit TraceReader(const std::string& path);
+
+    bool next(BranchRecord& out) override;
+    void reset() override;
+    std::string name() const override { return name_; }
+
+    /** Total records the header promises. */
+    uint64_t totalRecords() const { return total_; }
+
+  private:
+    std::string path_;
+    std::ifstream in_;
+    std::string name_;
+    uint64_t total_ = 0;
+    uint64_t read_ = 0;
+    std::streampos dataStart_;
+};
+
+/**
+ * Convenience: write all records of @p src (from its current position)
+ * to @p path. Returns the number of records written.
+ */
+uint64_t writeTraceFile(const std::string& path, TraceSource& src);
+
+} // namespace tagecon
+
+#endif // TAGECON_TRACE_TRACE_IO_HPP

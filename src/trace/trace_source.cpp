@@ -1,0 +1,16 @@
+#include "trace/trace_source.hpp"
+
+namespace tagecon {
+
+VectorTrace
+materialize(TraceSource& src, size_t max_records)
+{
+    std::vector<BranchRecord> records;
+    records.reserve(max_records);
+    BranchRecord rec;
+    while (records.size() < max_records && src.next(rec))
+        records.push_back(rec);
+    return VectorTrace(src.name(), std::move(records));
+}
+
+} // namespace tagecon

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Abstract stream of dynamic branches plus an in-memory implementation.
+ * Synthetic generators (synthetic_trace.hpp) and file readers
+ * (trace_io.hpp) implement the same interface so the simulation driver
+ * is agnostic to where branches come from.
+ */
+
+#ifndef TAGECON_TRACE_TRACE_SOURCE_HPP
+#define TAGECON_TRACE_TRACE_SOURCE_HPP
+
+#include <string>
+#include <vector>
+
+#include "trace/branch_record.hpp"
+
+namespace tagecon {
+
+/**
+ * A replayable stream of BranchRecords.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next branch.
+     * @param out Filled with the next record when available.
+     * @retval true A record was produced.
+     * @retval false The trace is exhausted.
+     */
+    virtual bool next(BranchRecord& out) = 0;
+
+    /** Rewind to the beginning; the replay is bit-identical. */
+    virtual void reset() = 0;
+
+    /** Human-readable trace name (e.g. "FP-1", "164.gzip"). */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Trace backed by a vector of records; useful in tests and as the
+ * materialized form of a synthetic trace.
+ */
+class VectorTrace : public TraceSource
+{
+  public:
+    /** Wrap @p records under display name @p name. */
+    VectorTrace(std::string name, std::vector<BranchRecord> records)
+        : name_(std::move(name)), records_(std::move(records))
+    {
+    }
+
+    bool
+    next(BranchRecord& out) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        out = records_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    std::string name() const override { return name_; }
+
+    /** Underlying records (read-only). */
+    const std::vector<BranchRecord>& records() const { return records_; }
+
+    /** Number of records in the trace. */
+    size_t size() const { return records_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<BranchRecord> records_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Drain up to @p max_records records of @p src into a VectorTrace.
+ * Does not reset @p src first; drains from its current position.
+ */
+VectorTrace materialize(TraceSource& src, size_t max_records);
+
+} // namespace tagecon
+
+#endif // TAGECON_TRACE_TRACE_SOURCE_HPP

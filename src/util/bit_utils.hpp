@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Small fixed-width bit manipulation helpers shared by the predictor
+ * index/tag hash functions.
+ */
+
+#ifndef TAGECON_UTIL_BIT_UTILS_HPP
+#define TAGECON_UTIL_BIT_UTILS_HPP
+
+#include <cstdint>
+
+namespace tagecon {
+
+/** Bit mask with the low @p bits bits set; bits must be in [0, 64]. */
+constexpr uint64_t
+maskBits(int bits)
+{
+    if (bits <= 0)
+        return 0;
+    if (bits >= 64)
+        return ~uint64_t{0};
+    return (uint64_t{1} << bits) - 1;
+}
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be non-zero. */
+constexpr int
+floorLog2(uint64_t v)
+{
+    int r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2(v); v must be non-zero. */
+constexpr int
+ceilLog2(uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/**
+ * XOR-fold a 64-bit value down to @p bits bits. Used when mixing the PC
+ * into index and tag hashes.
+ */
+constexpr uint64_t
+xorFold(uint64_t v, int bits)
+{
+    if (bits <= 0)
+        return 0;
+    uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & maskBits(bits);
+        v >>= bits;
+    }
+    return r;
+}
+
+/** Rotate-left within the low @p width bits. */
+constexpr uint64_t
+rotateLeft(uint64_t v, int amount, int width)
+{
+    if (width <= 0)
+        return 0;
+    amount %= width;
+    if (amount == 0)
+        return v & maskBits(width);
+    const uint64_t m = maskBits(width);
+    v &= m;
+    return ((v << amount) | (v >> (width - amount))) & m;
+}
+
+} // namespace tagecon
+
+#endif // TAGECON_UTIL_BIT_UTILS_HPP

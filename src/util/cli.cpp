@@ -1,0 +1,113 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+CliArgs::CliArgs(int argc, const char* const* argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+            continue;
+        }
+        // "--name value" form only when the next token is not a flag and
+        // looks like a value; otherwise treat as boolean.
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            flags_[arg] = argv[i + 1];
+            ++i;
+        } else {
+            flags_[arg] = "";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string& name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string& name, const std::string& def) const
+{
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+}
+
+int64_t
+CliArgs::getInt(const std::string& name, int64_t def) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    char* end = nullptr;
+    const int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("flag --" + name + " expects an integer, got '" +
+              it->second + "'");
+    return v;
+}
+
+uint64_t
+CliArgs::getUint(const std::string& name, uint64_t def) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    char* end = nullptr;
+    const uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("flag --" + name + " expects an unsigned integer, got '" +
+              it->second + "'");
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string& name, double def) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("flag --" + name + " expects a number, got '" +
+              it->second + "'");
+    return v;
+}
+
+bool
+CliArgs::getBool(const std::string& name, bool def) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    const std::string& v = it->second;
+    if (v.empty() || v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    fatal("flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+std::vector<std::string>
+CliArgs::flagNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(flags_.size());
+    for (const auto& [k, v] : flags_)
+        names.push_back(k);
+    return names;
+}
+
+} // namespace tagecon

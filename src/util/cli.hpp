@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the experiment and example
+ * binaries. Supports --name=value, --name value and boolean --name.
+ */
+
+#ifndef TAGECON_UTIL_CLI_HPP
+#define TAGECON_UTIL_CLI_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tagecon {
+
+/**
+ * Parsed command line. Unknown flags are kept and can be rejected by the
+ * caller; positional arguments are collected in order.
+ */
+class CliArgs
+{
+  public:
+    /** Parse argv; flags start with "--". */
+    CliArgs(int argc, const char* const* argv);
+
+    /** True when --name was supplied (with or without a value). */
+    bool has(const std::string& name) const;
+
+    /** String value of --name, or @p def when absent. */
+    std::string getString(const std::string& name,
+                          const std::string& def) const;
+
+    /** Integer value of --name, or @p def when absent; fatal() on junk. */
+    int64_t getInt(const std::string& name, int64_t def) const;
+
+    /** Unsigned value of --name, or @p def when absent. */
+    uint64_t getUint(const std::string& name, uint64_t def) const;
+
+    /** Double value of --name, or @p def when absent; fatal() on junk. */
+    double getDouble(const std::string& name, double def) const;
+
+    /** Boolean flag: present without value or with true/1/yes. */
+    bool getBool(const std::string& name, bool def) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string>& positional() const { return positional_; }
+
+    /** All flag names that were supplied (for unknown-flag checks). */
+    std::vector<std::string> flagNames() const;
+
+  private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_UTIL_CLI_HPP

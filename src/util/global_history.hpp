@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Global branch-outcome history, stored in a ring buffer so that very
+ * long histories (the large TAGE configuration folds 300 bits) cost O(1)
+ * per update.
+ */
+
+#ifndef TAGECON_UTIL_GLOBAL_HISTORY_HPP
+#define TAGECON_UTIL_GLOBAL_HISTORY_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+/**
+ * Ring buffer of branch outcomes. Index 0 is the most recent outcome,
+ * index i the outcome i branches ago. The capacity is rounded up to a
+ * power of two so indexing is a mask.
+ */
+class GlobalHistory
+{
+  public:
+    /**
+     * @param capacity Minimum number of past outcomes that must remain
+     *                 addressable (the predictor needs maxHist + 1).
+     */
+    explicit GlobalHistory(size_t capacity)
+    {
+        size_t cap = 1;
+        while (cap < capacity + 1)
+            cap <<= 1;
+        buf_.assign(cap, 0);
+        mask_ = cap - 1;
+        head_ = 0;
+    }
+
+    /** Record a new outcome; it becomes index 0. */
+    void
+    push(bool taken)
+    {
+        head_ = (head_ + 1) & mask_;
+        buf_[head_] = taken ? 1 : 0;
+    }
+
+    /** Outcome @p i branches ago (0 == most recent). */
+    uint8_t
+    operator[](size_t i) const
+    {
+        TAGECON_ASSERT(i <= mask_, "history index exceeds capacity");
+        return buf_[(head_ - i) & mask_];
+    }
+
+    /** Number of addressable past outcomes. */
+    size_t capacity() const { return mask_; }
+
+    /** Clear all history to not-taken. */
+    void
+    clear()
+    {
+        std::fill(buf_.begin(), buf_.end(), 0);
+        head_ = 0;
+    }
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t mask_;
+    size_t head_;
+};
+
+/**
+ * Incrementally folded view of the most recent @c origLength bits of a
+ * GlobalHistory, compressed by XOR into @c compLength bits. This is the
+ * classic TAGE/OGEHL circular-shift-register trick: each branch updates
+ * the fold in O(1) instead of re-XOR-ing origLength bits.
+ *
+ * Usage: after every GlobalHistory::push(), call update() exactly once.
+ */
+class FoldedHistory
+{
+  public:
+    FoldedHistory() = default;
+
+    /**
+     * @param orig_length Number of history bits folded (the component's
+     *                    geometric history length L(i)).
+     * @param comp_length Width of the folded result in bits (the table's
+     *                    log2(#entries) for indices, tag width for tags).
+     */
+    FoldedHistory(int orig_length, int comp_length)
+        : origLength_(orig_length), compLength_(comp_length),
+          outPoint_(orig_length % comp_length)
+    {
+        TAGECON_ASSERT(comp_length > 0 && comp_length < 32,
+                       "folded width out of range");
+        TAGECON_ASSERT(orig_length >= 0, "negative history length");
+    }
+
+    /**
+     * Fold in the newest bit and fold out the bit that just left the
+     * window. Must be called once per GlobalHistory::push(), after it.
+     */
+    void
+    update(const GlobalHistory& h)
+    {
+        comp_ = (comp_ << 1) | h[0];
+        // The bit that was at position origLength-1 before the push is
+        // now at origLength; remove its contribution.
+        comp_ ^= static_cast<uint32_t>(
+            h[static_cast<size_t>(origLength_)]) << outPoint_;
+        comp_ ^= comp_ >> compLength_;
+        comp_ &= (1u << compLength_) - 1u;
+    }
+
+    /** Current folded value (compLength bits). */
+    uint32_t value() const { return comp_; }
+
+    /** Folded width in bits. */
+    int compLength() const { return compLength_; }
+
+    /** History length being folded. */
+    int origLength() const { return origLength_; }
+
+    /** Reset the fold (history cleared). */
+    void clear() { comp_ = 0; }
+
+    /**
+     * Recompute the fold from scratch; O(origLength). Used by tests to
+     * validate the incremental update and after GlobalHistory::clear().
+     */
+    void
+    recompute(const GlobalHistory& h)
+    {
+        comp_ = 0;
+        for (int i = origLength_ - 1; i >= 0; --i) {
+            comp_ = (comp_ << 1) | h[static_cast<size_t>(i)];
+            comp_ ^= comp_ >> compLength_;
+            comp_ &= (1u << compLength_) - 1u;
+        }
+    }
+
+  private:
+    uint32_t comp_ = 0;
+    int origLength_ = 0;
+    int compLength_ = 1;
+    int outPoint_ = 0;
+};
+
+/**
+ * Path history: low-order PC bits of recent branches, as used by the
+ * TAGE index hash to decorrelate branches that share global outcome
+ * history.
+ */
+class PathHistory
+{
+  public:
+    /** @param bits Width of the kept path history (<= 32). */
+    explicit PathHistory(int bits = 16)
+        : bits_(bits)
+    {
+        TAGECON_ASSERT(bits > 0 && bits <= 32, "path history width");
+    }
+
+    /** Shift in one PC bit (conventionally pc bit 0 after alignment). */
+    void
+    push(uint64_t pc)
+    {
+        path_ = ((path_ << 1) | (static_cast<uint32_t>(pc) & 1u)) &
+                ((bits_ >= 32) ? ~0u : ((1u << bits_) - 1u));
+    }
+
+    /** Current path register value. */
+    uint32_t value() const { return path_; }
+
+    /** Clear the register. */
+    void clear() { path_ = 0; }
+
+  private:
+    uint32_t path_ = 0;
+    int bits_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_UTIL_GLOBAL_HISTORY_HPP

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: panic() for internal
+ * invariant violations (bugs in this library), fatal() for user errors
+ * (bad configuration, unusable inputs).
+ */
+
+#ifndef TAGECON_UTIL_LOGGING_HPP
+#define TAGECON_UTIL_LOGGING_HPP
+
+#include <string>
+
+namespace tagecon {
+
+/**
+ * Abort with a message. Call when something happened that should never
+ * happen regardless of what the user does, i.e. an internal bug.
+ *
+ * @param msg Human-readable description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string& msg);
+
+/**
+ * Exit with an error code and a message. Call when the simulation cannot
+ * continue due to a user-level problem (bad configuration, invalid
+ * arguments) rather than a library bug.
+ *
+ * @param msg Human-readable description of the problem.
+ */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string& msg);
+
+/** Assert an invariant; panics with file/line context when violated. */
+#define TAGECON_ASSERT(cond, msg)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::tagecon::panic(std::string(__FILE__) + ":" +                 \
+                             std::to_string(__LINE__) + ": " + (msg));     \
+        }                                                                  \
+    } while (false)
+
+} // namespace tagecon
+
+#endif // TAGECON_UTIL_LOGGING_HPP

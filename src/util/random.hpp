@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random sources.
+ *
+ *  - XorShift128Plus: fast, seedable generator used by the synthetic
+ *    workload generators and by test harnesses.
+ *  - Lfsr16: a tiny 16-bit linear-feedback shift register modelling the
+ *    kind of hardware RNG a real TAGE implementation would use for the
+ *    probabilistic saturation automaton (Sec. 6) and for allocation
+ *    tie-breaking.
+ */
+
+#ifndef TAGECON_UTIL_RANDOM_HPP
+#define TAGECON_UTIL_RANDOM_HPP
+
+#include <cstdint>
+
+namespace tagecon {
+
+/**
+ * xorshift128+ pseudo-random generator. Deterministic for a given seed;
+ * passes the statistical bar needed for workload synthesis while being a
+ * couple of instructions per draw.
+ */
+class XorShift128Plus
+{
+  public:
+    /** Seed the generator; any seed (including 0) is legal. */
+    explicit XorShift128Plus(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform draw in [0, bound); bound must be non-zero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool nextBool(double p);
+
+  private:
+    uint64_t s0_;
+    uint64_t s1_;
+};
+
+/**
+ * 16-bit Fibonacci LFSR (taps 16,15,13,4 — maximal length). Models the
+ * cheap hardware random source used by the modified 3-bit counter
+ * automaton: "the transition to saturated state is only performed
+ * randomly with a small probability" (Sec. 6).
+ */
+class Lfsr16
+{
+  public:
+    /** Seed must be non-zero; a zero seed is replaced by 0xACE1. */
+    explicit Lfsr16(uint16_t seed = 0xACE1u);
+
+    /** Advance one step and return the new register value. */
+    uint16_t next();
+
+    /** Current register value without advancing. */
+    uint16_t value() const { return state_; }
+
+    /**
+     * Advance and report a 1-in-2^log2Denominator event, i.e. true with
+     * probability 1 / (1 << log2_denominator). log2_denominator == 0
+     * always returns true (probability 1).
+     */
+    bool oneIn(unsigned log2_denominator);
+
+  private:
+    uint16_t state_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_UTIL_RANDOM_HPP

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Saturating counter primitives used throughout the predictor code.
+ *
+ * Two flavours are provided:
+ *  - SignedSatCounter: the width-parameterized two's-complement counter
+ *    used by the tagged TAGE components (e.g. 3-bit, range [-4, 3]).
+ *    Its sign encodes the prediction; |2*ctr + 1| encodes the strength,
+ *    which is the quantity the confidence classes of the paper (Sec. 5.2)
+ *    are defined on.
+ *  - UnsignedSatCounter: the classic [0, 2^bits - 1] counter used by the
+ *    bimodal base table and by the JRS confidence estimator baseline.
+ */
+
+#ifndef TAGECON_UTIL_SATURATING_COUNTER_HPP
+#define TAGECON_UTIL_SATURATING_COUNTER_HPP
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+/**
+ * Width-parameterized signed saturating counter.
+ *
+ * The value saturates at [-2^(bits-1), 2^(bits-1) - 1]. The counter
+ * "predicts taken" when its value is >= 0 (i.e. the sign bit is clear),
+ * matching the TAGE convention where an entry's ctr sign provides the
+ * prediction.
+ */
+class SignedSatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits; must be in [1, 15].
+     * @param initial Initial value, clamped to the representable range.
+     */
+    explicit SignedSatCounter(int bits = 3, int initial = 0)
+        : bits_(bits)
+    {
+        TAGECON_ASSERT(bits >= 1 && bits <= 15,
+                       "signed counter width out of range");
+        set(initial);
+    }
+
+    /** Smallest representable value (e.g. -4 for 3 bits). */
+    int min() const { return -(1 << (bits_ - 1)); }
+
+    /** Largest representable value (e.g. +3 for 3 bits). */
+    int max() const { return (1 << (bits_ - 1)) - 1; }
+
+    /** Current value. */
+    int value() const { return value_; }
+
+    /** Counter width in bits. */
+    int bits() const { return bits_; }
+
+    /** Set the value, clamping to the representable range. */
+    void
+    set(int v)
+    {
+        value_ = static_cast<int16_t>(v < min() ? min()
+                                                : (v > max() ? max() : v));
+    }
+
+    /** True when the counter predicts taken (value >= 0). */
+    bool taken() const { return value_ >= 0; }
+
+    /**
+     * Prediction strength |2*ctr + 1|: 1 for a weak counter, up to
+     * 2^bits - 1 for a saturated counter. The paper's tagged-component
+     * classes Wtag/NWtag/NStag/Stag correspond to strengths 1/3/5/7 of a
+     * 3-bit counter.
+     */
+    int
+    strength() const
+    {
+        const int s = 2 * value_ + 1;
+        return s < 0 ? -s : s;
+    }
+
+    /** True when the counter is weak, i.e. strength() == 1. */
+    bool weak() const { return value_ == 0 || value_ == -1; }
+
+    /** True when the counter is saturated at either rail. */
+    bool saturated() const { return value_ == min() || value_ == max(); }
+
+    /**
+     * Standard saturating update toward an outcome: increments on taken,
+     * decrements on not-taken.
+     */
+    void
+    update(bool outcome_taken)
+    {
+        if (outcome_taken) {
+            if (value_ < max())
+                ++value_;
+        } else {
+            if (value_ > min())
+                --value_;
+        }
+    }
+
+    /**
+     * True iff update(outcome_taken) would move the counter into a
+     * saturated state from a non-saturated one. The probabilistic
+     * automaton of Sec. 6 gates exactly this transition.
+     */
+    bool
+    updateWouldSaturate(bool outcome_taken) const
+    {
+        if (outcome_taken)
+            return value_ == max() - 1;
+        return value_ == min() + 1;
+    }
+
+    bool operator==(const SignedSatCounter& o) const = default;
+
+  private:
+    int16_t value_ = 0;
+    int bits_;
+};
+
+/**
+ * Width-parameterized unsigned saturating counter in [0, 2^bits - 1].
+ * Predicts taken when in the upper half of its range.
+ */
+class UnsignedSatCounter
+{
+  public:
+    /**
+     * @param bits Counter width in bits; must be in [1, 16].
+     * @param initial Initial value, clamped to the representable range.
+     */
+    explicit UnsignedSatCounter(int bits = 2, unsigned initial = 0)
+        : bits_(bits)
+    {
+        TAGECON_ASSERT(bits >= 1 && bits <= 16,
+                       "unsigned counter width out of range");
+        set(initial);
+    }
+
+    /** Largest representable value. */
+    unsigned max() const { return (1u << bits_) - 1; }
+
+    /** Current value. */
+    unsigned value() const { return value_; }
+
+    /** Counter width in bits. */
+    int bits() const { return bits_; }
+
+    /** Set the value, clamping to the representable range. */
+    void
+    set(unsigned v)
+    {
+        value_ = static_cast<uint16_t>(v > max() ? max() : v);
+    }
+
+    /** True when the counter predicts taken (upper half of the range). */
+    bool taken() const { return value_ >= (1u << (bits_ - 1)); }
+
+    /**
+     * True when the counter is weak: at either of the two middle values
+     * (e.g. 1 or 2 for a 2-bit counter). The paper's low-conf-bim class
+     * is exactly "bimodal provider and weak 2-bit counter".
+     */
+    bool
+    weak() const
+    {
+        const unsigned mid = 1u << (bits_ - 1);
+        return value_ == mid || value_ == mid - 1;
+    }
+
+    /** True when saturated at either rail. */
+    bool saturated() const { return value_ == 0 || value_ == max(); }
+
+    /** Saturating increment. */
+    void
+    increment()
+    {
+        if (value_ < max())
+            ++value_;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Saturating update toward an outcome. */
+    void
+    update(bool outcome_taken)
+    {
+        if (outcome_taken)
+            increment();
+        else
+            decrement();
+    }
+
+    /** Reset to zero (used by JRS on a misprediction). */
+    void reset() { value_ = 0; }
+
+    /** Halve the value via a one-bit right shift (graceful aging). */
+    void shiftDown() { value_ >>= 1; }
+
+    bool operator==(const UnsignedSatCounter& o) const = default;
+
+  private:
+    uint16_t value_ = 0;
+    int bits_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_UTIL_SATURATING_COUNTER_HPP

@@ -1,0 +1,104 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = x;
+        max_ = x;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::clear()
+{
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    sum_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    TAGECON_ASSERT(hi > lo, "histogram range is empty");
+    TAGECON_ASSERT(buckets >= 1, "histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<size_t>((x - lo_) / width_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+double
+Histogram::bucketLow(size_t i) const
+{
+    return lo_ + static_cast<double>(i) * width_;
+}
+
+std::string
+Histogram::render() const
+{
+    std::ostringstream os;
+    if (underflow_)
+        os << "  < " << lo_ << ": " << underflow_ << "\n";
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        os << "  [" << bucketLow(i) << ", " << bucketLow(i) + width_
+           << "): " << counts_[i] << "\n";
+    }
+    if (overflow_)
+        os << "  >= " << hi_ << ": " << overflow_ << "\n";
+    return os.str();
+}
+
+} // namespace tagecon

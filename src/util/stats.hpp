@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Generic statistics accumulators: running mean/variance (Welford),
+ * simple ratio counters and fixed-bucket histograms. Predictor-specific
+ * statistics (MPKI, per-class coverage) live in core/ and sim/ on top of
+ * these.
+ */
+
+#ifndef TAGECON_UTIL_STATS_HPP
+#define TAGECON_UTIL_STATS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tagecon {
+
+/**
+ * Numerically stable running mean / variance / min / max accumulator
+ * (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples folded in so far. */
+    uint64_t count() const { return n_; }
+
+    /** Mean of the samples; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Standard deviation (sqrt of population variance). */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Reset to the empty state. */
+    void clear();
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Count of events out of a number of trials, with convenience rate
+ * accessors in the units the paper uses (per-kilo).
+ */
+class RatioStat
+{
+  public:
+    /** Record one trial, an event iff @p event. */
+    void
+    record(bool event)
+    {
+        ++trials_;
+        if (event)
+            ++events_;
+    }
+
+    /** Record @p t trials of which @p e were events. */
+    void
+    recordMany(uint64_t e, uint64_t t)
+    {
+        events_ += e;
+        trials_ += t;
+    }
+
+    uint64_t events() const { return events_; }
+    uint64_t trials() const { return trials_; }
+
+    /** events / trials; 0 when no trials. */
+    double
+    rate() const
+    {
+        return trials_ ? static_cast<double>(events_) /
+                             static_cast<double>(trials_)
+                       : 0.0;
+    }
+
+    /** Rate in events per kilo-trial (the paper's MKP when the events
+     *  are mispredictions and the trials predictions). */
+    double perKilo() const { return rate() * 1000.0; }
+
+    /** Reset to the empty state. */
+    void
+    clear()
+    {
+        events_ = 0;
+        trials_ = 0;
+    }
+
+  private:
+    uint64_t events_ = 0;
+    uint64_t trials_ = 0;
+};
+
+/**
+ * Fixed-bucket histogram over [lo, hi) with uniform bucket width plus
+ * underflow/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the first bucket.
+     * @param hi Upper bound of the last bucket; must exceed lo.
+     * @param buckets Number of uniform buckets; must be >= 1.
+     */
+    Histogram(double lo, double hi, size_t buckets);
+
+    /** Fold a sample into the histogram. */
+    void add(double x);
+
+    /** Count in the i-th bucket. */
+    uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+
+    /** Count of samples below the range. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Count of samples at or above the range. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Total number of samples. */
+    uint64_t total() const { return total_; }
+
+    /** Number of uniform buckets. */
+    size_t buckets() const { return counts_.size(); }
+
+    /** Lower edge of bucket i. */
+    double bucketLow(size_t i) const;
+
+    /** Render a compact textual summary, one bucket per line. */
+    std::string render() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_UTIL_STATS_HPP

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the Sec. 6.2 adaptive saturation-probability controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_probability.hpp"
+
+namespace tagecon {
+namespace {
+
+AdaptiveProbabilityController::Config
+smallEpochConfig()
+{
+    AdaptiveProbabilityController::Config cfg;
+    cfg.epochLength = 1000;
+    cfg.initialLog2 = 7;
+    cfg.minLog2 = 0;
+    cfg.maxLog2 = 10;
+    cfg.targetMkp = 10.0;
+    return cfg;
+}
+
+/** Feed one epoch with the given high-class misprediction rate. */
+void
+feedEpoch(AdaptiveProbabilityController& c, double high_mkp,
+          double high_share = 1.0)
+{
+    const auto n = c.config().epochLength;
+    uint64_t high = 0;
+    uint64_t high_miss = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        const bool is_high =
+            static_cast<double>(i % 100) < high_share * 100.0;
+        if (is_high) {
+            ++high;
+            const bool miss =
+                static_cast<double>(high_miss) * 1000.0 <
+                high_mkp * static_cast<double>(high);
+            if (miss)
+                ++high_miss;
+            c.record(ConfidenceLevel::High, miss);
+        } else {
+            c.record(ConfidenceLevel::Low, true);
+        }
+    }
+}
+
+TEST(AdaptiveController, StartsAtInitialProbability)
+{
+    AdaptiveProbabilityController c(smallEpochConfig());
+    EXPECT_EQ(c.log2Prob(), 7u);
+    EXPECT_EQ(c.epochs(), 0u);
+}
+
+TEST(AdaptiveController, RaisesSelectivityWhenOverTarget)
+{
+    AdaptiveProbabilityController c(smallEpochConfig());
+    feedEpoch(c, /*high_mkp=*/50.0);
+    EXPECT_EQ(c.epochs(), 1u);
+    EXPECT_EQ(c.log2Prob(), 8u); // p halved
+}
+
+TEST(AdaptiveController, RelaxesWhenComfortablyUnderTarget)
+{
+    AdaptiveProbabilityController c(smallEpochConfig());
+    feedEpoch(c, /*high_mkp=*/1.0); // far under 10 MKP * 0.5
+    EXPECT_EQ(c.log2Prob(), 6u); // p doubled
+}
+
+TEST(AdaptiveController, HoldsInsideHysteresisBand)
+{
+    AdaptiveProbabilityController c(smallEpochConfig());
+    feedEpoch(c, /*high_mkp=*/7.0); // between target/2 and target
+    EXPECT_EQ(c.log2Prob(), 7u);
+}
+
+TEST(AdaptiveController, ClampsAtMax)
+{
+    AdaptiveProbabilityController c(smallEpochConfig());
+    for (int i = 0; i < 20; ++i)
+        feedEpoch(c, 300.0);
+    EXPECT_EQ(c.log2Prob(), 10u);
+}
+
+TEST(AdaptiveController, ClampsAtMin)
+{
+    AdaptiveProbabilityController c(smallEpochConfig());
+    for (int i = 0; i < 20; ++i)
+        feedEpoch(c, 0.0);
+    EXPECT_EQ(c.log2Prob(), 0u);
+}
+
+TEST(AdaptiveController, RecordSignalsEpochBoundary)
+{
+    AdaptiveProbabilityController c(smallEpochConfig());
+    for (uint64_t i = 0; i < c.config().epochLength - 1; ++i)
+        EXPECT_FALSE(c.record(ConfidenceLevel::High, false));
+    EXPECT_TRUE(c.record(ConfidenceLevel::High, false));
+    EXPECT_EQ(c.epochs(), 1u);
+}
+
+TEST(AdaptiveController, EmptyHighClassHoldsProbability)
+{
+    AdaptiveProbabilityController c(smallEpochConfig());
+    for (uint64_t i = 0; i < c.config().epochLength; ++i)
+        c.record(ConfidenceLevel::Low, true);
+    EXPECT_EQ(c.epochs(), 1u);
+    EXPECT_EQ(c.log2Prob(), 7u);
+}
+
+TEST(AdaptiveController, ConvergesFromBothSides)
+{
+    // Start very permissive, feed rates that depend on p: model a
+    // world where rate = 40 MKP at p=1 and halves per log2 step.
+    AdaptiveProbabilityController::Config cfg = smallEpochConfig();
+    cfg.initialLog2 = 0;
+    AdaptiveProbabilityController c(cfg);
+    for (int i = 0; i < 30; ++i) {
+        const double rate = 40.0 / (1 << std::min(c.log2Prob(), 5u));
+        feedEpoch(c, rate);
+    }
+    // Equilibrium: rate(log2=2) = 10 (not over), rate(1) = 20 (over).
+    EXPECT_GE(c.log2Prob(), 2u);
+    EXPECT_LE(c.log2Prob(), 3u);
+}
+
+TEST(AdaptiveController, ResetRestoresInitialState)
+{
+    AdaptiveProbabilityController c(smallEpochConfig());
+    feedEpoch(c, 100.0);
+    EXPECT_NE(c.log2Prob(), 7u);
+    c.reset();
+    EXPECT_EQ(c.log2Prob(), 7u);
+    EXPECT_EQ(c.epochs(), 0u);
+    EXPECT_EQ(c.epochHighPredictions(), 0u);
+}
+
+TEST(AdaptiveController, RejectsBadConfig)
+{
+    AdaptiveProbabilityController::Config bad = smallEpochConfig();
+    bad.minLog2 = 8;
+    bad.maxLog2 = 4;
+    EXPECT_EXIT(AdaptiveProbabilityController{bad},
+                ::testing::ExitedWithCode(1), "minLog2");
+
+    AdaptiveProbabilityController::Config bad2 = smallEpochConfig();
+    bad2.epochLength = 0;
+    EXPECT_EXIT(AdaptiveProbabilityController{bad2},
+                ::testing::ExitedWithCode(1), "epochLength");
+
+    AdaptiveProbabilityController::Config bad3 = smallEpochConfig();
+    bad3.initialLog2 = 20;
+    EXPECT_EXIT(AdaptiveProbabilityController{bad3},
+                ::testing::ExitedWithCode(1), "initialLog2");
+
+    AdaptiveProbabilityController::Config bad4 = smallEpochConfig();
+    bad4.targetMkp = 0.0;
+    EXPECT_EXIT(AdaptiveProbabilityController{bad4},
+                ::testing::ExitedWithCode(1), "targetMkp");
+}
+
+} // namespace
+} // namespace tagecon

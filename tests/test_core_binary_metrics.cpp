@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the Grunwald et al. binary confidence metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/binary_metrics.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(BinaryMetrics, EmptyIsZero)
+{
+    BinaryConfidenceMetrics m;
+    EXPECT_EQ(m.total(), 0u);
+    EXPECT_EQ(m.sens(), 0.0);
+    EXPECT_EQ(m.pvp(), 0.0);
+    EXPECT_EQ(m.spec(), 0.0);
+    EXPECT_EQ(m.pvn(), 0.0);
+}
+
+TEST(BinaryMetrics, DefinitionsOnCraftedConfusion)
+{
+    BinaryConfidenceMetrics m;
+    // 60 high-correct, 10 high-wrong, 10 low-correct, 20 low-wrong.
+    for (int i = 0; i < 60; ++i)
+        m.record(true, true);
+    for (int i = 0; i < 10; ++i)
+        m.record(true, false);
+    for (int i = 0; i < 10; ++i)
+        m.record(false, true);
+    for (int i = 0; i < 20; ++i)
+        m.record(false, false);
+
+    // SENS: correct predictions classified high = 60 / 70.
+    EXPECT_NEAR(m.sens(), 60.0 / 70.0, 1e-12);
+    // PVP: high-confidence predictions that are correct = 60 / 70.
+    EXPECT_NEAR(m.pvp(), 60.0 / 70.0, 1e-12);
+    // SPEC: incorrect predictions classified low = 20 / 30.
+    EXPECT_NEAR(m.spec(), 20.0 / 30.0, 1e-12);
+    // PVN: low-confidence predictions that are incorrect = 20 / 30.
+    EXPECT_NEAR(m.pvn(), 20.0 / 30.0, 1e-12);
+    EXPECT_NEAR(m.highCoverage(), 70.0 / 100.0, 1e-12);
+    EXPECT_EQ(m.total(), 100u);
+}
+
+TEST(BinaryMetrics, PerfectEstimator)
+{
+    BinaryConfidenceMetrics m;
+    for (int i = 0; i < 90; ++i)
+        m.record(true, true);
+    for (int i = 0; i < 10; ++i)
+        m.record(false, false);
+    EXPECT_EQ(m.sens(), 1.0);
+    EXPECT_EQ(m.pvp(), 1.0);
+    EXPECT_EQ(m.spec(), 1.0);
+    EXPECT_EQ(m.pvn(), 1.0);
+}
+
+TEST(BinaryMetrics, MergeAccumulates)
+{
+    BinaryConfidenceMetrics a;
+    BinaryConfidenceMetrics b;
+    a.record(true, true);
+    b.record(false, false);
+    b.record(true, false);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.highCorrect(), 1u);
+    EXPECT_EQ(a.highWrong(), 1u);
+    EXPECT_EQ(a.lowWrong(), 1u);
+}
+
+TEST(BinaryMetrics, AllHighDegenerate)
+{
+    BinaryConfidenceMetrics m;
+    m.record(true, true);
+    m.record(true, false);
+    EXPECT_EQ(m.pvn(), 0.0);  // no low predictions
+    EXPECT_EQ(m.spec(), 0.0); // no incorrect graded low
+    EXPECT_EQ(m.highCoverage(), 1.0);
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the Pcov / MPcov / MPrate / MPKI accumulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/class_stats.hpp"
+#include "util/random.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(ClassStats, EmptyIsAllZero)
+{
+    ClassStats s;
+    EXPECT_EQ(s.totalPredictions(), 0u);
+    EXPECT_EQ(s.totalMispredictions(), 0u);
+    EXPECT_EQ(s.instructions(), 0u);
+    for (const auto c : kAllPredictionClasses) {
+        EXPECT_EQ(s.pcov(c), 0.0);
+        EXPECT_EQ(s.mpcov(c), 0.0);
+        EXPECT_EQ(s.mprateMkp(c), 0.0);
+    }
+    EXPECT_EQ(s.mpki(), 0.0);
+    EXPECT_EQ(s.totalMkp(), 0.0);
+}
+
+TEST(ClassStats, SingleClassMath)
+{
+    ClassStats s;
+    for (int i = 0; i < 1000; ++i)
+        s.record(PredictionClass::Stag, i < 50, 6);
+    EXPECT_EQ(s.totalPredictions(), 1000u);
+    EXPECT_EQ(s.totalMispredictions(), 50u);
+    EXPECT_EQ(s.instructions(), 6000u);
+    EXPECT_DOUBLE_EQ(s.pcov(PredictionClass::Stag), 1.0);
+    EXPECT_DOUBLE_EQ(s.mpcov(PredictionClass::Stag), 1.0);
+    EXPECT_DOUBLE_EQ(s.mprateMkp(PredictionClass::Stag), 50.0);
+    EXPECT_NEAR(s.mpki(), 50.0 / 6.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.totalMkp(), 50.0);
+}
+
+TEST(ClassStats, TwoClassCoverage)
+{
+    ClassStats s;
+    for (int i = 0; i < 750; ++i)
+        s.record(PredictionClass::HighConfBim, false, 1);
+    for (int i = 0; i < 250; ++i)
+        s.record(PredictionClass::Wtag, i < 100, 1);
+    EXPECT_DOUBLE_EQ(s.pcov(PredictionClass::HighConfBim), 0.75);
+    EXPECT_DOUBLE_EQ(s.pcov(PredictionClass::Wtag), 0.25);
+    EXPECT_DOUBLE_EQ(s.mpcov(PredictionClass::Wtag), 1.0);
+    EXPECT_DOUBLE_EQ(s.mprateMkp(PredictionClass::Wtag), 400.0);
+}
+
+TEST(ClassStats, LevelAggregation)
+{
+    ClassStats s;
+    s.record(PredictionClass::HighConfBim, false, 1);
+    s.record(PredictionClass::Stag, true, 1);
+    s.record(PredictionClass::NStag, true, 1);
+    s.record(PredictionClass::MediumConfBim, false, 1);
+    s.record(PredictionClass::Wtag, true, 1);
+    s.record(PredictionClass::NWtag, false, 1);
+    s.record(PredictionClass::LowConfBim, false, 1);
+
+    EXPECT_EQ(s.predictions(ConfidenceLevel::High), 2u);
+    EXPECT_EQ(s.mispredictions(ConfidenceLevel::High), 1u);
+    EXPECT_EQ(s.predictions(ConfidenceLevel::Medium), 2u);
+    EXPECT_EQ(s.mispredictions(ConfidenceLevel::Medium), 1u);
+    EXPECT_EQ(s.predictions(ConfidenceLevel::Low), 3u);
+    EXPECT_EQ(s.mispredictions(ConfidenceLevel::Low), 1u);
+
+    // Level coverages partition the stream.
+    EXPECT_DOUBLE_EQ(s.pcov(ConfidenceLevel::High) +
+                         s.pcov(ConfidenceLevel::Medium) +
+                         s.pcov(ConfidenceLevel::Low),
+                     1.0);
+}
+
+TEST(ClassStats, MergeAddsComponentwise)
+{
+    ClassStats a;
+    ClassStats b;
+    a.record(PredictionClass::Stag, true, 5);
+    a.record(PredictionClass::Wtag, false, 5);
+    b.record(PredictionClass::Stag, false, 7);
+    a.merge(b);
+    EXPECT_EQ(a.totalPredictions(), 3u);
+    EXPECT_EQ(a.predictions(PredictionClass::Stag), 2u);
+    EXPECT_EQ(a.mispredictions(PredictionClass::Stag), 1u);
+    EXPECT_EQ(a.instructions(), 17u);
+}
+
+TEST(ClassStats, MpkiContributionsSumToMpki)
+{
+    ClassStats s;
+    XorShift128Plus rng(4);
+    for (int i = 0; i < 5000; ++i) {
+        const auto c = kAllPredictionClasses[rng.next() % 7];
+        s.record(c, rng.nextBool(0.1), 1 + rng.next() % 9);
+    }
+    double sum = 0.0;
+    for (const auto c : kAllPredictionClasses)
+        sum += s.mpkiContribution(c);
+    EXPECT_NEAR(sum, s.mpki(), 1e-9);
+}
+
+TEST(ClassStats, PcovSumsToOne)
+{
+    ClassStats s;
+    XorShift128Plus rng(6);
+    for (int i = 0; i < 3000; ++i) {
+        s.record(kAllPredictionClasses[rng.next() % 7],
+                 rng.nextBool(0.2), 1);
+    }
+    double sum = 0.0;
+    for (const auto c : kAllPredictionClasses)
+        sum += s.pcov(c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace tagecon

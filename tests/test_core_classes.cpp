@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the 7-class grading (ConfidenceObserver) and the 3-level
+ * mapping — the paper's contribution, so every classification rule of
+ * Sec. 5 / 6.1 is pinned down here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "core/confidence_observer.hpp"
+
+namespace tagecon {
+namespace {
+
+/** A tagged-provider prediction with a given counter value (3-bit). */
+TagePrediction
+taggedPrediction(int ctr)
+{
+    TagePrediction p;
+    p.providerIsTagged = true;
+    p.providerTable = 3;
+    p.providerCtr = ctr;
+    const int s = 2 * ctr + 1;
+    p.providerStrength = s < 0 ? -s : s;
+    p.providerSaturated = ctr == 3 || ctr == -4;
+    p.providerWeak = ctr == 0 || ctr == -1;
+    p.providerPredTaken = ctr >= 0;
+    p.taken = ctr >= 0;
+    return p;
+}
+
+/** A bimodal-provider prediction. */
+TagePrediction
+bimodalPrediction(bool weak, bool taken = true)
+{
+    TagePrediction p;
+    p.providerIsTagged = false;
+    p.providerTable = 0;
+    p.bimodalWeak = weak;
+    p.bimodalTaken = taken;
+    p.taken = taken;
+    return p;
+}
+
+TEST(ConfidenceLevelMapping, MatchesSection61)
+{
+    EXPECT_EQ(confidenceLevel(PredictionClass::HighConfBim),
+              ConfidenceLevel::High);
+    EXPECT_EQ(confidenceLevel(PredictionClass::Stag),
+              ConfidenceLevel::High);
+    EXPECT_EQ(confidenceLevel(PredictionClass::MediumConfBim),
+              ConfidenceLevel::Medium);
+    EXPECT_EQ(confidenceLevel(PredictionClass::NStag),
+              ConfidenceLevel::Medium);
+    EXPECT_EQ(confidenceLevel(PredictionClass::LowConfBim),
+              ConfidenceLevel::Low);
+    EXPECT_EQ(confidenceLevel(PredictionClass::NWtag),
+              ConfidenceLevel::Low);
+    EXPECT_EQ(confidenceLevel(PredictionClass::Wtag),
+              ConfidenceLevel::Low);
+}
+
+TEST(PredictionClassNames, MatchPaperLegend)
+{
+    EXPECT_EQ(predictionClassName(PredictionClass::HighConfBim),
+              "high-conf-bim");
+    EXPECT_EQ(predictionClassName(PredictionClass::LowConfBim),
+              "low-conf-bim");
+    EXPECT_EQ(predictionClassName(PredictionClass::MediumConfBim),
+              "medium-conf-bim");
+    EXPECT_EQ(predictionClassName(PredictionClass::Stag), "Stag");
+    EXPECT_EQ(predictionClassName(PredictionClass::NStag), "NStag");
+    EXPECT_EQ(predictionClassName(PredictionClass::NWtag), "NWtag");
+    EXPECT_EQ(predictionClassName(PredictionClass::Wtag), "Wtag");
+    EXPECT_EQ(confidenceLevelName(ConfidenceLevel::High), "high");
+    EXPECT_EQ(confidenceLevelName(ConfidenceLevel::Medium), "medium");
+    EXPECT_EQ(confidenceLevelName(ConfidenceLevel::Low), "low");
+}
+
+TEST(ConfidenceObserver, TaggedClassesBy2CtrPlus1)
+{
+    // Sec. 5.2: |2*ctr+1| = 1 -> Wtag, 3 -> NWtag, 5 -> NStag,
+    // 7 -> Stag, over the whole 3-bit counter range.
+    ConfidenceObserver obs;
+    const std::pair<int, PredictionClass> cases[] = {
+        {0, PredictionClass::Wtag},   {-1, PredictionClass::Wtag},
+        {1, PredictionClass::NWtag},  {-2, PredictionClass::NWtag},
+        {2, PredictionClass::NStag},  {-3, PredictionClass::NStag},
+        {3, PredictionClass::Stag},   {-4, PredictionClass::Stag},
+    };
+    for (const auto& [ctr, expected] : cases) {
+        EXPECT_EQ(obs.classify(taggedPrediction(ctr)), expected)
+            << "ctr=" << ctr;
+    }
+}
+
+TEST(ConfidenceObserver, WiderCountersClassifyByMargin)
+{
+    // 4-bit counter ablation: only the true saturated values are
+    // Stag; in-between strengths are NStag.
+    ConfidenceObserver obs;
+    TagePrediction p;
+    p.providerIsTagged = true;
+    p.providerStrength = 9; // 4-bit ctr = 4: neither weak nor saturated
+    p.providerSaturated = false;
+    EXPECT_EQ(obs.classify(p), PredictionClass::NStag);
+    p.providerStrength = 15;
+    p.providerSaturated = true;
+    EXPECT_EQ(obs.classify(p), PredictionClass::Stag);
+}
+
+TEST(ConfidenceObserver, BimodalWeakIsLowConf)
+{
+    ConfidenceObserver obs;
+    EXPECT_EQ(obs.classify(bimodalPrediction(/*weak=*/true)),
+              PredictionClass::LowConfBim);
+}
+
+TEST(ConfidenceObserver, BimodalStrongIsHighConfInitially)
+{
+    ConfidenceObserver obs;
+    EXPECT_EQ(obs.classify(bimodalPrediction(false)),
+              PredictionClass::HighConfBim);
+}
+
+TEST(ConfidenceObserver, BimMispredictionOpensBurstWindow)
+{
+    ConfidenceObserver obs(/*bim_window=*/8);
+    // A BIM misprediction...
+    TagePrediction p = bimodalPrediction(false, /*taken=*/true);
+    obs.onResolve(p, /*actual=*/false);
+    // ...grades the next 8 BIM predictions medium confidence.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(obs.classify(bimodalPrediction(false)),
+                  PredictionClass::MediumConfBim)
+            << "i=" << i;
+        obs.onResolve(bimodalPrediction(false, true), true);
+    }
+    // The 9th is high confidence again.
+    EXPECT_EQ(obs.classify(bimodalPrediction(false)),
+              PredictionClass::HighConfBim);
+}
+
+TEST(ConfidenceObserver, WeakCounterTakesPriorityInsideWindow)
+{
+    // Inside the burst window, a weak bimodal counter still grades
+    // low confidence (low-conf-bim subsumes medium-conf-bim).
+    ConfidenceObserver obs;
+    obs.onResolve(bimodalPrediction(false, true), false); // BIM miss
+    EXPECT_EQ(obs.classify(bimodalPrediction(/*weak=*/true)),
+              PredictionClass::LowConfBim);
+}
+
+TEST(ConfidenceObserver, TaggedPredictionsDoNotAdvanceWindow)
+{
+    ConfidenceObserver obs(8);
+    obs.onResolve(bimodalPrediction(false, true), false); // BIM miss
+    // Interleave many *tagged* resolutions: they must neither close
+    // nor advance the BIM burst window.
+    for (int i = 0; i < 50; ++i)
+        obs.onResolve(taggedPrediction(3), true);
+    EXPECT_EQ(obs.classify(bimodalPrediction(false)),
+              PredictionClass::MediumConfBim);
+}
+
+TEST(ConfidenceObserver, CorrectBimPredictionsCloseWindowGradually)
+{
+    ConfidenceObserver obs(3);
+    obs.onResolve(bimodalPrediction(false, true), false); // miss
+    EXPECT_EQ(obs.sinceBimMiss(), 0);
+    obs.onResolve(bimodalPrediction(false, true), true);
+    obs.onResolve(bimodalPrediction(false, true), true);
+    EXPECT_EQ(obs.sinceBimMiss(), 2);
+    EXPECT_EQ(obs.classify(bimodalPrediction(false)),
+              PredictionClass::MediumConfBim);
+    obs.onResolve(bimodalPrediction(false, true), true);
+    EXPECT_EQ(obs.classify(bimodalPrediction(false)),
+              PredictionClass::HighConfBim);
+}
+
+TEST(ConfidenceObserver, RepeatedMissesKeepWindowOpen)
+{
+    ConfidenceObserver obs(4);
+    obs.onResolve(bimodalPrediction(false, true), false);
+    obs.onResolve(bimodalPrediction(false, true), true);
+    obs.onResolve(bimodalPrediction(false, true), false); // miss again
+    EXPECT_EQ(obs.sinceBimMiss(), 0);
+}
+
+TEST(ConfidenceObserver, StartsOutsideWindow)
+{
+    ConfidenceObserver obs(8);
+    EXPECT_EQ(obs.classify(bimodalPrediction(false)),
+              PredictionClass::HighConfBim);
+}
+
+TEST(ConfidenceObserver, ResetForgetsBurst)
+{
+    ConfidenceObserver obs(8);
+    obs.onResolve(bimodalPrediction(false, true), false);
+    obs.reset();
+    EXPECT_EQ(obs.classify(bimodalPrediction(false)),
+              PredictionClass::HighConfBim);
+}
+
+TEST(ConfidenceObserver, ClassifyLevelComposes)
+{
+    ConfidenceObserver obs;
+    EXPECT_EQ(obs.classifyLevel(taggedPrediction(3)),
+              ConfidenceLevel::High);
+    EXPECT_EQ(obs.classifyLevel(taggedPrediction(0)),
+              ConfidenceLevel::Low);
+    EXPECT_EQ(obs.classifyLevel(taggedPrediction(2)),
+              ConfidenceLevel::Medium);
+}
+
+TEST(PredictionClassList, CoversAllSeven)
+{
+    EXPECT_EQ(kAllPredictionClasses.size(), kNumPredictionClasses);
+    std::set<PredictionClass> seen(kAllPredictionClasses.begin(),
+                                   kAllPredictionClasses.end());
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the ConfidentTagePredictor facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/confident_tage.hpp"
+#include "trace/profiles.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(ConfidentTage, GradesMatchManualPipeline)
+{
+    // The facade must produce exactly the same predictions, classes
+    // and statistics as manually wiring the three components.
+    const TageConfig cfg =
+        TageConfig::small16K().withProbabilisticSaturation(7);
+    ConfidentTagePredictor facade(cfg);
+    TagePredictor predictor(cfg);
+    ConfidenceObserver observer;
+    ClassStats manual;
+
+    SyntheticTrace trace = makeTrace("MM-2", 30000);
+    BranchRecord rec;
+    while (trace.next(rec)) {
+        const GradedPrediction g = facade.predict(rec.pc);
+        const TagePrediction p = predictor.predict(rec.pc);
+        ASSERT_EQ(g.taken, p.taken);
+        ASSERT_EQ(g.cls, observer.classify(p));
+        ASSERT_EQ(g.level, confidenceLevel(g.cls));
+
+        const uint64_t instr = uint64_t{rec.instructionsBefore} + 1;
+        manual.record(g.cls, p.taken != rec.taken, instr);
+        observer.onResolve(p, rec.taken);
+        predictor.update(rec.pc, p, rec.taken);
+        facade.update(rec.pc, g, rec.taken, instr);
+    }
+
+    EXPECT_EQ(facade.stats().totalPredictions(),
+              manual.totalPredictions());
+    EXPECT_EQ(facade.stats().totalMispredictions(),
+              manual.totalMispredictions());
+    for (const auto c : kAllPredictionClasses) {
+        EXPECT_EQ(facade.stats().predictions(c), manual.predictions(c));
+        EXPECT_EQ(facade.stats().mispredictions(c),
+                  manual.mispredictions(c));
+    }
+}
+
+TEST(ConfidentTage, AdaptiveRequiresProbabilisticConfig)
+{
+    ConfidentTagePredictor ctp(TageConfig::small16K());
+    EXPECT_EXIT(ctp.enableAdaptiveProbability(),
+                ::testing::ExitedWithCode(1),
+                "probabilisticSaturation");
+}
+
+TEST(ConfidentTage, AdaptiveControllerDrivesPredictor)
+{
+    ConfidentTagePredictor ctp(
+        TageConfig::small16K().withProbabilisticSaturation(7));
+    AdaptiveProbabilityController::Config acfg;
+    acfg.epochLength = 8192;
+    ctp.enableAdaptiveProbability(acfg);
+    ASSERT_TRUE(ctp.controller().has_value());
+
+    SyntheticTrace trace = makeTrace("300.twolf", 120000);
+    BranchRecord rec;
+    while (trace.next(rec)) {
+        const GradedPrediction g = ctp.predict(rec.pc);
+        ctp.update(rec.pc, g, rec.taken);
+    }
+    // Controller ran epochs and predictor follows its probability.
+    EXPECT_GT(ctp.controller()->epochs(), 0u);
+    EXPECT_EQ(ctp.predictor().satLog2Prob(),
+              ctp.controller()->log2Prob());
+}
+
+TEST(ConfidentTage, StorageIsPredictorOnly)
+{
+    const TageConfig cfg = TageConfig::medium64K();
+    ConfidentTagePredictor ctp(cfg);
+    EXPECT_EQ(ctp.storageBits(), cfg.storageBits());
+}
+
+TEST(ConfidentTage, ResetClearsEverything)
+{
+    ConfidentTagePredictor ctp(
+        TageConfig::small16K().withProbabilisticSaturation(7));
+    SyntheticTrace trace = makeTrace("FP-1", 5000);
+    BranchRecord rec;
+    while (trace.next(rec)) {
+        const GradedPrediction g = ctp.predict(rec.pc);
+        ctp.update(rec.pc, g, rec.taken);
+    }
+    EXPECT_GT(ctp.stats().totalPredictions(), 0u);
+    ctp.reset();
+    EXPECT_EQ(ctp.stats().totalPredictions(), 0u);
+    EXPECT_EQ(ctp.predictor().updates(), 0u);
+}
+
+TEST(ConfidentTage, ReplayIsDeterministic)
+{
+    auto run = [] {
+        ConfidentTagePredictor ctp(
+            TageConfig::small16K().withProbabilisticSaturation(7));
+        SyntheticTrace trace = makeTrace("INT-2", 20000);
+        BranchRecord rec;
+        while (trace.next(rec)) {
+            const GradedPrediction g = ctp.predict(rec.pc);
+            ctp.update(rec.pc, g, rec.taken);
+        }
+        return ctp.stats().totalMispredictions();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the simulation driver and aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace tagecon {
+namespace {
+
+RunConfig
+smallRun()
+{
+    RunConfig rc;
+    rc.predictor = TageConfig::small16K();
+    return rc;
+}
+
+TEST(RunTrace, CountsMatchTraceLength)
+{
+    SyntheticTrace t = makeTrace("FP-1", 20000);
+    const RunResult r = runTrace(t, smallRun());
+    EXPECT_EQ(r.stats.totalPredictions(), 20000u);
+    EXPECT_EQ(r.traceName, "FP-1");
+    EXPECT_EQ(r.configName, "16K");
+    EXPECT_GE(r.stats.instructions(), 20000u);
+}
+
+TEST(RunTrace, IsDeterministic)
+{
+    SyntheticTrace t1 = makeTrace("MM-1", 30000);
+    SyntheticTrace t2 = makeTrace("MM-1", 30000);
+    const RunResult a = runTrace(t1, smallRun());
+    const RunResult b = runTrace(t2, smallRun());
+    EXPECT_EQ(a.stats.totalMispredictions(),
+              b.stats.totalMispredictions());
+    for (const auto c : kAllPredictionClasses) {
+        EXPECT_EQ(a.stats.predictions(c), b.stats.predictions(c));
+        EXPECT_EQ(a.stats.mispredictions(c), b.stats.mispredictions(c));
+    }
+}
+
+TEST(RunTrace, AdaptiveRequiresProbabilisticSaturation)
+{
+    SyntheticTrace t = makeTrace("FP-1", 100);
+    RunConfig rc = smallRun();
+    rc.adaptive = true; // but predictor lacks probabilisticSaturation
+    EXPECT_EXIT(runTrace(t, rc), ::testing::ExitedWithCode(1),
+                "probabilisticSaturation");
+}
+
+TEST(RunTrace, AdaptiveRunReportsFinalProbability)
+{
+    SyntheticTrace t = makeTrace("300.twolf", 200000);
+    RunConfig rc;
+    rc.predictor =
+        TageConfig::small16K().withProbabilisticSaturation(7);
+    rc.adaptive = true;
+    rc.adaptiveConfig.epochLength = 16384;
+    const RunResult r = runTrace(t, rc);
+    EXPECT_LE(r.finalLog2Prob, rc.adaptiveConfig.maxLog2);
+    EXPECT_GE(r.finalLog2Prob, rc.adaptiveConfig.minLog2);
+}
+
+TEST(RunTrace, RecordsAllocations)
+{
+    SyntheticTrace t = makeTrace("INT-1", 20000);
+    const RunResult r = runTrace(t, smallRun());
+    EXPECT_GT(r.allocations, 0u);
+}
+
+TEST(RunNamedTrace, EquivalentToManualTrace)
+{
+    const RunResult a = runNamedTrace("SERV-1", smallRun(), 15000);
+    SyntheticTrace t = makeTrace("SERV-1", 15000);
+    const RunResult b = runTrace(t, smallRun());
+    EXPECT_EQ(a.stats.totalMispredictions(),
+              b.stats.totalMispredictions());
+}
+
+TEST(RunBenchmarkSet, AggregateEqualsSumOfTraces)
+{
+    const SetResult r =
+        runBenchmarkSet(BenchmarkSet::Cbp1, smallRun(), 5000);
+    ASSERT_EQ(r.perTrace.size(), 20u);
+
+    ClassStats manual;
+    double mpki_sum = 0.0;
+    for (const auto& rr : r.perTrace) {
+        manual.merge(rr.stats);
+        mpki_sum += rr.stats.mpki();
+    }
+    EXPECT_EQ(r.aggregate.totalPredictions(),
+              manual.totalPredictions());
+    EXPECT_EQ(r.aggregate.totalMispredictions(),
+              manual.totalMispredictions());
+    EXPECT_NEAR(r.meanMpki, mpki_sum / 20.0, 1e-12);
+}
+
+TEST(RunBenchmarkSet, TracesInCanonicalOrder)
+{
+    const SetResult r =
+        runBenchmarkSet(BenchmarkSet::Cbp2, smallRun(), 2000);
+    const auto& names = traceNames(BenchmarkSet::Cbp2);
+    ASSERT_EQ(r.perTrace.size(), names.size());
+    for (size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(r.perTrace[i].traceName, names[i]);
+}
+
+} // namespace
+} // namespace tagecon

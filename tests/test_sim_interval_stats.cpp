@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the interval (windowed) statistics recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/interval_stats.hpp"
+#include "util/random.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(IntervalRecorder, SplitsAtExactBoundaries)
+{
+    IntervalRecorder r(100);
+    for (int i = 0; i < 250; ++i)
+        r.record(PredictionClass::Stag, false, 1);
+    EXPECT_EQ(r.completed(), 2u);
+    EXPECT_EQ(r.current().totalPredictions(), 50u);
+    for (const auto& s : r.intervals())
+        EXPECT_EQ(s.totalPredictions(), 100u);
+}
+
+TEST(IntervalRecorder, IntervalsAreIndependent)
+{
+    IntervalRecorder r(10);
+    // First interval: all mispredicted; second: none.
+    for (int i = 0; i < 10; ++i)
+        r.record(PredictionClass::Wtag, true, 1);
+    for (int i = 0; i < 10; ++i)
+        r.record(PredictionClass::Wtag, false, 1);
+    ASSERT_EQ(r.completed(), 2u);
+    EXPECT_EQ(r.intervals()[0].totalMispredictions(), 10u);
+    EXPECT_EQ(r.intervals()[1].totalMispredictions(), 0u);
+}
+
+TEST(IntervalRecorder, SumOfIntervalsEqualsWhole)
+{
+    IntervalRecorder r(37); // deliberately not a divisor
+    ClassStats whole;
+    XorShift128Plus rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto c = kAllPredictionClasses[rng.next() % 7];
+        const bool mis = rng.nextBool(0.2);
+        const uint64_t instr = 1 + rng.next() % 7;
+        r.record(c, mis, instr);
+        whole.record(c, mis, instr);
+    }
+    ClassStats merged;
+    for (const auto& s : r.intervals())
+        merged.merge(s);
+    merged.merge(r.current());
+    EXPECT_EQ(merged.totalPredictions(), whole.totalPredictions());
+    EXPECT_EQ(merged.totalMispredictions(),
+              whole.totalMispredictions());
+    EXPECT_EQ(merged.instructions(), whole.instructions());
+}
+
+TEST(IntervalRecorder, ZeroLengthIsFatal)
+{
+    EXPECT_EXIT(IntervalRecorder{0}, ::testing::ExitedWithCode(1),
+                "interval length");
+}
+
+TEST(IntervalRecorder, LengthOne)
+{
+    IntervalRecorder r(1);
+    r.record(PredictionClass::NStag, true, 3);
+    r.record(PredictionClass::NStag, false, 4);
+    EXPECT_EQ(r.completed(), 2u);
+    EXPECT_EQ(r.intervals()[0].totalMispredictions(), 1u);
+    EXPECT_EQ(r.intervals()[1].totalMispredictions(), 0u);
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * End-to-end smoke test: the whole pipeline runs and produces sane
+ * numbers on a small trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/reporting.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(Smoke, PipelineRuns)
+{
+    RunConfig cfg;
+    cfg.predictor = TageConfig::medium64K();
+    RunResult rr = runNamedTrace("FP-1", cfg, 50000);
+    EXPECT_EQ(rr.stats.totalPredictions(), 50000u);
+    EXPECT_GT(rr.stats.instructions(), 50000u);
+    EXPECT_LT(rr.stats.totalMkp(), 500.0);
+    EXPECT_FALSE(summarize(rr).empty());
+}
+
+} // namespace
+} // namespace tagecon

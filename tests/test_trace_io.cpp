@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the binary trace file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/profiles.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tagecon {
+namespace {
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = std::filesystem::temp_directory_path() /
+                ("tagecon_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + std::to_string(counter_++) + ".trace");
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    std::filesystem::path path_;
+    static int counter_;
+};
+
+int TraceIoTest::counter_ = 0;
+
+TEST_F(TraceIoTest, RoundTripPreservesRecords)
+{
+    SyntheticTrace src = makeTrace("MM-3", 5000);
+    const uint64_t written = writeTraceFile(path_.string(), src);
+    EXPECT_EQ(written, 5000u);
+
+    TraceReader reader(path_.string());
+    EXPECT_EQ(reader.name(), "MM-3");
+    EXPECT_EQ(reader.totalRecords(), 5000u);
+
+    src.reset();
+    BranchRecord expected;
+    BranchRecord actual;
+    uint64_t n = 0;
+    while (src.next(expected)) {
+        ASSERT_TRUE(reader.next(actual));
+        ASSERT_EQ(actual.pc, expected.pc);
+        ASSERT_EQ(actual.taken, expected.taken);
+        ASSERT_EQ(actual.instructionsBefore, expected.instructionsBefore);
+        ++n;
+    }
+    EXPECT_FALSE(reader.next(actual));
+    EXPECT_EQ(n, 5000u);
+}
+
+TEST_F(TraceIoTest, ReaderResetRestarts)
+{
+    {
+        TraceWriter w(path_.string(), "t");
+        w.write({0x100, true, 5});
+        w.write({0x200, false, 6});
+        w.close();
+    }
+    TraceReader r(path_.string());
+    BranchRecord rec;
+    EXPECT_TRUE(r.next(rec));
+    EXPECT_TRUE(r.next(rec));
+    EXPECT_FALSE(r.next(rec));
+    r.reset();
+    EXPECT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.pc, 0x100u);
+    EXPECT_EQ(rec.instructionsBefore, 5u);
+}
+
+TEST_F(TraceIoTest, WriterBackPatchesCount)
+{
+    {
+        TraceWriter w(path_.string(), "n");
+        for (int i = 0; i < 17; ++i)
+            w.write({static_cast<uint64_t>(i), i % 2 == 0, 1});
+        EXPECT_EQ(w.written(), 17u);
+        // Destructor closes and back-patches.
+    }
+    TraceReader r(path_.string());
+    EXPECT_EQ(r.totalRecords(), 17u);
+}
+
+TEST_F(TraceIoTest, EmptyTraceIsValid)
+{
+    {
+        TraceWriter w(path_.string(), "empty");
+        w.close();
+    }
+    TraceReader r(path_.string());
+    EXPECT_EQ(r.totalRecords(), 0u);
+    BranchRecord rec;
+    EXPECT_FALSE(r.next(rec));
+}
+
+TEST_F(TraceIoTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceReader("/nonexistent/trace.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(TraceIoTest, GarbageFileIsFatal)
+{
+    {
+        std::ofstream out(path_);
+        out << "this is not a trace file at all";
+    }
+    EXPECT_EXIT(TraceReader(path_.string()),
+                ::testing::ExitedWithCode(1), "not a tagecon trace");
+}
+
+TEST_F(TraceIoTest, TruncatedFileIsFatal)
+{
+    {
+        TraceWriter w(path_.string(), "t");
+        for (int i = 0; i < 10; ++i)
+            w.write({static_cast<uint64_t>(i), true, 1});
+        w.close();
+    }
+    // Chop off the last few bytes.
+    const auto size = std::filesystem::file_size(path_);
+    std::filesystem::resize_file(path_, size - 5);
+
+    TraceReader r(path_.string());
+    BranchRecord rec;
+    auto read_all = [&] {
+        while (r.next(rec)) {
+        }
+    };
+    EXPECT_EXIT(read_all(), ::testing::ExitedWithCode(1), "truncated");
+}
+
+} // namespace
+} // namespace tagecon

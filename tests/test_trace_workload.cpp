@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Unit and property tests for the synthetic workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/workload.hpp"
+
+namespace tagecon {
+namespace {
+
+ProfileParams
+tinyProfile()
+{
+    ProfileParams p;
+    p.name = "tiny";
+    p.seed = 7;
+    p.numFunctions = 8;
+    p.minSitesPerFunction = 2;
+    p.maxSitesPerFunction = 6;
+    return p;
+}
+
+TEST(SyntheticTrace, ProducesExactlyRequestedRecords)
+{
+    SyntheticTrace t(tinyProfile(), 1234);
+    BranchRecord rec;
+    uint64_t n = 0;
+    while (t.next(rec))
+        ++n;
+    EXPECT_EQ(n, 1234u);
+    EXPECT_FALSE(t.next(rec));
+}
+
+TEST(SyntheticTrace, DeterministicForSeed)
+{
+    SyntheticTrace a(tinyProfile(), 5000);
+    SyntheticTrace b(tinyProfile(), 5000);
+    BranchRecord ra;
+    BranchRecord rb;
+    while (a.next(ra)) {
+        ASSERT_TRUE(b.next(rb));
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.taken, rb.taken);
+        ASSERT_EQ(ra.instructionsBefore, rb.instructionsBefore);
+    }
+    EXPECT_FALSE(b.next(rb));
+}
+
+TEST(SyntheticTrace, ResetReplaysIdentically)
+{
+    SyntheticTrace t(tinyProfile(), 3000);
+    std::vector<BranchRecord> first;
+    BranchRecord rec;
+    while (t.next(rec))
+        first.push_back(rec);
+
+    t.reset();
+    size_t i = 0;
+    while (t.next(rec)) {
+        ASSERT_LT(i, first.size());
+        ASSERT_EQ(rec.pc, first[i].pc);
+        ASSERT_EQ(rec.taken, first[i].taken);
+        ASSERT_EQ(rec.instructionsBefore, first[i].instructionsBefore);
+        ++i;
+    }
+    EXPECT_EQ(i, first.size());
+}
+
+TEST(SyntheticTrace, DifferentSeedsProduceDifferentStreams)
+{
+    ProfileParams pa = tinyProfile();
+    ProfileParams pb = tinyProfile();
+    pb.seed = 8;
+    SyntheticTrace a(pa, 2000);
+    SyntheticTrace b(pb, 2000);
+    BranchRecord ra;
+    BranchRecord rb;
+    int diff = 0;
+    while (a.next(ra) && b.next(rb)) {
+        if (ra.pc != rb.pc || ra.taken != rb.taken)
+            ++diff;
+    }
+    EXPECT_GT(diff, 100);
+}
+
+TEST(SyntheticTrace, InstructionsWithinConfiguredRange)
+{
+    ProfileParams p = tinyProfile();
+    p.instrPerBranchMin = 3;
+    p.instrPerBranchMax = 9;
+    SyntheticTrace t(p, 5000);
+    BranchRecord rec;
+    while (t.next(rec)) {
+        EXPECT_GE(rec.instructionsBefore, 3u);
+        EXPECT_LE(rec.instructionsBefore, 9u);
+    }
+}
+
+TEST(SyntheticTrace, FootprintMatchesFunctionCount)
+{
+    ProfileParams p = tinyProfile();
+    p.numFunctions = 17;
+    SyntheticTrace t(p, 1);
+    EXPECT_EQ(t.numFunctions(), 17u);
+    EXPECT_GE(t.numSites(), 17u * 2);
+    EXPECT_LE(t.numSites(), 17u * 6);
+}
+
+TEST(SyntheticTrace, SitePcsAreDistinct)
+{
+    ProfileParams p = tinyProfile();
+    p.numFunctions = 32;
+    SyntheticTrace t(p, 20000);
+    BranchRecord rec;
+    std::set<uint64_t> pcs;
+    while (t.next(rec))
+        pcs.insert(rec.pc);
+    // The dynamic stream must exercise a reasonable fraction of the
+    // static footprint, and PCs must look scattered (not clustered on
+    // one stride).
+    EXPECT_GT(pcs.size(), 32u);
+    std::set<uint64_t> low_bits;
+    for (const auto pc : pcs)
+        low_bits.insert(pc & 0x3FF);
+    EXPECT_GT(low_bits.size(), pcs.size() / 2);
+}
+
+TEST(SyntheticTrace, LoopsIterateInPlace)
+{
+    // With only loop behaviour, the stream must contain runs of the
+    // same PC: taken (period-1) times then not-taken once.
+    ProfileParams p = tinyProfile();
+    p.fracAlways = 0.0;
+    p.fracLoop = 1.0;
+    p.fracPattern = 0.0;
+    p.fracBiased = 0.0;
+    p.fracMarkov = 0.0;
+    p.fracCorrelated = 0.0;
+    p.loopBodyMax = 0; // pure self-loops
+    p.loopPeriodMin = 4;
+    p.loopPeriodMax = 4;
+    p.loopTripJitter = 0.0;
+    SyntheticTrace t(p, 2000);
+
+    BranchRecord rec;
+    std::map<uint64_t, int> run_length;
+    while (t.next(rec)) {
+        if (rec.taken) {
+            ++run_length[rec.pc];
+        } else {
+            // Loop exits after exactly period-1 = 3 taken iterations
+            // (modulo the truncated first/last run).
+            const int run = run_length[rec.pc];
+            EXPECT_LE(run, 3);
+            run_length[rec.pc] = 0;
+        }
+    }
+}
+
+TEST(SyntheticTrace, CountSitesByKind)
+{
+    ProfileParams p = tinyProfile();
+    p.numFunctions = 64;
+    p.fracAlways = 1.0;
+    p.fracLoop = 0.0;
+    p.fracPattern = 0.0;
+    p.fracBiased = 0.0;
+    p.fracMarkov = 0.0;
+    p.fracCorrelated = 0.0;
+    SyntheticTrace t(p, 1);
+    EXPECT_EQ(t.countSites(BehaviorKind::Always), t.numSites());
+    EXPECT_EQ(t.countSites(BehaviorKind::Loop), 0u);
+}
+
+TEST(SyntheticTrace, LastKindTracksEmittedSite)
+{
+    ProfileParams p = tinyProfile();
+    p.fracAlways = 1.0;
+    p.fracLoop = 0.0;
+    p.fracPattern = 0.0;
+    p.fracBiased = 0.0;
+    p.fracMarkov = 0.0;
+    p.fracCorrelated = 0.0;
+    SyntheticTrace t(p, 100);
+    BranchRecord rec;
+    while (t.next(rec)) {
+        EXPECT_EQ(t.lastKind(), BehaviorKind::Always);
+        EXPECT_FALSE(t.lastInBody());
+    }
+}
+
+TEST(SyntheticTrace, PhasesChangeWorkingSet)
+{
+    ProfileParams p = tinyProfile();
+    p.numFunctions = 60;
+    p.hotFraction = 0.1;
+    p.numPhases = 3;
+    p.phaseLength = 3000;
+    p.zipfSkew = 0.3;
+    p.callLocality = 0.0; // pure Zipf draws make the set visible
+    SyntheticTrace t(p, 9000);
+
+    BranchRecord rec;
+    std::set<uint64_t> phase_pcs[3];
+    for (int phase = 0; phase < 3; ++phase) {
+        for (int i = 0; i < 3000; ++i) {
+            ASSERT_TRUE(t.next(rec));
+            phase_pcs[phase].insert(rec.pc);
+        }
+    }
+    // Cold working sets rotate: each phase must touch PCs the other
+    // phases never touch.
+    for (int a = 0; a < 3; ++a) {
+        const int b = (a + 1) % 3;
+        size_t only_a = 0;
+        for (const auto pc : phase_pcs[a]) {
+            if (phase_pcs[b].count(pc) == 0)
+                ++only_a;
+        }
+        EXPECT_GT(only_a, 0u) << "phase " << a << " vs " << b;
+    }
+}
+
+TEST(SyntheticTrace, ValidationRejectsBadProfiles)
+{
+    ProfileParams bad = tinyProfile();
+    bad.numFunctions = 0;
+    EXPECT_EXIT(SyntheticTrace(bad, 10), ::testing::ExitedWithCode(1),
+                "numFunctions");
+
+    ProfileParams bad2 = tinyProfile();
+    bad2.fracAlways = 0.0;
+    bad2.fracLoop = 0.0;
+    bad2.fracPattern = 0.0;
+    bad2.fracBiased = 0.0;
+    bad2.fracMarkov = 0.0;
+    bad2.fracCorrelated = 0.0;
+    EXPECT_EXIT(SyntheticTrace(bad2, 10), ::testing::ExitedWithCode(1),
+                "mixture");
+
+    ProfileParams bad3 = tinyProfile();
+    bad3.loopPeriodMin = 10;
+    bad3.loopPeriodMax = 5;
+    EXPECT_EXIT(SyntheticTrace(bad3, 10), ::testing::ExitedWithCode(1),
+                "loopPeriod");
+}
+
+TEST(Materialize, DrainsIntoVectorTrace)
+{
+    SyntheticTrace t(tinyProfile(), 500);
+    VectorTrace v = materialize(t, 200);
+    EXPECT_EQ(v.size(), 200u);
+    EXPECT_EQ(v.name(), "tiny");
+    // Source continues from where materialize stopped.
+    BranchRecord rec;
+    uint64_t remaining = 0;
+    while (t.next(rec))
+        ++remaining;
+    EXPECT_EQ(remaining, 300u);
+}
+
+TEST(VectorTrace, ResetRestarts)
+{
+    std::vector<BranchRecord> recs = {{0x10, true, 3}, {0x20, false, 4}};
+    VectorTrace v("two", recs);
+    BranchRecord rec;
+    EXPECT_TRUE(v.next(rec));
+    EXPECT_TRUE(v.next(rec));
+    EXPECT_FALSE(v.next(rec));
+    v.reset();
+    EXPECT_TRUE(v.next(rec));
+    EXPECT_EQ(rec.pc, 0x10u);
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the bit manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bit_utils.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(BitUtils, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(-3), 0u);
+    EXPECT_EQ(maskBits(1), 0x1u);
+    EXPECT_EQ(maskBits(8), 0xFFu);
+    EXPECT_EQ(maskBits(32), 0xFFFFFFFFu);
+    EXPECT_EQ(maskBits(63), ~uint64_t{0} >> 1);
+    EXPECT_EQ(maskBits(64), ~uint64_t{0});
+    EXPECT_EQ(maskBits(100), ~uint64_t{0});
+}
+
+TEST(BitUtils, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0);
+    EXPECT_EQ(floorLog2(2), 1);
+    EXPECT_EQ(floorLog2(3), 1);
+    EXPECT_EQ(floorLog2(4), 2);
+    EXPECT_EQ(floorLog2(1023), 9);
+    EXPECT_EQ(floorLog2(1024), 10);
+    EXPECT_EQ(floorLog2(~uint64_t{0}), 63);
+}
+
+TEST(BitUtils, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0);
+    EXPECT_EQ(ceilLog2(2), 1);
+    EXPECT_EQ(ceilLog2(3), 2);
+    EXPECT_EQ(ceilLog2(4), 2);
+    EXPECT_EQ(ceilLog2(5), 3);
+    EXPECT_EQ(ceilLog2(1024), 10);
+    EXPECT_EQ(ceilLog2(1025), 11);
+}
+
+TEST(BitUtils, XorFold)
+{
+    EXPECT_EQ(xorFold(0, 8), 0u);
+    EXPECT_EQ(xorFold(0xFF, 8), 0xFFu);
+    EXPECT_EQ(xorFold(0xFF00, 8), 0xFFu);
+    EXPECT_EQ(xorFold(0xF0F0, 8), 0x00u); // 0xF0 ^ 0xF0
+    EXPECT_EQ(xorFold(0x123456789ABCDEF0ull, 16),
+              (0x1234u ^ 0x5678u ^ 0x9ABCu ^ 0xDEF0u));
+    EXPECT_EQ(xorFold(0xABCD, 0), 0u);
+}
+
+TEST(BitUtils, XorFoldStaysInWidth)
+{
+    for (int bits = 1; bits <= 16; ++bits) {
+        const uint64_t v = 0xDEADBEEFCAFEF00Dull;
+        EXPECT_LE(xorFold(v, bits), maskBits(bits)) << "bits=" << bits;
+    }
+}
+
+TEST(BitUtils, RotateLeft)
+{
+    EXPECT_EQ(rotateLeft(0b0001, 1, 4), 0b0010u);
+    EXPECT_EQ(rotateLeft(0b1000, 1, 4), 0b0001u);
+    EXPECT_EQ(rotateLeft(0b1001, 2, 4), 0b0110u);
+    EXPECT_EQ(rotateLeft(0xFF, 4, 8), 0xFFu);
+    // Rotation by a multiple of the width is the identity.
+    EXPECT_EQ(rotateLeft(0b1011, 4, 4), 0b1011u);
+    EXPECT_EQ(rotateLeft(0b1011, 8, 4), 0b1011u);
+    // Zero/negative width degenerates to 0.
+    EXPECT_EQ(rotateLeft(0xFF, 1, 0), 0u);
+}
+
+TEST(BitUtils, RotateLeftMasksInput)
+{
+    // Bits above the width must not leak into the result.
+    EXPECT_EQ(rotateLeft(0xF0 | 0b0001, 1, 4), 0b0010u);
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace tagecon {
+namespace {
+
+CliArgs
+parse(std::initializer_list<const char*> argv)
+{
+    std::vector<const char*> v{"prog"};
+    v.insert(v.end(), argv.begin(), argv.end());
+    return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, EqualsForm)
+{
+    const CliArgs a = parse({"--branches=1000", "--name=FP-1"});
+    EXPECT_EQ(a.getUint("branches", 0), 1000u);
+    EXPECT_EQ(a.getString("name", ""), "FP-1");
+}
+
+TEST(Cli, SpaceForm)
+{
+    const CliArgs a = parse({"--branches", "500"});
+    EXPECT_EQ(a.getUint("branches", 0), 500u);
+}
+
+TEST(Cli, BooleanFlags)
+{
+    const CliArgs a = parse({"--csv", "--modified=true", "--quiet=false"});
+    EXPECT_TRUE(a.getBool("csv", false));
+    EXPECT_TRUE(a.getBool("modified", false));
+    EXPECT_FALSE(a.getBool("quiet", true));
+    EXPECT_TRUE(a.getBool("absent", true));
+    EXPECT_FALSE(a.getBool("absent", false));
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    const CliArgs a = parse({});
+    EXPECT_EQ(a.getInt("x", -7), -7);
+    EXPECT_EQ(a.getUint("y", 9), 9u);
+    EXPECT_EQ(a.getDouble("z", 1.5), 1.5);
+    EXPECT_EQ(a.getString("s", "dflt"), "dflt");
+    EXPECT_FALSE(a.has("x"));
+}
+
+TEST(Cli, NegativeAndHexIntegers)
+{
+    const CliArgs a = parse({"--neg=-12", "--hex=0x10"});
+    EXPECT_EQ(a.getInt("neg", 0), -12);
+    EXPECT_EQ(a.getInt("hex", 0), 16);
+}
+
+TEST(Cli, Doubles)
+{
+    const CliArgs a = parse({"--p=0.125"});
+    EXPECT_DOUBLE_EQ(a.getDouble("p", 0.0), 0.125);
+}
+
+TEST(Cli, Positional)
+{
+    const CliArgs a = parse({"trace1", "--flag", "trace2"});
+    // "--flag trace2": trace2 is consumed as flag's value.
+    ASSERT_EQ(a.positional().size(), 1u);
+    EXPECT_EQ(a.positional()[0], "trace1");
+    EXPECT_EQ(a.getString("flag", ""), "trace2");
+}
+
+TEST(Cli, FlagNamesEnumerated)
+{
+    const CliArgs a = parse({"--b=1", "--a=2"});
+    const auto names = a.flagNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a"); // map order: sorted
+    EXPECT_EQ(names[1], "b");
+}
+
+TEST(Cli, MalformedIntegerIsFatal)
+{
+    const CliArgs a = parse({"--n=abc"});
+    EXPECT_EXIT(a.getInt("n", 0), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(Cli, MalformedBoolIsFatal)
+{
+    const CliArgs a = parse({"--b=maybe"});
+    EXPECT_EXIT(a.getBool("b", false), ::testing::ExitedWithCode(1),
+                "expects a boolean");
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit tests for the saturating counter primitives, including the
+ * strength/weak/saturated predicates the confidence classes are
+ * defined on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/saturating_counter.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(SignedSatCounter, RangeForThreeBits)
+{
+    SignedSatCounter c(3, 0);
+    EXPECT_EQ(c.min(), -4);
+    EXPECT_EQ(c.max(), 3);
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_EQ(c.bits(), 3);
+}
+
+TEST(SignedSatCounter, SaturatesAtBothRails)
+{
+    SignedSatCounter c(3, 0);
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_TRUE(c.saturated());
+    for (int i = 0; i < 20; ++i)
+        c.update(false);
+    EXPECT_EQ(c.value(), -4);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SignedSatCounter, SignGivesPrediction)
+{
+    SignedSatCounter c(3, 0);
+    EXPECT_TRUE(c.taken()); // 0 counts as (weakly) taken
+    c.set(-1);
+    EXPECT_FALSE(c.taken());
+    c.set(3);
+    EXPECT_TRUE(c.taken());
+    c.set(-4);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SignedSatCounter, StrengthIsPaperFormula)
+{
+    // |2*ctr + 1| over the full 3-bit range: the paper's class
+    // boundaries 1 / 3 / 5 / 7 (Sec. 5.2).
+    SignedSatCounter c(3, 0);
+    const int expected[8][2] = {{-4, 7}, {-3, 5}, {-2, 3}, {-1, 1},
+                                {0, 1},  {1, 3},  {2, 5},  {3, 7}};
+    for (const auto& [v, s] : expected) {
+        c.set(v);
+        EXPECT_EQ(c.strength(), s) << "ctr=" << v;
+    }
+}
+
+TEST(SignedSatCounter, WeakExactlyAtStrengthOne)
+{
+    SignedSatCounter c(3, 0);
+    for (int v = c.min(); v <= c.max(); ++v) {
+        c.set(v);
+        EXPECT_EQ(c.weak(), c.strength() == 1) << "ctr=" << v;
+    }
+}
+
+TEST(SignedSatCounter, UpdateWouldSaturateDetectsTransition)
+{
+    SignedSatCounter c(3, 2);
+    EXPECT_TRUE(c.updateWouldSaturate(true));
+    EXPECT_FALSE(c.updateWouldSaturate(false));
+    c.set(-3);
+    EXPECT_TRUE(c.updateWouldSaturate(false));
+    EXPECT_FALSE(c.updateWouldSaturate(true));
+    // Already saturated: the transition happened earlier.
+    c.set(3);
+    EXPECT_FALSE(c.updateWouldSaturate(true));
+    c.set(-4);
+    EXPECT_FALSE(c.updateWouldSaturate(false));
+}
+
+TEST(SignedSatCounter, SetClampsToRange)
+{
+    SignedSatCounter c(3, 100);
+    EXPECT_EQ(c.value(), 3);
+    c.set(-100);
+    EXPECT_EQ(c.value(), -4);
+}
+
+/** Width sweep: invariants hold for every supported width. */
+class SignedCounterWidths : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SignedCounterWidths, InvariantsHold)
+{
+    const int bits = GetParam();
+    SignedSatCounter c(bits, 0);
+    EXPECT_EQ(c.min(), -(1 << (bits - 1)));
+    EXPECT_EQ(c.max(), (1 << (bits - 1)) - 1);
+
+    // Walk the full range upward and downward.
+    c.set(c.min());
+    for (int i = 0; i < (1 << bits) + 3; ++i) {
+        EXPECT_GE(c.value(), c.min());
+        EXPECT_LE(c.value(), c.max());
+        EXPECT_EQ(c.strength() % 2, 1); // strength is always odd
+        c.update(true);
+    }
+    EXPECT_EQ(c.value(), c.max());
+    EXPECT_EQ(c.strength(), (1 << bits) - 1);
+
+    for (int i = 0; i < (1 << bits) + 3; ++i)
+        c.update(false);
+    EXPECT_EQ(c.value(), c.min());
+    EXPECT_EQ(c.strength(), (1 << bits) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignedCounterWidths,
+                         ::testing::Values(2, 3, 4, 5, 6, 8));
+
+TEST(UnsignedSatCounter, RangeAndInit)
+{
+    UnsignedSatCounter c(2, 1);
+    EXPECT_EQ(c.max(), 3u);
+    EXPECT_EQ(c.value(), 1u);
+    EXPECT_FALSE(c.taken());
+    c.set(2);
+    EXPECT_TRUE(c.taken());
+}
+
+TEST(UnsignedSatCounter, WeakAtMiddleValues)
+{
+    UnsignedSatCounter c(2, 0);
+    const bool expected_weak[4] = {false, true, true, false};
+    for (unsigned v = 0; v <= 3; ++v) {
+        c.set(v);
+        EXPECT_EQ(c.weak(), expected_weak[v]) << "v=" << v;
+    }
+}
+
+TEST(UnsignedSatCounter, SaturatingArithmetic)
+{
+    UnsignedSatCounter c(2, 3);
+    c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    c.set(0);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(UnsignedSatCounter, ResetAndShift)
+{
+    UnsignedSatCounter c(4, 13);
+    c.shiftDown();
+    EXPECT_EQ(c.value(), 6u);
+    c.shiftDown();
+    EXPECT_EQ(c.value(), 3u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(UnsignedSatCounter, UpdateMovesTowardOutcome)
+{
+    UnsignedSatCounter c(2, 1);
+    c.update(true);
+    EXPECT_EQ(c.value(), 2u);
+    c.update(false);
+    c.update(false);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+class UnsignedCounterWidths : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(UnsignedCounterWidths, InvariantsHold)
+{
+    const int bits = GetParam();
+    UnsignedSatCounter c(bits, 0);
+    EXPECT_EQ(c.max(), (1u << bits) - 1);
+    EXPECT_TRUE(c.saturated()); // at zero
+    for (unsigned i = 0; i < (2u << bits); ++i) {
+        c.increment();
+        EXPECT_LE(c.value(), c.max());
+    }
+    EXPECT_TRUE(c.saturated());
+    EXPECT_TRUE(c.taken());
+    // The two middle values are weak; the rails are not.
+    c.set(1u << (bits - 1));
+    EXPECT_TRUE(c.weak());
+    c.set((1u << (bits - 1)) - 1);
+    EXPECT_TRUE(c.weak());
+    c.set(c.max());
+    EXPECT_FALSE(c.weak());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, UnsignedCounterWidths,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+TEST(UnsignedSatCounter, OneBitCounterIsDegenerate)
+{
+    // A 1-bit counter has no hysteresis: both of its values are the
+    // "middle" values, so it is always weak.
+    UnsignedSatCounter c(1, 0);
+    EXPECT_TRUE(c.weak());
+    c.increment();
+    EXPECT_TRUE(c.weak());
+    EXPECT_TRUE(c.taken());
+    EXPECT_EQ(c.max(), 1u);
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit and property tests for the global history ring buffer and the
+ * incremental folded-history registers that the TAGE index/tag hashes
+ * are built on. The key property: the O(1) incremental fold always
+ * equals the O(L) from-scratch recomputation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/global_history.hpp"
+#include "util/random.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(GlobalHistory, NewestAtIndexZero)
+{
+    GlobalHistory h(16);
+    h.push(true);
+    h.push(false);
+    h.push(true);
+    EXPECT_EQ(h[0], 1);
+    EXPECT_EQ(h[1], 0);
+    EXPECT_EQ(h[2], 1);
+}
+
+TEST(GlobalHistory, StartsCleared)
+{
+    GlobalHistory h(8);
+    for (size_t i = 0; i < h.capacity(); ++i)
+        EXPECT_EQ(h[i], 0);
+}
+
+TEST(GlobalHistory, CapacityAtLeastRequested)
+{
+    for (const size_t req : {1u, 7u, 64u, 100u, 300u}) {
+        GlobalHistory h(req);
+        EXPECT_GE(h.capacity(), req);
+    }
+}
+
+TEST(GlobalHistory, WrapsAroundCorrectly)
+{
+    GlobalHistory h(4);
+    // Push more than the capacity; the most recent entries must
+    // still read back correctly.
+    std::vector<uint8_t> shadow;
+    for (int i = 0; i < 100; ++i) {
+        const bool bit = (i * 7 % 3) == 0;
+        h.push(bit);
+        shadow.push_back(bit ? 1 : 0);
+    }
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(h[i], shadow[shadow.size() - 1 - i]) << "i=" << i;
+}
+
+TEST(GlobalHistory, ClearResets)
+{
+    GlobalHistory h(8);
+    for (int i = 0; i < 20; ++i)
+        h.push(true);
+    h.clear();
+    for (size_t i = 0; i < h.capacity(); ++i)
+        EXPECT_EQ(h[i], 0);
+}
+
+TEST(FoldedHistory, ValueFitsWidth)
+{
+    GlobalHistory h(64);
+    FoldedHistory f(40, 9);
+    XorShift128Plus rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        h.push(rng.nextBool(0.5));
+        f.update(h);
+        EXPECT_LT(f.value(), 1u << 9);
+    }
+}
+
+TEST(FoldedHistory, ZeroLengthFoldsToZero)
+{
+    GlobalHistory h(16);
+    FoldedHistory f(0, 5);
+    for (int i = 0; i < 50; ++i) {
+        h.push(i % 2 == 0);
+        f.update(h);
+        EXPECT_EQ(f.value(), 0u);
+    }
+}
+
+/**
+ * Property: incremental update == from-scratch recompute, across
+ * (history length, fold width) combinations including the paper's
+ * extremes (history 300 folded to 11 bits).
+ */
+class FoldedHistoryProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(FoldedHistoryProperty, IncrementalMatchesRecompute)
+{
+    const auto [length, width] = GetParam();
+    GlobalHistory h(static_cast<size_t>(length) + 2);
+    FoldedHistory inc(length, width);
+    FoldedHistory scratch(length, width);
+    XorShift128Plus rng(static_cast<uint64_t>(length * 131 + width));
+
+    for (int i = 0; i < 2000; ++i) {
+        h.push(rng.nextBool(0.37));
+        inc.update(h);
+        scratch.recompute(h);
+        ASSERT_EQ(inc.value(), scratch.value())
+            << "diverged at step " << i << " (L=" << length
+            << ", W=" << width << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FoldedHistoryProperty,
+    ::testing::Values(std::make_tuple(3, 8), std::make_tuple(5, 9),
+                      std::make_tuple(9, 8), std::make_tuple(27, 8),
+                      std::make_tuple(80, 8), std::make_tuple(130, 9),
+                      std::make_tuple(300, 11), std::make_tuple(300, 10),
+                      std::make_tuple(16, 4), std::make_tuple(7, 7),
+                      std::make_tuple(64, 9), std::make_tuple(12, 12)));
+
+TEST(FoldedHistory, ClearMatchesFreshStart)
+{
+    GlobalHistory h(64);
+    FoldedHistory f(20, 7);
+    XorShift128Plus rng(5);
+    for (int i = 0; i < 100; ++i) {
+        h.push(rng.nextBool(0.5));
+        f.update(h);
+    }
+    h.clear();
+    f.clear();
+    EXPECT_EQ(f.value(), 0u);
+    // After clearing both, the pair behaves like a fresh pair.
+    FoldedHistory fresh(20, 7);
+    for (int i = 0; i < 100; ++i) {
+        h.push(rng.nextBool(0.5));
+        f.update(h);
+        fresh.update(h);
+        EXPECT_EQ(f.value(), fresh.value());
+    }
+}
+
+TEST(PathHistory, ShiftsInLowPcBit)
+{
+    PathHistory p(8);
+    p.push(0x1); // odd pc
+    p.push(0x2); // even pc
+    p.push(0x3); // odd pc
+    EXPECT_EQ(p.value(), 0b101u);
+}
+
+TEST(PathHistory, MasksToWidth)
+{
+    PathHistory p(4);
+    for (int i = 0; i < 100; ++i)
+        p.push(1);
+    EXPECT_EQ(p.value(), 0xFu);
+}
+
+TEST(PathHistory, ClearResets)
+{
+    PathHistory p(16);
+    for (int i = 0; i < 10; ++i)
+        p.push(1);
+    p.clear();
+    EXPECT_EQ(p.value(), 0u);
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation)
+{
+    const double xs[] = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+    RunningStat s;
+    double sum = 0.0;
+    for (const double x : xs) {
+        s.add(x);
+        sum += x;
+    }
+    const double n = 6.0;
+    const double mean = sum / n;
+    double var = 0.0;
+    for (const double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= n;
+
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+    EXPECT_EQ(s.min(), -3.0);
+    EXPECT_EQ(s.max(), 7.25);
+    EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(RunningStat, ClearResets)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RatioStat, BasicCounting)
+{
+    RatioStat r;
+    r.record(true);
+    r.record(false);
+    r.record(false);
+    r.record(true);
+    EXPECT_EQ(r.events(), 2u);
+    EXPECT_EQ(r.trials(), 4u);
+    EXPECT_EQ(r.rate(), 0.5);
+    EXPECT_EQ(r.perKilo(), 500.0);
+}
+
+TEST(RatioStat, EmptyIsZeroRate)
+{
+    RatioStat r;
+    EXPECT_EQ(r.rate(), 0.0);
+    EXPECT_EQ(r.perKilo(), 0.0);
+}
+
+TEST(RatioStat, RecordManyAndClear)
+{
+    RatioStat r;
+    r.recordMany(3, 1000);
+    EXPECT_EQ(r.perKilo(), 3.0);
+    r.clear();
+    EXPECT_EQ(r.trials(), 0u);
+}
+
+TEST(Histogram, BucketsFill)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bucket 0
+    h.add(2.0);  // bucket 1
+    h.add(9.99); // bucket 4
+    h.add(-1.0); // underflow
+    h.add(10.0); // overflow (hi is exclusive)
+    h.add(42.0); // overflow
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, BucketEdges)
+{
+    Histogram h(0.0, 4.0, 4);
+    EXPECT_EQ(h.bucketLow(0), 0.0);
+    EXPECT_EQ(h.bucketLow(3), 3.0);
+    // Values on an interior edge land in the upper bucket.
+    h.add(1.0);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+}
+
+TEST(Histogram, RenderMentionsCounts)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    const std::string r = h.render();
+    EXPECT_NE(r.find("[0, 1)"), std::string::npos);
+    EXPECT_NE(r.find("[1, 2)"), std::string::npos);
+}
+
+} // namespace
+} // namespace tagecon
