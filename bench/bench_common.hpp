@@ -8,9 +8,12 @@
 #define TAGECON_BENCH_BENCH_COMMON_HPP
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "sim/registry.hpp"
 #include "util/cli.hpp"
 
 namespace tagecon::bench {
@@ -25,17 +28,36 @@ struct BenchOptions {
 
     /** Emit CSV instead of aligned text (--csv). */
     bool csv = false;
+
+    /**
+     * Registry specs to drive (--predictors=a,b,c). Empty means the
+     * bench's built-in default lineup.
+     */
+    std::vector<std::string> predictors;
 };
 
-/** Parse the standard flags. */
+/** Parse the standard flags. --list-predictors prints specs and exits. */
 inline BenchOptions
 parseOptions(int argc, char** argv)
 {
     CliArgs args(argc, argv);
+    if (args.has("list-predictors")) {
+        std::cout << "registered predictor bases:\n";
+        for (const auto& name : registeredBases())
+            std::cout << "  " << name << "\n";
+        std::cout << "estimator tokens:\n";
+        for (const auto& name : registeredEstimators())
+            std::cout << "  " << name << "\n";
+        std::cout << "example specs:\n";
+        for (const auto& spec : exampleSpecs())
+            std::cout << "  " << spec << "\n";
+        std::exit(0);
+    }
     BenchOptions opt;
     opt.branchesPerTrace = args.getUint("branches", opt.branchesPerTrace);
     opt.seedSalt = args.getUint("seed", 0);
     opt.csv = args.getBool("csv", false);
+    opt.predictors = args.getList("predictors");
     return opt;
 }
 

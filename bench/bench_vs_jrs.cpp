@@ -7,33 +7,25 @@
  * TAGE predictor, evaluated with Grunwald's binary metrics
  * (SENS / PVP / SPEC / PVN).
  *
- * The storage-free estimator grades "high confidence" as
- * {high-conf-bim, Stag} under the modified automaton (p = 1/128); JRS
- * grades by its resetting counter table (4-bit counters, threshold 15).
+ * Every row is one registry spec driven through the shared generic
+ * loop (runSets): the storage-free estimator is "tage64k+prob7+sfc",
+ * the JRS variants decorate the same predictor via "+jrs" / "+jrsg".
+ * Override the lineup with --predictors=spec1,spec2,...
+ *
+ * Each row simulates its own host predictor (unlike the original
+ * bespoke loop, which shared one host across estimators): traces and
+ * predictors are deterministic, so identically-specced hosts see
+ * identical prediction streams and the numbers are unchanged — the
+ * extra host work is the price of rows being arbitrary specs.
  */
 
 #include <iostream>
-#include <memory>
 
-#include "baseline/jrs_estimator.hpp"
 #include "bench_common.hpp"
-#include "core/binary_metrics.hpp"
-#include "core/confidence_observer.hpp"
 #include "sim/experiment.hpp"
-#include "tage/tage_predictor.hpp"
 #include "util/table_printer.hpp"
 
 using namespace tagecon;
-
-namespace {
-
-struct Row {
-    std::string name;
-    BinaryConfidenceMetrics metrics;
-    uint64_t extraStorageBits = 0;
-};
-
-} // namespace
 
 int
 main(int argc, char** argv)
@@ -44,52 +36,10 @@ main(int argc, char** argv)
                        "Seznec, RR-7371 / HPCA 2011, Sec. 2.2 context",
                        opt);
 
-    const TageConfig cfg =
-        TageConfig::medium64K().withProbabilisticSaturation(7);
-
-    JrsConfidenceEstimator::Config jrs_cfg;
-    jrs_cfg.logEntries = 12;
-    jrs_cfg.ctrBits = 4;
-    jrs_cfg.threshold = 15;
-    JrsConfidenceEstimator::Config jrsg_cfg = jrs_cfg;
-    jrsg_cfg.indexWithPrediction = true;
-
-    Row storage_free{"storage-free (this paper)", {}, 0};
-    Row jrs{"JRS 16Kbit", {}, 0};
-    Row jrsg{"JRS+pred-index 16Kbit (Grunwald)", {}, 0};
-
-    for (const BenchmarkSet set :
-         {BenchmarkSet::Cbp1, BenchmarkSet::Cbp2}) {
-        for (const auto& name : traceNames(set)) {
-            SyntheticTrace trace = makeTrace(name, opt.branchesPerTrace);
-            TagePredictor predictor(cfg);
-            ConfidenceObserver observer;
-            JrsConfidenceEstimator jrs_est(jrs_cfg);
-            JrsConfidenceEstimator jrsg_est(jrsg_cfg);
-            jrs.extraStorageBits = jrs_est.storageBits();
-            jrsg.extraStorageBits = jrsg_est.storageBits();
-
-            BranchRecord rec;
-            while (trace.next(rec)) {
-                const TagePrediction p = predictor.predict(rec.pc);
-                const bool correct = p.taken == rec.taken;
-
-                const bool free_high =
-                    observer.classifyLevel(p) == ConfidenceLevel::High;
-                storage_free.metrics.record(free_high, correct);
-
-                jrs.metrics.record(jrs_est.query(rec.pc, p.taken),
-                                   correct);
-                jrsg.metrics.record(jrsg_est.query(rec.pc, p.taken),
-                                    correct);
-
-                observer.onResolve(p, rec.taken);
-                jrs_est.record(rec.pc, p.taken, correct, rec.taken);
-                jrsg_est.record(rec.pc, p.taken, correct, rec.taken);
-                predictor.update(rec.pc, p, rec.taken);
-            }
-        }
-    }
+    std::vector<std::string> specs = opt.predictors;
+    if (specs.empty())
+        specs = {"tage64k+prob7+sfc", "tage64k+prob7+jrs",
+                 "tage64k+prob7+jrsg"};
 
     TextTable t;
     t.addColumn("estimator", TextTable::Align::Left);
@@ -99,14 +49,24 @@ main(int argc, char** argv)
     t.addColumn("PVP");
     t.addColumn("SPEC");
     t.addColumn("PVN");
-    for (const Row* row : {&storage_free, &jrs, &jrsg}) {
-        t.addRow({row->name,
-                  std::to_string(row->extraStorageBits / 1024) + " Kbit",
-                  TextTable::frac(row->metrics.highCoverage()),
-                  TextTable::frac(row->metrics.sens()),
-                  TextTable::frac(row->metrics.pvp()),
-                  TextTable::frac(row->metrics.spec()),
-                  TextTable::frac(row->metrics.pvn())});
+    for (const auto& spec : specs) {
+        // Storage the estimator costs on top of its own host.
+        const auto probe = makePredictor(spec);
+        uint64_t extra_bits = 0;
+        if (const auto* est =
+                dynamic_cast<const EstimatedPredictor*>(probe.get()))
+            extra_bits = est->estimator().storageBits();
+
+        const RunResult r =
+            runSets({BenchmarkSet::Cbp1, BenchmarkSet::Cbp2}, spec,
+                    opt.branchesPerTrace);
+        t.addRow({r.configName,
+                  std::to_string(extra_bits / 1024) + " Kbit",
+                  TextTable::frac(r.confusion.highCoverage()),
+                  TextTable::frac(r.confusion.sens()),
+                  TextTable::frac(r.confusion.pvp()),
+                  TextTable::frac(r.confusion.spec()),
+                  TextTable::frac(r.confusion.pvn())});
     }
     if (opt.csv)
         t.renderCsv(std::cout);

@@ -12,91 +12,18 @@
  *
  * Each predictor is evaluated with its own confidence scheme on its
  * own predictions (self-confidence is inseparable from its host), so
- * the comparison covers both accuracy and confidence quality.
+ * the comparison covers both accuracy and confidence quality. Every
+ * row is one registry spec driven through the shared generic loop;
+ * override the lineup with --predictors=spec1,spec2,...
  */
 
 #include <iostream>
 
-#include "baseline/ogehl_predictor.hpp"
-#include "baseline/perceptron_predictor.hpp"
 #include "bench_common.hpp"
-#include "core/binary_metrics.hpp"
-#include "core/confidence_observer.hpp"
 #include "sim/experiment.hpp"
-#include "tage/tage_predictor.hpp"
 #include "util/table_printer.hpp"
 
 using namespace tagecon;
-
-namespace {
-
-struct Row {
-    std::string name;
-    uint64_t storageBits = 0;
-    uint64_t predictions = 0;
-    uint64_t mispredictions = 0;
-    BinaryConfidenceMetrics metrics;
-};
-
-void
-driveTage(Row& row, const TageConfig& cfg, uint64_t branches)
-{
-    for (const BenchmarkSet set :
-         {BenchmarkSet::Cbp1, BenchmarkSet::Cbp2}) {
-        for (const auto& name : traceNames(set)) {
-            SyntheticTrace trace = makeTrace(name, branches);
-            TagePredictor predictor(cfg);
-            ConfidenceObserver observer;
-            row.storageBits = predictor.storageBits();
-            BranchRecord rec;
-            while (trace.next(rec)) {
-                const TagePrediction p = predictor.predict(rec.pc);
-                const bool correct = p.taken == rec.taken;
-                const bool high = observer.classifyLevel(p) ==
-                                  ConfidenceLevel::High;
-                row.metrics.record(high, correct);
-                ++row.predictions;
-                row.mispredictions += correct ? 0 : 1;
-                observer.onResolve(p, rec.taken);
-                predictor.update(rec.pc, p, rec.taken);
-            }
-        }
-    }
-}
-
-template <typename Predictor>
-void
-driveSelfConf(Row& row, uint64_t branches)
-{
-    for (const BenchmarkSet set :
-         {BenchmarkSet::Cbp1, BenchmarkSet::Cbp2}) {
-        for (const auto& name : traceNames(set)) {
-            SyntheticTrace trace = makeTrace(name, branches);
-            Predictor predictor;
-            row.storageBits = predictor.storageBits();
-            BranchRecord rec;
-            while (trace.next(rec)) {
-                const bool taken = predictor.predict(rec.pc);
-                const bool correct = taken == rec.taken;
-                row.metrics.record(predictor.lastHighConfidence(),
-                                   correct);
-                ++row.predictions;
-                row.mispredictions += correct ? 0 : 1;
-                predictor.update(rec.pc, rec.taken);
-            }
-        }
-    }
-}
-
-/** Perceptron with a default geometry comparable to 64 Kbit. */
-struct DefaultPerceptron : PerceptronPredictor {
-    DefaultPerceptron()
-        : PerceptronPredictor(9, 32)
-    {
-    }
-};
-
-} // namespace
 
 int
 main(int argc, char** argv)
@@ -106,20 +33,9 @@ main(int argc, char** argv)
                        "vs O-GEHL vs perceptron",
                        "Seznec, RR-7371 / HPCA 2011, Sec. 2.2", opt);
 
-    Row tage_row;
-    tage_row.name = "TAGE 64K + storage-free (p=1/128)";
-    driveTage(tage_row,
-              TageConfig::medium64K().withProbabilisticSaturation(7),
-              opt.branchesPerTrace);
-
-    Row ogehl_row;
-    ogehl_row.name = "O-GEHL 64K + |sum|>=theta";
-    driveSelfConf<OgehlPredictor>(ogehl_row, opt.branchesPerTrace);
-
-    Row perceptron_row;
-    perceptron_row.name = "perceptron + |sum|>=theta";
-    driveSelfConf<DefaultPerceptron>(perceptron_row,
-                                     opt.branchesPerTrace);
+    std::vector<std::string> specs = opt.predictors;
+    if (specs.empty())
+        specs = {"tage64k+prob7+sfc", "ogehl+self", "perceptron+self"};
 
     TextTable t;
     t.addColumn("predictor + confidence", TextTable::Align::Left);
@@ -130,18 +46,19 @@ main(int argc, char** argv)
     t.addColumn("PVP");
     t.addColumn("SPEC");
     t.addColumn("PVN");
-    for (const Row* row : {&tage_row, &ogehl_row, &perceptron_row}) {
-        t.addRow({row->name,
-                  TextTable::num(static_cast<double>(row->storageBits) /
-                                     1024.0, 0),
+    for (const auto& spec : specs) {
+        const RunResult r =
+            runSets({BenchmarkSet::Cbp1, BenchmarkSet::Cbp2}, spec,
+                    opt.branchesPerTrace);
+        t.addRow({r.configName,
                   TextTable::num(
-                      1000.0 * static_cast<double>(row->mispredictions) /
-                          static_cast<double>(row->predictions), 1),
-                  TextTable::frac(row->metrics.highCoverage()),
-                  TextTable::frac(row->metrics.sens()),
-                  TextTable::frac(row->metrics.pvp()),
-                  TextTable::frac(row->metrics.spec()),
-                  TextTable::frac(row->metrics.pvn())});
+                      static_cast<double>(r.storageBits) / 1024.0, 0),
+                  TextTable::num(r.stats.totalMkp(), 1),
+                  TextTable::frac(r.confusion.highCoverage()),
+                  TextTable::frac(r.confusion.sens()),
+                  TextTable::frac(r.confusion.pvp()),
+                  TextTable::frac(r.confusion.spec()),
+                  TextTable::frac(r.confusion.pvn())});
     }
     if (opt.csv)
         t.renderCsv(std::cout);

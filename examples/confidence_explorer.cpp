@@ -7,6 +7,7 @@
  *
  * Flags:
  *   --set=cbp1|cbp2      benchmark set (default cbp1)
+ *   --predictor=SPEC     any registry spec (overrides the flags below)
  *   --config=16K|64K|256K  predictor size (default 64K)
  *   --modified           use the Sec. 6 probabilistic automaton
  *   --prob=N             log2(1/p) for the modified automaton (default 7)
@@ -16,6 +17,7 @@
 #include <iostream>
 
 #include "sim/experiment.hpp"
+#include "sim/registry.hpp"
 #include "sim/reporting.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
@@ -36,28 +38,24 @@ main(int argc, char** argv)
     const BenchmarkSet set = set_name == "cbp2" ? BenchmarkSet::Cbp2
                                                 : BenchmarkSet::Cbp1;
 
-    TageConfig cfg;
-    if (config_name == "16K")
-        cfg = TageConfig::small16K();
-    else if (config_name == "64K")
-        cfg = TageConfig::medium64K();
-    else if (config_name == "256K")
-        cfg = TageConfig::large256K();
-    else
-        fatal("unknown --config (use 16K, 64K or 256K)");
-    if (modified)
-        cfg = cfg.withProbabilisticSaturation(log2_prob);
+    // Everything is a registry spec; the legacy size/automaton flags
+    // are translated into one when --predictor is not given.
+    std::string spec = args.getString("predictor", "");
+    if (spec.empty()) {
+        spec = tageBaseForSize(config_name);
+        if (spec.empty())
+            fatal("unknown --config (use 16K, 64K or 256K)");
+        if (modified)
+            spec += "+prob" + std::to_string(log2_prob);
+        spec += "+sfc";
+    }
+    auto probe = makePredictor(spec);
 
-    RunConfig rc;
-    rc.predictor = cfg;
-    const SetResult result = runBenchmarkSet(set, rc, branches);
+    const SetResult result = runBenchmarkSet(set, spec, branches);
 
     std::cout << "benchmark set: " << benchmarkSetName(set)
-              << "   predictor: " << cfg.name << " ("
-              << cfg.storageBits() / 1024 << " Kbit)   automaton: "
-              << (modified ? "modified (p=1/" +
-                                 std::to_string(1u << log2_prob) + ")"
-                           : "baseline")
+              << "   predictor: " << probe->name() << " ("
+              << probe->storageBits() / 1024 << " Kbit)"
               << "\n\nPrediction coverage per class (%):\n";
     coverageTable(result).render(std::cout);
 
@@ -69,7 +67,8 @@ main(int argc, char** argv)
 
     std::cout << "\nThree-level split (Sec. 6.1):\n";
     TextTable three = threeClassTable();
-    three.addRow(threeClassRow(cfg.name + " " + benchmarkSetName(set),
+    three.addRow(threeClassRow(probe->name() + " " +
+                                   benchmarkSetName(set),
                                result.aggregate));
     three.render(std::cout);
 

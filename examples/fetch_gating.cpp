@@ -21,16 +21,21 @@
  *    two-threshold structure that the 3-class split of Sec. 6.1
  *    enables, as suggested by Akkary et al. / Malik et al.).
  *
- * Flags: --trace=NAME --config=16K|64K|256K --branches=N
+ * The predictor is any registry spec (--predictor): the storage-free
+ * TAGE scheme by default, but gating works with any graded predictor
+ * ("gshare+jrs", "perceptron+self", ...).
+ *
+ * Flags: --trace=NAME --predictor=SPEC --branches=N
  *        --delay=N (resolve delay, default 24 branches)
+ *        --config=16K|64K|256K (legacy TAGE size, translated to a
+ *        spec when --predictor is not given)
  */
 
 #include <deque>
 #include <iostream>
 
-#include "core/confidence_observer.hpp"
 #include "sim/experiment.hpp"
-#include "tage/tage_predictor.hpp"
+#include "sim/registry.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
 #include "util/table_printer.hpp"
@@ -64,12 +69,11 @@ struct InFlight {
 };
 
 GatingResult
-simulate(const std::string& trace_name, const TageConfig& cfg,
+simulate(const std::string& trace_name, const std::string& spec,
          uint64_t branches, int resolve_delay, const Policy& policy)
 {
     SyntheticTrace trace = makeTrace(trace_name, branches);
-    TagePredictor predictor(cfg);
-    ConfidenceObserver observer;
+    auto predictor = makePredictor(spec);
     GatingResult result;
 
     std::deque<InFlight> window;
@@ -108,8 +112,8 @@ simulate(const std::string& trace_name, const TageConfig& cfg,
             continue;
         }
 
-        const TagePrediction p = predictor.predict(rec.pc);
-        const ConfidenceLevel level = observer.classifyLevel(p);
+        const Prediction p = predictor->predict(rec.pc);
+        const ConfidenceLevel level = p.confidence;
         const bool mispredicted = p.taken != rec.taken;
 
         // Every trace instruction eventually commits (right-path
@@ -134,8 +138,7 @@ simulate(const std::string& trace_name, const TageConfig& cfg,
         if (level == ConfidenceLevel::Medium)
             ++medium_inflight;
 
-        observer.onResolve(p, rec.taken);
-        predictor.update(rec.pc, p, rec.taken);
+        predictor->update(rec.pc, p, rec.taken);
     }
     return result;
 }
@@ -147,20 +150,17 @@ main(int argc, char** argv)
 {
     CliArgs args(argc, argv);
     const std::string trace = args.getString("trace", "300.twolf");
-    const std::string config_name = args.getString("config", "64K");
+    std::string spec = args.getString("predictor", "");
+    if (spec.empty()) {
+        // Legacy size flag, translated to the equivalent spec.
+        spec = tageBaseForSize(args.getString("config", "64K"));
+        if (spec.empty())
+            fatal("unknown --config (use 16K, 64K, 256K or "
+                  "--predictor=SPEC)");
+        spec += "+prob7+sfc";
+    }
     const uint64_t branches = args.getUint("branches", 500000);
     const int delay = static_cast<int>(args.getInt("delay", 24));
-
-    TageConfig cfg;
-    if (config_name == "16K")
-        cfg = TageConfig::small16K();
-    else if (config_name == "64K")
-        cfg = TageConfig::medium64K();
-    else if (config_name == "256K")
-        cfg = TageConfig::large256K();
-    else
-        fatal("unknown --config");
-    cfg = cfg.withProbabilisticSaturation(7);
 
     const Policy policies[] = {
         {"no gating", 1 << 30, 1 << 30},
@@ -168,9 +168,8 @@ main(int argc, char** argv)
         {"gate on 2 low or 6 medium", 2, 6},
     };
 
-    std::cout << "fetch gating on " << trace << ", " << cfg.name
-              << " TAGE + storage-free confidence, resolve delay "
-              << delay << " cycles\n\n";
+    std::cout << "fetch gating on " << trace << ", predictor " << spec
+              << ", resolve delay " << delay << " cycles\n\n";
 
     TextTable t;
     t.addColumn("policy", TextTable::Align::Left);
@@ -182,7 +181,7 @@ main(int argc, char** argv)
 
     for (const Policy& policy : policies) {
         const GatingResult r =
-            simulate(trace, cfg, branches, delay, policy);
+            simulate(trace, spec, branches, delay, policy);
         const double waste =
             100.0 * static_cast<double>(r.wrongPathInstructions) /
             static_cast<double>(r.rightPathInstructions);

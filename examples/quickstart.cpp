@@ -1,56 +1,43 @@
 /**
  * @file
- * Quickstart: build a TAGE predictor, run it over a synthetic trace,
- * grade every prediction with the storage-free confidence observer,
- * and print the per-class breakdown.
+ * Quickstart: build a graded predictor from a registry spec, run it
+ * over a synthetic trace through the generic drive loop, and print the
+ * per-class breakdown.
  *
- * This is the whole public API surface in ~40 lines of user code:
- * TageConfig/TagePredictor, ConfidenceObserver, ClassStats, and the
- * trace generator.
+ * This is the whole public API surface in ~30 lines of user code:
+ * makePredictor(spec), runTrace(), and the ClassStats the run returns.
+ * Try other specs: --predictor=gshare+jrs, ltage64k+sfc,
+ * perceptron+self, tage64k+prob7+adaptive+sfc ...
  */
 
 #include <iostream>
 
-#include "core/class_stats.hpp"
-#include "core/confidence_observer.hpp"
-#include "tage/tage_predictor.hpp"
-#include "trace/profiles.hpp"
+#include "sim/experiment.hpp"
+#include "sim/registry.hpp"
+#include "util/cli.hpp"
 #include "util/table_printer.hpp"
 
 using namespace tagecon;
 
 int
-main()
+main(int argc, char** argv)
 {
+    CliArgs args(argc, argv);
     // The paper's 64Kbit configuration with the Sec. 6 modified
-    // automaton (p = 1/128) — the setting of Table 2.
-    const TageConfig config =
-        TageConfig::medium64K().withProbabilisticSaturation(7);
-    TagePredictor predictor(config);
-    ConfidenceObserver observer; // 8-branch BIM burst window
-    ClassStats stats;
+    // automaton (p = 1/128) and the storage-free estimator — the
+    // setting of Table 2.
+    const std::string spec =
+        args.getString("predictor", "tage64k+prob7+sfc");
+    const uint64_t branches = args.getUint("branches", 500000);
 
-    std::cout << "TAGE " << config.name << " ("
-              << config.storageBits() / 1024 << " Kbit), "
-              << "1 + " << config.numTaggedTables() << " tables\n\n";
+    auto predictor = makePredictor(spec);
+    std::cout << predictor->name() << " ("
+              << predictor->storageBits() / 1024 << " Kbit)\n\n";
 
     // Any TraceSource works here; we generate the gzip-like profile.
-    SyntheticTrace trace = makeTrace("164.gzip", 500000);
-
-    BranchRecord rec;
-    while (trace.next(rec)) {
-        const TagePrediction p = predictor.predict(rec.pc);
-
-        // The storage-free grade: derived purely from predictor outputs.
-        const PredictionClass cls = observer.classify(p);
-
-        const bool mispredicted = p.taken != rec.taken;
-        stats.record(cls, mispredicted,
-                     uint64_t{rec.instructionsBefore} + 1);
-
-        observer.onResolve(p, rec.taken);
-        predictor.update(rec.pc, p, rec.taken);
-    }
+    SyntheticTrace trace = makeTrace("164.gzip", branches);
+    const RunResult result = runTrace(trace, *predictor);
+    const ClassStats& stats = result.stats;
 
     TextTable t;
     t.addColumn("class", TextTable::Align::Left);
@@ -72,6 +59,9 @@ main()
 
     std::cout << "\noverall: " << TextTable::num(stats.mpki(), 2)
               << " MPKI over " << stats.totalPredictions()
-              << " branches\n";
+              << " branches; high-confidence coverage "
+              << TextTable::frac(result.confusion.highCoverage())
+              << " at PVP "
+              << TextTable::frac(result.confusion.pvp()) << "\n";
     return 0;
 }

@@ -17,7 +17,10 @@
  *  - confidence-count: pick the thread with the fewer in-flight
  *    low+medium-confidence predictions (ties: round-robin).
  *
- * Flags: --traceA=NAME --traceB=NAME --branches=N --delay=N
+ * The per-thread predictor is any registry spec (--predictor).
+ *
+ * Flags: --traceA=NAME --traceB=NAME --predictor=SPEC --branches=N
+ *        --delay=N
  */
 
 #include <array>
@@ -25,9 +28,8 @@
 #include <iostream>
 #include <memory>
 
-#include "core/confidence_observer.hpp"
 #include "sim/experiment.hpp"
-#include "tage/tage_predictor.hpp"
+#include "sim/registry.hpp"
 #include "util/cli.hpp"
 #include "util/table_printer.hpp"
 
@@ -41,11 +43,10 @@ struct InFlight {
     int age = 0;
 };
 
-/** One SMT hardware thread: its own trace, predictor and observer. */
+/** One SMT hardware thread: its own trace and graded predictor. */
 struct Thread {
     std::unique_ptr<SyntheticTrace> trace;
-    std::unique_ptr<TagePredictor> predictor;
-    ConfidenceObserver observer;
+    std::unique_ptr<GradedPredictor> predictor;
     std::deque<InFlight> window;
     int riskyInFlight = 0; // low + medium confidence, unresolved
     uint64_t rightPath = 0;
@@ -72,8 +73,8 @@ struct Thread {
             exhausted = true;
             return;
         }
-        const TagePrediction p = predictor->predict(rec.pc);
-        const ConfidenceLevel level = observer.classifyLevel(p);
+        const Prediction p = predictor->predict(rec.pc);
+        const ConfidenceLevel level = p.confidence;
         const bool mispredicted = p.taken != rec.taken;
 
         bool on_wrong_path = false;
@@ -89,7 +90,6 @@ struct Thread {
         if (level != ConfidenceLevel::High)
             ++riskyInFlight;
 
-        observer.onResolve(p, rec.taken);
         predictor->update(rec.pc, p, rec.taken);
     }
 };
@@ -101,10 +101,9 @@ struct SmtResult {
 
 SmtResult
 simulate(const std::string& trace_a, const std::string& trace_b,
-         uint64_t branches, int resolve_delay, bool confidence_aware)
+         const std::string& spec, uint64_t branches, int resolve_delay,
+         bool confidence_aware)
 {
-    const TageConfig cfg =
-        TageConfig::medium64K().withProbabilisticSaturation(7);
     std::array<Thread, 2> threads;
     // Generous per-thread streams: the measurement window is a fixed
     // number of fetch cycles, so neither trace may run dry (what
@@ -115,7 +114,7 @@ simulate(const std::string& trace_a, const std::string& trace_b,
     threads[1].trace = std::make_unique<SyntheticTrace>(
         makeTrace(trace_b, 2 * branches));
     for (auto& th : threads)
-        th.predictor = std::make_unique<TagePredictor>(cfg);
+        th.predictor = makePredictor(spec);
 
     int rr = 0;
     for (uint64_t cycle = 0; cycle < branches; ++cycle) {
@@ -155,11 +154,13 @@ main(int argc, char** argv)
     CliArgs args(argc, argv);
     const std::string trace_a = args.getString("traceA", "252.eon");
     const std::string trace_b = args.getString("traceB", "300.twolf");
+    const std::string spec =
+        args.getString("predictor", "tage64k+prob7+sfc");
     const uint64_t branches = args.getUint("branches", 400000);
     const int delay = static_cast<int>(args.getInt("delay", 24));
 
     std::cout << "2-thread SMT fetch: " << trace_a << " + " << trace_b
-              << ", 64K TAGE + storage-free confidence\n\n";
+              << ", predictor " << spec << "\n\n";
 
     std::cout << "fixed front-end window: " << branches
               << " fetch cycles\n\n";
@@ -172,7 +173,7 @@ main(int argc, char** argv)
 
     for (const bool aware : {false, true}) {
         const SmtResult r =
-            simulate(trace_a, trace_b, branches, delay, aware);
+            simulate(trace_a, trace_b, spec, branches, delay, aware);
         t.addRow({aware ? "confidence-count (this paper)"
                         : "round-robin",
                   std::to_string(r.rightPath),

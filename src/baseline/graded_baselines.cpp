@@ -1,0 +1,159 @@
+#include "baseline/graded_baselines.hpp"
+
+namespace tagecon {
+
+namespace {
+
+/** Fill the level/class pair of a two-way (high/low) grade. */
+void
+setBinaryGrade(Prediction& p, bool high)
+{
+    p.confidence = high ? ConfidenceLevel::High : ConfidenceLevel::Low;
+    p.cls = representativeClass(p.confidence);
+}
+
+} // namespace
+
+// ---------------------------------------------------------- GradedGshare
+
+GradedGshare::GradedGshare(int log_entries, int history_bits,
+                           int ctr_bits)
+    : inner_(log_entries, history_bits, ctr_bits),
+      logEntries_(log_entries), historyBits_(history_bits),
+      ctrBits_(ctr_bits)
+{
+}
+
+Prediction
+GradedGshare::predict(uint64_t pc)
+{
+    Prediction p;
+    p.taken = inner_.predict(pc);
+    setBinaryGrade(p, /*high=*/true); // confidence-blind
+    return p;
+}
+
+void
+GradedGshare::update(uint64_t pc, const Prediction& /*p*/, bool taken)
+{
+    inner_.update(pc, taken);
+}
+
+uint64_t
+GradedGshare::storageBits() const
+{
+    return inner_.storageBits();
+}
+
+void
+GradedGshare::reset()
+{
+    inner_ = GsharePredictor(logEntries_, historyBits_, ctrBits_);
+}
+
+// --------------------------------------------------------- GradedBimodal
+
+GradedBimodal::GradedBimodal(int log_entries, int ctr_bits)
+    : inner_(log_entries, ctr_bits), logEntries_(log_entries),
+      ctrBits_(ctr_bits)
+{
+}
+
+Prediction
+GradedBimodal::predict(uint64_t pc)
+{
+    Prediction p;
+    p.taken = inner_.predict(pc);
+    setBinaryGrade(p, inner_.highConfidence(pc));
+    return p;
+}
+
+void
+GradedBimodal::update(uint64_t pc, const Prediction& /*p*/, bool taken)
+{
+    inner_.update(pc, taken);
+}
+
+uint64_t
+GradedBimodal::storageBits() const
+{
+    return inner_.storageBits();
+}
+
+void
+GradedBimodal::reset()
+{
+    inner_ = BimodalPredictor(logEntries_, ctrBits_);
+}
+
+// ------------------------------------------------------ GradedPerceptron
+
+GradedPerceptron::GradedPerceptron(int log_perceptrons, int history_bits)
+    : inner_(log_perceptrons, history_bits),
+      logPerceptrons_(log_perceptrons), historyBits_(history_bits)
+{
+}
+
+Prediction
+GradedPerceptron::predict(uint64_t pc)
+{
+    Prediction p;
+    p.taken = inner_.predict(pc);
+    setBinaryGrade(p, inner_.lastHighConfidence());
+    return p;
+}
+
+void
+GradedPerceptron::update(uint64_t pc, const Prediction& /*p*/,
+                         bool taken)
+{
+    inner_.update(pc, taken);
+}
+
+uint64_t
+GradedPerceptron::storageBits() const
+{
+    return inner_.storageBits();
+}
+
+void
+GradedPerceptron::reset()
+{
+    inner_ = PerceptronPredictor(logPerceptrons_, historyBits_);
+}
+
+// ----------------------------------------------------------- GradedOgehl
+
+GradedOgehl::GradedOgehl(OgehlPredictor::Config cfg)
+    : inner_(cfg)
+{
+}
+
+Prediction
+GradedOgehl::predict(uint64_t pc)
+{
+    Prediction p;
+    p.taken = inner_.predict(pc);
+    setBinaryGrade(p, inner_.lastHighConfidence());
+    return p;
+}
+
+void
+GradedOgehl::update(uint64_t pc, const Prediction& /*p*/, bool taken)
+{
+    inner_.update(pc, taken);
+}
+
+uint64_t
+GradedOgehl::storageBits() const
+{
+    return inner_.storageBits();
+}
+
+void
+GradedOgehl::reset()
+{
+    inner_ = OgehlPredictor(inner_.config());
+}
+
+} // namespace tagecon

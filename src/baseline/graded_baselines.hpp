@@ -1,0 +1,135 @@
+/**
+ * @file
+ * GradedPredictor adapters for the baseline predictor families:
+ * gshare, bimodal, perceptron and O-GEHL.
+ *
+ * Each adapter grades with the family's natural storage-free signal
+ * where one exists — Smith counter strength for bimodal, |sum| >=
+ * theta self-confidence for perceptron and O-GEHL (Sec. 2.2 of the
+ * paper). gshare has no intrinsic confidence signal; its predictions
+ * default to high confidence and hasIntrinsicConfidence() is false, so
+ * the registry rejects "gshare+sfc" and a storage-based estimator
+ * (JRS) must be attached instead.
+ */
+
+#ifndef TAGECON_BASELINE_GRADED_BASELINES_HPP
+#define TAGECON_BASELINE_GRADED_BASELINES_HPP
+
+#include "baseline/bimodal_predictor.hpp"
+#include "baseline/gshare_predictor.hpp"
+#include "baseline/ogehl_predictor.hpp"
+#include "baseline/perceptron_predictor.hpp"
+#include "core/graded_predictor.hpp"
+
+namespace tagecon {
+
+/**
+ * gshare behind the GradedPredictor interface. Confidence-blind: every
+ * prediction is graded high until an estimator decorates it.
+ */
+class GradedGshare : public GradedPredictor
+{
+  public:
+    /** Defaults give a 64Kbit table, comparable to the 64K TAGE. */
+    explicit GradedGshare(int log_entries = 15, int history_bits = 15,
+                          int ctr_bits = 2);
+
+    Prediction predict(uint64_t pc) override;
+    void update(uint64_t pc, const Prediction& p, bool taken) override;
+    uint64_t storageBits() const override;
+    void reset() override;
+
+    /** The wrapped predictor (read-only). */
+    const GsharePredictor& inner() const { return inner_; }
+
+  protected:
+    std::string defaultName() const override { return "gshare"; }
+
+  private:
+    GsharePredictor inner_;
+    int logEntries_, historyBits_, ctrBits_;
+};
+
+/**
+ * Bimodal behind the GradedPredictor interface, graded with Smith
+ * self-confidence: weak counter -> low confidence.
+ */
+class GradedBimodal : public GradedPredictor
+{
+  public:
+    /** Defaults give a 64Kbit table. */
+    explicit GradedBimodal(int log_entries = 15, int ctr_bits = 2);
+
+    Prediction predict(uint64_t pc) override;
+    void update(uint64_t pc, const Prediction& p, bool taken) override;
+    uint64_t storageBits() const override;
+    void reset() override;
+    bool hasIntrinsicConfidence() const override { return true; }
+
+    /** The wrapped predictor (read-only). */
+    const BimodalPredictor& inner() const { return inner_; }
+
+  protected:
+    std::string defaultName() const override { return "bimodal"; }
+
+  private:
+    BimodalPredictor inner_;
+    int logEntries_, ctrBits_;
+};
+
+/**
+ * Perceptron behind the GradedPredictor interface, graded with its
+ * |sum| >= theta self-confidence.
+ */
+class GradedPerceptron : public GradedPredictor
+{
+  public:
+    /** Defaults match the bench geometry comparable to 64Kbit. */
+    explicit GradedPerceptron(int log_perceptrons = 9,
+                              int history_bits = 32);
+
+    Prediction predict(uint64_t pc) override;
+    void update(uint64_t pc, const Prediction& p, bool taken) override;
+    uint64_t storageBits() const override;
+    void reset() override;
+    bool hasIntrinsicConfidence() const override { return true; }
+
+    /** The wrapped predictor (read-only). */
+    const PerceptronPredictor& inner() const { return inner_; }
+
+  protected:
+    std::string defaultName() const override { return "perceptron"; }
+
+  private:
+    PerceptronPredictor inner_;
+    int logPerceptrons_, historyBits_;
+};
+
+/**
+ * O-GEHL behind the GradedPredictor interface, graded with its
+ * |sum| >= theta self-confidence (the Sec. 2.2 reference point).
+ */
+class GradedOgehl : public GradedPredictor
+{
+  public:
+    explicit GradedOgehl(OgehlPredictor::Config cfg = {});
+
+    Prediction predict(uint64_t pc) override;
+    void update(uint64_t pc, const Prediction& p, bool taken) override;
+    uint64_t storageBits() const override;
+    void reset() override;
+    bool hasIntrinsicConfidence() const override { return true; }
+
+    /** The wrapped predictor (read-only). */
+    const OgehlPredictor& inner() const { return inner_; }
+
+  protected:
+    std::string defaultName() const override { return "ogehl"; }
+
+  private:
+    OgehlPredictor inner_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_BASELINE_GRADED_BASELINES_HPP

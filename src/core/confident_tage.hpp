@@ -9,6 +9,12 @@
  * AdaptiveProbabilityController) when you need to wire them into an
  * existing pipeline model; use this facade when you just want graded
  * predictions.
+ *
+ * For code that should work with *any* predictor family — or be
+ * constructed from a spec string — prefer the unified GradedPredictor
+ * API (core/graded_predictor.hpp) and its TAGE adapter GradedTage
+ * (tage/graded_tage.hpp, makePredictor("tage64k+prob7+sfc")); this
+ * facade predates it and keeps the TAGE-specific result type.
  */
 
 #ifndef TAGECON_CORE_CONFIDENT_TAGE_HPP

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The ConfidenceEstimator family: every way this repository knows to
+ * grade a prediction, as decorators attachable to any GradedPredictor.
+ *
+ *  - IntrinsicEstimator ("sfc"/"self"): trusts the grade the host
+ *    predictor derived from its own state — the paper's storage-free
+ *    scheme on TAGE, |sum| >= theta self-confidence on neural
+ *    predictors, Smith counter strength on bimodal. Zero storage.
+ *  - JrsEstimator ("jrs"/"jrsg"): the storage-based JRS resetting
+ *    counter table (MICRO 1996), optionally with Grunwald et al.'s
+ *    prediction-indexed refinement — the baseline the paper's
+ *    storage-free scheme is pitted against.
+ *  - BlindEstimator ("blind"): grades everything high confidence; the
+ *    confidence-oblivious control row in comparisons.
+ */
+
+#ifndef TAGECON_CORE_ESTIMATORS_HPP
+#define TAGECON_CORE_ESTIMATORS_HPP
+
+#include "baseline/jrs_estimator.hpp"
+#include "core/graded_predictor.hpp"
+
+namespace tagecon {
+
+/**
+ * Pass-through estimator: the host's intrinsic (storage-free / self)
+ * confidence is the grade. Only attachable to hosts with
+ * hasIntrinsicConfidence() — the registry enforces that.
+ */
+class IntrinsicEstimator : public ConfidenceEstimator
+{
+  public:
+    ConfidenceLevel
+    grade(uint64_t /*pc*/, const Prediction& p) override
+    {
+        return p.confidence;
+    }
+
+    void
+    onResolve(uint64_t /*pc*/, const Prediction& /*p*/,
+              bool /*taken*/) override
+    {
+    }
+
+    /** The host's 7-class breakdown stays valid under this grade. */
+    bool preservesHostClasses() const override { return true; }
+
+    std::string name() const override { return "sfc"; }
+
+    /** The whole point: the grade costs no storage. */
+    uint64_t storageBits() const override { return 0; }
+
+    void reset() override {}
+};
+
+/**
+ * The JRS resetting-counter estimator as a decorator. High confidence
+ * iff the gshare-indexed counter is at threshold; counters are
+ * incremented on correct predictions and reset on mispredictions.
+ */
+class JrsEstimator : public ConfidenceEstimator
+{
+  public:
+    /** Classic configuration: 4-bit counters, threshold 15. */
+    JrsEstimator() = default;
+
+    explicit JrsEstimator(JrsConfidenceEstimator::Config cfg)
+        : inner_(cfg)
+    {
+    }
+
+    ConfidenceLevel
+    grade(uint64_t pc, const Prediction& p) override
+    {
+        return inner_.query(pc, p.taken) ? ConfidenceLevel::High
+                                         : ConfidenceLevel::Low;
+    }
+
+    void
+    onResolve(uint64_t pc, const Prediction& p, bool taken) override
+    {
+        inner_.record(pc, p.taken, p.taken == taken, taken);
+    }
+
+    std::string
+    name() const override
+    {
+        return inner_.config().indexWithPrediction ? "jrsg" : "jrs";
+    }
+
+    uint64_t storageBits() const override { return inner_.storageBits(); }
+
+    void
+    reset() override
+    {
+        inner_ = JrsConfidenceEstimator(inner_.config());
+    }
+
+    /** The wrapped table (introspection / tests). */
+    const JrsConfidenceEstimator& inner() const { return inner_; }
+
+  private:
+    JrsConfidenceEstimator inner_;
+};
+
+/** Grades every prediction high confidence (the blind control). */
+class BlindEstimator : public ConfidenceEstimator
+{
+  public:
+    ConfidenceLevel
+    grade(uint64_t /*pc*/, const Prediction& /*p*/) override
+    {
+        return ConfidenceLevel::High;
+    }
+
+    void
+    onResolve(uint64_t /*pc*/, const Prediction& /*p*/,
+              bool /*taken*/) override
+    {
+    }
+
+    std::string name() const override { return "blind"; }
+
+    uint64_t storageBits() const override { return 0; }
+
+    void reset() override {}
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_CORE_ESTIMATORS_HPP

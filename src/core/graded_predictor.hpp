@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The unified graded-prediction API every predictor family in this
+ * repository implements.
+ *
+ * The paper's thesis is that confidence can be read off a predictor's
+ * existing state for free; this interface makes that a first-class
+ * property of *any* predictor: predict() returns a Prediction carrying
+ * both the architectural answer (taken) and a confidence grade, and
+ * confidence estimators are decorators (EstimatedPredictor) that can
+ * be stacked on any host — the storage-free observer on TAGE, JRS
+ * counter tables on gshare, self-confidence on neural predictors, or
+ * nothing at all.
+ *
+ * Concrete predictors live next to their families:
+ *  - tage/graded_tage.hpp        TAGE and L-TAGE (storage-free classes)
+ *  - baseline/graded_baselines.hpp  gshare, bimodal, perceptron, O-GEHL
+ *  - core/estimators.hpp         the ConfidenceEstimator family
+ * and are usually constructed through the string-spec registry
+ * (sim/registry.hpp): makePredictor("tage64k+prob7+sfc").
+ */
+
+#ifndef TAGECON_CORE_GRADED_PREDICTOR_HPP
+#define TAGECON_CORE_GRADED_PREDICTOR_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/prediction_class.hpp"
+
+namespace tagecon {
+
+/**
+ * One graded prediction: the architectural direction plus the
+ * confidence grade attached to it, and an opaque payload slot the
+ * producing predictor may use to route lookup state to the paired
+ * update() call.
+ */
+struct Prediction {
+    /** Predicted direction, delivered to the front end. */
+    bool taken = false;
+
+    /** The 3-level confidence grade (Sec. 6.1 split for TAGE). */
+    ConfidenceLevel confidence = ConfidenceLevel::High;
+
+    /**
+     * The 7-class storage-free grade when the predictor can produce it
+     * (TAGE family); representativeClass(confidence) otherwise, so the
+     * class is always consistent with the level.
+     */
+    PredictionClass cls = PredictionClass::HighConfBim;
+
+    /**
+     * Opaque, predictor-owned slot. Consumers must pass it back
+     * unchanged in update(); they must not interpret it.
+     */
+    uint64_t payload = 0;
+};
+
+/**
+ * A conditional branch predictor whose predictions are graded with
+ * confidence. Drive it in strictly alternating predict/update pairs
+ * per branch:
+ *
+ *   Prediction p = predictor.predict(pc);
+ *   ... consume p.taken, speculate according to p.confidence ...
+ *   predictor.update(pc, p, actual_taken);
+ *
+ * All six predictor families (TAGE, L-TAGE, gshare, bimodal,
+ * perceptron, O-GEHL) implement this interface, which is what lets
+ * sim/experiment.hpp drive arbitrary predictor x estimator x workload
+ * combinations through one generic loop.
+ */
+class GradedPredictor
+{
+  public:
+    virtual ~GradedPredictor() = default;
+
+    /** Predict and grade the branch at @p pc. */
+    virtual Prediction predict(uint64_t pc) = 0;
+
+    /**
+     * Train with the resolved outcome. @p p must be the Prediction
+     * returned by the immediately preceding predict(pc).
+     */
+    virtual void update(uint64_t pc, const Prediction& p, bool taken) = 0;
+
+    /** Total storage in bits, including any attached estimator. */
+    virtual uint64_t storageBits() const = 0;
+
+    /** Reset all state to post-construction values. */
+    virtual void reset() = 0;
+
+    /**
+     * True when predict() fills the confidence grade from the
+     * predictor's own state (storage-free / self confidence) rather
+     * than defaulting it. Estimator specs like "+sfc" require this.
+     */
+    virtual bool hasIntrinsicConfidence() const { return false; }
+
+    /**
+     * Tagged-entry allocations performed so far; 0 for predictors
+     * without an allocation mechanism. Surfaced in RunResult.
+     */
+    virtual uint64_t allocations() const { return 0; }
+
+    /**
+     * Current log2(1/p) of the probabilistic-saturation automaton;
+     * 0 when the predictor has none. Surfaced in RunResult.
+     */
+    virtual unsigned satLog2Prob() const { return 0; }
+
+    /**
+     * Display name: the registry spec when built via makePredictor(),
+     * the family default otherwise.
+     */
+    std::string
+    name() const
+    {
+        return displayName_.empty() ? defaultName() : displayName_;
+    }
+
+    /** Override the display name (the registry stamps the spec here). */
+    void setName(std::string name) { displayName_ = std::move(name); }
+
+  protected:
+    /** Family name used when no display name was stamped. */
+    virtual std::string defaultName() const = 0;
+
+  private:
+    std::string displayName_;
+};
+
+/**
+ * A confidence estimator attachable to any GradedPredictor via
+ * EstimatedPredictor. grade() is consulted once per prediction,
+ * onResolve() once per resolved branch, in order.
+ */
+class ConfidenceEstimator
+{
+  public:
+    virtual ~ConfidenceEstimator() = default;
+
+    /** Grade the prediction the host just produced for @p pc. */
+    virtual ConfidenceLevel grade(uint64_t pc, const Prediction& p) = 0;
+
+    /** Observe the resolved branch (training, history advance). */
+    virtual void onResolve(uint64_t pc, const Prediction& p,
+                           bool taken) = 0;
+
+    /**
+     * True when grade() returns the host's own grade unchanged, so
+     * the host's detailed class labels (the 7 TAGE classes) remain
+     * valid alongside it. False for independent estimators, whose
+     * grades say nothing about the host's class breakdown.
+     */
+    virtual bool preservesHostClasses() const { return false; }
+
+    /** Estimator name, appended to the host name ("jrs", "sfc"...). */
+    virtual std::string name() const = 0;
+
+    /** Extra storage the estimator costs, in bits (0 = storage-free). */
+    virtual uint64_t storageBits() const = 0;
+
+    /** Reset estimator state. */
+    virtual void reset() = 0;
+};
+
+/**
+ * Decorator composing a host predictor with a confidence estimator:
+ * predictions come from the host, the grade from the estimator. The
+ * result is itself a GradedPredictor, so estimators stack.
+ */
+class EstimatedPredictor : public GradedPredictor
+{
+  public:
+    EstimatedPredictor(std::unique_ptr<GradedPredictor> host,
+                       std::unique_ptr<ConfidenceEstimator> estimator)
+        : host_(std::move(host)), estimator_(std::move(estimator))
+    {
+    }
+
+    Prediction
+    predict(uint64_t pc) override
+    {
+        Prediction p = host_->predict(pc);
+        const ConfidenceLevel graded = estimator_->grade(pc, p);
+        // An independent estimator replaces both the level and the
+        // class: keeping the host's detailed classes next to a foreign
+        // level would make the per-class statistics describe neither
+        // grading scheme.
+        if (!estimator_->preservesHostClasses()) {
+            p.confidence = graded;
+            p.cls = representativeClass(graded);
+        }
+        return p;
+    }
+
+    void
+    update(uint64_t pc, const Prediction& p, bool taken) override
+    {
+        estimator_->onResolve(pc, p, taken);
+        host_->update(pc, p, taken);
+    }
+
+    uint64_t
+    storageBits() const override
+    {
+        return host_->storageBits() + estimator_->storageBits();
+    }
+
+    void
+    reset() override
+    {
+        host_->reset();
+        estimator_->reset();
+    }
+
+    /** The estimator fully determines the grade. */
+    bool hasIntrinsicConfidence() const override { return true; }
+
+    uint64_t allocations() const override { return host_->allocations(); }
+
+    unsigned satLog2Prob() const override { return host_->satLog2Prob(); }
+
+    /** The wrapped host predictor. */
+    const GradedPredictor& host() const { return *host_; }
+
+    /** The attached estimator. */
+    const ConfidenceEstimator& estimator() const { return *estimator_; }
+
+  protected:
+    std::string
+    defaultName() const override
+    {
+        return host_->name() + "+" + estimator_->name();
+    }
+
+  private:
+    std::unique_ptr<GradedPredictor> host_;
+    std::unique_ptr<ConfidenceEstimator> estimator_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_CORE_GRADED_PREDICTOR_HPP

@@ -85,6 +85,25 @@ confidenceLevel(PredictionClass c)
     return ConfidenceLevel::Low;
 }
 
+/**
+ * Canonical class for a bare confidence level, for predictors that
+ * grade in levels without the 7-class TAGE observation (the bimodal
+ * classes are the historical storage-free origin of each level).
+ */
+constexpr PredictionClass
+representativeClass(ConfidenceLevel level)
+{
+    switch (level) {
+      case ConfidenceLevel::High:
+        return PredictionClass::HighConfBim;
+      case ConfidenceLevel::Medium:
+        return PredictionClass::MediumConfBim;
+      case ConfidenceLevel::Low:
+        return PredictionClass::LowConfBim;
+    }
+    return PredictionClass::LowConfBim;
+}
+
 /** Index of a class into dense arrays. */
 constexpr size_t
 classIndex(PredictionClass c)

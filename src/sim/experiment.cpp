@@ -1,10 +1,103 @@
 #include "sim/experiment.hpp"
 
-#include "core/confidence_observer.hpp"
-#include "tage/tage_predictor.hpp"
+#include "sim/registry.hpp"
+#include "tage/graded_tage.hpp"
 #include "util/logging.hpp"
 
 namespace tagecon {
+
+namespace {
+
+/** Accumulate one trace run into a set-level result. */
+void
+foldIntoSet(SetResult& sr, RunResult&& rr, double& mpki_sum)
+{
+    sr.aggregate.merge(rr.stats);
+    sr.confusion.merge(rr.confusion);
+    mpki_sum += rr.stats.mpki();
+    sr.perTrace.push_back(std::move(rr));
+}
+
+void
+finishSet(SetResult& sr, double mpki_sum)
+{
+    sr.meanMpki = sr.perTrace.empty()
+                      ? 0.0
+                      : mpki_sum / static_cast<double>(sr.perTrace.size());
+}
+
+} // namespace
+
+RunResult
+runTrace(TraceSource& trace, GradedPredictor& predictor)
+{
+    RunResult result;
+    result.traceName = trace.name();
+    result.configName = predictor.name();
+
+    BranchRecord rec;
+    while (trace.next(rec)) {
+        const Prediction p = predictor.predict(rec.pc);
+        const bool mispredicted = p.taken != rec.taken;
+
+        result.stats.record(p.cls, mispredicted,
+                            uint64_t{rec.instructionsBefore} + 1);
+        result.confusion.record(
+            p.confidence == ConfidenceLevel::High, !mispredicted);
+
+        predictor.update(rec.pc, p, rec.taken);
+    }
+
+    result.finalLog2Prob = predictor.satLog2Prob();
+    result.allocations = predictor.allocations();
+    result.storageBits = predictor.storageBits();
+    return result;
+}
+
+SetResult
+runBenchmarkSet(BenchmarkSet set, const std::string& spec,
+                uint64_t branches_per_trace)
+{
+    SetResult sr;
+    sr.set = set;
+    double mpki_sum = 0.0;
+    for (const auto& name : traceNames(set)) {
+        SyntheticTrace trace = makeTrace(name, branches_per_trace);
+        auto predictor = makePredictor(spec);
+        foldIntoSet(sr, runTrace(trace, *predictor), mpki_sum);
+    }
+    finishSet(sr, mpki_sum);
+    return sr;
+}
+
+RunResult
+runNamedTrace(const std::string& trace_name, const std::string& spec,
+              uint64_t branches)
+{
+    SyntheticTrace trace = makeTrace(trace_name, branches);
+    auto predictor = makePredictor(spec);
+    return runTrace(trace, *predictor);
+}
+
+RunResult
+runSets(const std::vector<BenchmarkSet>& sets, const std::string& spec,
+        uint64_t branches_per_trace)
+{
+    RunResult pooled;
+    pooled.configName = canonicalizeSpec(spec);
+    std::string names;
+    for (const BenchmarkSet set : sets) {
+        names += (names.empty() ? "" : "+") + benchmarkSetName(set);
+        const SetResult sr =
+            runBenchmarkSet(set, spec, branches_per_trace);
+        pooled.stats.merge(sr.aggregate);
+        pooled.confusion.merge(sr.confusion);
+        if (!sr.perTrace.empty())
+            pooled.storageBits = sr.perTrace.back().storageBits;
+    }
+    pooled.traceName = names;
+    return pooled;
+}
 
 RunResult
 runTrace(TraceSource& trace, const RunConfig& cfg)
@@ -12,36 +105,14 @@ runTrace(TraceSource& trace, const RunConfig& cfg)
     if (cfg.adaptive && !cfg.predictor.probabilisticSaturation)
         fatal("adaptive runs require probabilisticSaturation");
 
-    TagePredictor predictor(cfg.predictor);
-    ConfidenceObserver observer(cfg.bimWindow);
-    AdaptiveProbabilityController controller(cfg.adaptiveConfig);
-    if (cfg.adaptive)
-        predictor.setSatLog2Prob(controller.log2Prob());
+    GradedTageOptions opt;
+    opt.bimWindow = cfg.bimWindow;
+    opt.adaptive = cfg.adaptive;
+    opt.adaptiveConfig = cfg.adaptiveConfig;
+    GradedTage predictor(cfg.predictor, opt);
 
-    RunResult result;
-    result.traceName = trace.name();
+    RunResult result = runTrace(trace, predictor);
     result.configName = cfg.predictor.name;
-
-    BranchRecord rec;
-    while (trace.next(rec)) {
-        const TagePrediction p = predictor.predict(rec.pc);
-        const PredictionClass cls = observer.classify(p);
-        const bool mispredicted = p.taken != rec.taken;
-
-        result.stats.record(cls, mispredicted,
-                            uint64_t{rec.instructionsBefore} + 1);
-        observer.onResolve(p, rec.taken);
-
-        if (cfg.adaptive &&
-            controller.record(confidenceLevel(cls), mispredicted)) {
-            predictor.setSatLog2Prob(controller.log2Prob());
-        }
-
-        predictor.update(rec.pc, p, rec.taken);
-    }
-
-    result.finalLog2Prob = predictor.satLog2Prob();
-    result.allocations = predictor.allocations();
     return result;
 }
 
@@ -54,14 +125,9 @@ runBenchmarkSet(BenchmarkSet set, const RunConfig& cfg,
     double mpki_sum = 0.0;
     for (const auto& name : traceNames(set)) {
         SyntheticTrace trace = makeTrace(name, branches_per_trace);
-        RunResult rr = runTrace(trace, cfg);
-        sr.aggregate.merge(rr.stats);
-        mpki_sum += rr.stats.mpki();
-        sr.perTrace.push_back(std::move(rr));
+        foldIntoSet(sr, runTrace(trace, cfg), mpki_sum);
     }
-    sr.meanMpki = sr.perTrace.empty()
-                      ? 0.0
-                      : mpki_sum / static_cast<double>(sr.perTrace.size());
+    finishSet(sr, mpki_sum);
     return sr;
 }
 

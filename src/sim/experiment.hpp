@@ -1,9 +1,14 @@
 /**
  * @file
- * Trace-driven experiment driver: runs a TAGE predictor with the
- * storage-free confidence observer over traces and benchmark sets,
- * producing the per-class statistics every table and figure of the
- * paper is built from.
+ * Trace-driven experiment driver. One generic loop — runTrace(trace,
+ * predictor) — drives any GradedPredictor built by hand or through the
+ * registry (sim/registry.hpp) over any TraceSource, producing the
+ * per-class statistics every table and figure of the paper is built
+ * from plus the binary (high/low) confidence confusion the comparison
+ * benches score with.
+ *
+ * The original TAGE-specific entry points (RunConfig overloads) are
+ * kept and are now thin shims over the generic loop.
  */
 
 #ifndef TAGECON_SIM_EXPERIMENT_HPP
@@ -13,14 +18,16 @@
 #include <vector>
 
 #include "core/adaptive_probability.hpp"
+#include "core/binary_metrics.hpp"
 #include "core/class_stats.hpp"
+#include "core/graded_predictor.hpp"
 #include "tage/tage_config.hpp"
 #include "trace/profiles.hpp"
 #include "trace/trace_source.hpp"
 
 namespace tagecon {
 
-/** Everything that parameterizes one simulation run. */
+/** Everything that parameterizes one TAGE simulation run (legacy). */
 struct RunConfig {
     /** Predictor configuration (Sec. 4 sizes or custom). */
     TageConfig predictor;
@@ -41,16 +48,27 @@ struct RunConfig {
 /** Outcome of simulating one trace. */
 struct RunResult {
     std::string traceName;
+
+    /** Predictor display name (the registry spec for spec-built runs). */
     std::string configName;
 
     /** Per-class and total statistics. */
     ClassStats stats;
+
+    /**
+     * 2x2 confusion between (high confidence / not) and (correct /
+     * mispredicted) — the SENS/PVP/SPEC/PVN inputs.
+     */
+    BinaryConfidenceMetrics confusion;
 
     /** Final log2(1/p) (only interesting for adaptive runs). */
     unsigned finalLog2Prob = 0;
 
     /** Tagged entry allocations performed by the predictor. */
     uint64_t allocations = 0;
+
+    /** Predictor storage in bits, including any attached estimator. */
+    uint64_t storageBits = 0;
 };
 
 /** Outcome of simulating a whole benchmark set. */
@@ -63,9 +81,45 @@ struct SetResult {
     /** Pooled statistics over all branches of the set. */
     ClassStats aggregate;
 
+    /** Pooled binary confidence confusion over the set. */
+    BinaryConfidenceMetrics confusion;
+
     /** Arithmetic mean of per-trace MPKI (the paper's misp/KI rows). */
     double meanMpki = 0.0;
 };
+
+// ------------------------------------------------- generic drive loop
+
+/**
+ * Simulate @p trace (from its current position) on @p predictor — the
+ * single generic loop every experiment goes through.
+ */
+RunResult runTrace(TraceSource& trace, GradedPredictor& predictor);
+
+/**
+ * Simulate every trace of @p set on a fresh registry-built @p spec
+ * predictor per trace, generating each trace synthetically with
+ * @p branches_per_trace branches.
+ */
+SetResult runBenchmarkSet(BenchmarkSet set, const std::string& spec,
+                          uint64_t branches_per_trace);
+
+/**
+ * Simulate one named synthetic trace of @p branches branches on a
+ * fresh registry-built @p spec predictor.
+ */
+RunResult runNamedTrace(const std::string& trace_name,
+                        const std::string& spec, uint64_t branches);
+
+/**
+ * Simulate @p spec over every trace of several benchmark sets (fresh
+ * predictor per trace) and pool everything into one RunResult — the
+ * shape of the cross-set comparison benches.
+ */
+RunResult runSets(const std::vector<BenchmarkSet>& sets,
+                  const std::string& spec, uint64_t branches_per_trace);
+
+// ------------------------------------------- legacy TAGE entry points
 
 /** Simulate @p trace (from its current position) under @p cfg. */
 RunResult runTrace(TraceSource& trace, const RunConfig& cfg);

@@ -1,0 +1,353 @@
+#include "sim/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "baseline/graded_baselines.hpp"
+#include "core/estimators.hpp"
+#include "tage/graded_tage.hpp"
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** Split @p spec on '+'; empty tokens are malformed. */
+bool
+splitSpec(const std::string& spec, std::vector<std::string>& tokens,
+          std::string& error)
+{
+    std::stringstream ss(toLower(spec));
+    std::string tok;
+    while (std::getline(ss, tok, '+')) {
+        if (tok.empty()) {
+            error = "malformed spec '" + spec + "': empty token";
+            return false;
+        }
+        tokens.push_back(tok);
+    }
+    if (tokens.empty()) {
+        error = "empty predictor spec";
+        return false;
+    }
+    return true;
+}
+
+std::unique_ptr<GradedPredictor>
+makeTageBase(TageConfig cfg, const SpecModifiers& mods,
+             std::string& error)
+{
+    if (mods.prob)
+        cfg = cfg.withProbabilisticSaturation(mods.probLog2);
+    if (mods.adaptive && !cfg.probabilisticSaturation) {
+        error = "adaptive requires probabilisticSaturation "
+                "(add +prob to the spec)";
+        return nullptr;
+    }
+    GradedTageOptions opt;
+    opt.adaptive = mods.adaptive;
+    return std::make_unique<GradedTage>(std::move(cfg), opt);
+}
+
+std::unique_ptr<GradedPredictor>
+makeLTageBase(TageConfig cfg, const SpecModifiers& mods,
+              std::string& error)
+{
+    if (mods.adaptive) {
+        error = "adaptive is not supported on ltage bases";
+        return nullptr;
+    }
+    if (mods.prob)
+        cfg = cfg.withProbabilisticSaturation(mods.probLog2);
+    return std::make_unique<GradedLTage>(std::move(cfg));
+}
+
+/** Wrap a modifier-free baseline constructor, rejecting modifiers. */
+template <typename Make>
+PredictorBaseFactory
+plainBase(const std::string& name, Make make)
+{
+    return [name, make](const SpecModifiers& mods,
+                        std::string& error)
+               -> std::unique_ptr<GradedPredictor> {
+        if (mods.prob || mods.adaptive) {
+            error = "modifiers prob/adaptive only apply to the tage "
+                    "family, not to '" +
+                    name + "'";
+            return nullptr;
+        }
+        return make();
+    };
+}
+
+std::map<std::string, PredictorBaseFactory>&
+baseRegistry()
+{
+    static std::map<std::string, PredictorBaseFactory> registry = [] {
+        std::map<std::string, PredictorBaseFactory> r;
+        r["tage16k"] = [](const SpecModifiers& m, std::string& e) {
+            return makeTageBase(TageConfig::small16K(), m, e);
+        };
+        r["tage64k"] = [](const SpecModifiers& m, std::string& e) {
+            return makeTageBase(TageConfig::medium64K(), m, e);
+        };
+        r["tage256k"] = [](const SpecModifiers& m, std::string& e) {
+            return makeTageBase(TageConfig::large256K(), m, e);
+        };
+        r["ltage16k"] = [](const SpecModifiers& m, std::string& e) {
+            return makeLTageBase(TageConfig::small16K(), m, e);
+        };
+        r["ltage64k"] = [](const SpecModifiers& m, std::string& e) {
+            return makeLTageBase(TageConfig::medium64K(), m, e);
+        };
+        r["ltage256k"] = [](const SpecModifiers& m, std::string& e) {
+            return makeLTageBase(TageConfig::large256K(), m, e);
+        };
+        r["gshare"] = plainBase("gshare", [] {
+            return std::make_unique<GradedGshare>();
+        });
+        r["bimodal"] = plainBase("bimodal", [] {
+            return std::make_unique<GradedBimodal>();
+        });
+        r["perceptron"] = plainBase("perceptron", [] {
+            return std::make_unique<GradedPerceptron>();
+        });
+        r["ogehl"] = plainBase("ogehl", [] {
+            return std::make_unique<GradedOgehl>();
+        });
+        return r;
+    }();
+    return registry;
+}
+
+/** Estimator tokens; "self" is an alias resolved to "sfc". */
+const std::vector<std::string> kEstimatorTokens = {
+    "blind", "jrs", "jrsg", "self", "sfc",
+};
+
+bool
+isEstimatorToken(const std::string& tok)
+{
+    return std::find(kEstimatorTokens.begin(), kEstimatorTokens.end(),
+                     tok) != kEstimatorTokens.end();
+}
+
+/** Everything a spec string parses into. */
+struct ParsedSpec {
+    std::string base;
+    SpecModifiers mods;
+    std::string estimator; // canonical token, empty = none
+};
+
+bool
+parseSpec(const std::string& spec, ParsedSpec& out, std::string& error)
+{
+    std::vector<std::string> tokens;
+    if (!splitSpec(spec, tokens, error))
+        return false;
+
+    out.base = tokens[0];
+    if (baseRegistry().find(out.base) == baseRegistry().end()) {
+        error = "unknown predictor base '" + out.base +
+                "' (known: " + [&] {
+                    std::string names;
+                    for (const auto& b : registeredBases())
+                        names += (names.empty() ? "" : ", ") + b;
+                    return names;
+                }() + ")";
+        return false;
+    }
+
+    for (size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& tok = tokens[i];
+        if (isEstimatorToken(tok)) {
+            if (!out.estimator.empty()) {
+                error = "spec '" + spec +
+                        "' names more than one estimator";
+                return false;
+            }
+            out.estimator = tok == "self" ? "sfc" : tok;
+        } else if (tok == "adaptive") {
+            out.mods.adaptive = true;
+        } else if (tok.rfind("prob", 0) == 0) {
+            out.mods.prob = true;
+            const std::string digits = tok.substr(4);
+            if (!digits.empty()) {
+                if (!std::all_of(digits.begin(), digits.end(),
+                                 [](unsigned char c) {
+                                     return std::isdigit(c);
+                                 })) {
+                    error = "malformed prob modifier '" + tok + "'";
+                    return false;
+                }
+                if (digits.size() > 2 ||
+                    std::stoul(digits) > 15) {
+                    error = "prob log2(1/p) out of range (0..15): '" +
+                            tok + "'";
+                    return false;
+                }
+                out.mods.probLog2 =
+                    static_cast<unsigned>(std::stoul(digits));
+            }
+        } else {
+            error = "unknown token '" + tok + "' in spec '" + spec + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+canonicalName(const ParsedSpec& p)
+{
+    std::string s = p.base;
+    if (p.mods.prob)
+        s += "+prob" + std::to_string(p.mods.probLog2);
+    if (p.mods.adaptive)
+        s += "+adaptive";
+    if (!p.estimator.empty())
+        s += "+" + p.estimator;
+    return s;
+}
+
+std::unique_ptr<ConfidenceEstimator>
+makeEstimator(const std::string& token)
+{
+    if (token == "sfc")
+        return std::make_unique<IntrinsicEstimator>();
+    if (token == "jrs")
+        return std::make_unique<JrsEstimator>();
+    if (token == "jrsg") {
+        JrsConfidenceEstimator::Config cfg;
+        cfg.indexWithPrediction = true;
+        return std::make_unique<JrsEstimator>(cfg);
+    }
+    if (token == "blind")
+        return std::make_unique<BlindEstimator>();
+    return nullptr;
+}
+
+} // namespace
+
+void
+registerPredictorBase(const std::string& name,
+                      PredictorBaseFactory factory)
+{
+    baseRegistry()[toLower(name)] = std::move(factory);
+}
+
+std::vector<std::string>
+registeredBases()
+{
+    std::vector<std::string> names;
+    for (const auto& [name, factory] : baseRegistry())
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+registeredEstimators()
+{
+    return kEstimatorTokens;
+}
+
+std::vector<std::string>
+exampleSpecs()
+{
+    std::vector<std::string> specs;
+    for (const auto& base : registeredBases()) {
+        if (base.rfind("tage", 0) == 0)
+            specs.push_back(base + "+prob7+sfc");
+        else if (base.rfind("ltage", 0) == 0)
+            specs.push_back(base + "+sfc");
+        else if (base == "gshare")
+            specs.push_back(base + "+jrs");
+        else
+            specs.push_back(base + "+sfc");
+    }
+    specs.push_back("tage64k+prob7+adaptive+sfc");
+    specs.push_back("gshare+jrsg");
+    specs.push_back("tage64k+jrs");
+    specs.push_back("gshare");
+    return specs;
+}
+
+std::string
+canonicalizeSpec(const std::string& spec, std::string* error)
+{
+    ParsedSpec parsed;
+    std::string err;
+    if (!parseSpec(spec, parsed, err)) {
+        if (error)
+            *error = err;
+        return "";
+    }
+    return canonicalName(parsed);
+}
+
+std::unique_ptr<GradedPredictor>
+tryMakePredictor(const std::string& spec, std::string* error)
+{
+    ParsedSpec parsed;
+    std::string err;
+    std::unique_ptr<GradedPredictor> predictor;
+    if (parseSpec(spec, parsed, err)) {
+        predictor = baseRegistry()[parsed.base](parsed.mods, err);
+        if (predictor && !parsed.estimator.empty()) {
+            if (parsed.estimator == "sfc" &&
+                !predictor->hasIntrinsicConfidence()) {
+                err = "estimator 'sfc' requires a predictor with "
+                      "intrinsic confidence; '" +
+                      parsed.base +
+                      "' has none (attach +jrs instead)";
+                predictor.reset();
+            } else {
+                predictor = std::make_unique<EstimatedPredictor>(
+                    std::move(predictor),
+                    makeEstimator(parsed.estimator));
+            }
+        }
+    }
+    if (!predictor) {
+        if (error)
+            *error = err;
+        return nullptr;
+    }
+    predictor->setName(canonicalName(parsed));
+    return predictor;
+}
+
+std::unique_ptr<GradedPredictor>
+makePredictor(const std::string& spec)
+{
+    std::string error;
+    auto predictor = tryMakePredictor(spec, &error);
+    if (!predictor)
+        fatal("makePredictor: " + error);
+    return predictor;
+}
+
+std::string
+tageBaseForSize(const std::string& size_name)
+{
+    if (size_name == "16K")
+        return "tage16k";
+    if (size_name == "64K")
+        return "tage64k";
+    if (size_name == "256K")
+        return "tage256k";
+    return "";
+}
+
+} // namespace tagecon

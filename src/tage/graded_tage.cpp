@@ -1,0 +1,161 @@
+#include "tage/graded_tage.hpp"
+
+#include "util/logging.hpp"
+
+namespace tagecon {
+
+// ------------------------------------------------------------ GradedTage
+
+GradedTage::GradedTage(TageConfig config, GradedTageOptions opt)
+    : predictor_(std::move(config)), observer_(opt.bimWindow)
+{
+    if (opt.adaptive) {
+        if (!predictor_.config().probabilisticSaturation)
+            fatal("adaptive probability requires a config with "
+                  "probabilisticSaturation enabled");
+        controller_.emplace(opt.adaptiveConfig);
+        predictor_.setSatLog2Prob(controller_->log2Prob());
+    }
+}
+
+Prediction
+GradedTage::predict(uint64_t pc)
+{
+    raw_ = predictor_.predict(pc);
+    Prediction p;
+    p.taken = raw_.taken;
+    p.cls = observer_.classify(raw_);
+    p.confidence = confidenceLevel(p.cls);
+    p.payload = ++seq_;
+    lastIntrinsicLevel_ = p.confidence;
+    return p;
+}
+
+void
+GradedTage::update(uint64_t pc, const Prediction& p, bool taken)
+{
+    if (p.payload != seq_)
+        fatal("GradedTage::update: prediction is not from the "
+              "immediately preceding predict()");
+    const bool mispredicted = p.taken != taken;
+    observer_.onResolve(raw_, taken);
+    // The controller measures the intrinsic (storage-free) grade, not
+    // whatever a decorating estimator rewrote the level to.
+    if (controller_ &&
+        controller_->record(lastIntrinsicLevel_, mispredicted)) {
+        predictor_.setSatLog2Prob(controller_->log2Prob());
+    }
+    predictor_.update(pc, raw_, taken);
+}
+
+uint64_t
+GradedTage::storageBits() const
+{
+    return predictor_.storageBits();
+}
+
+void
+GradedTage::reset()
+{
+    predictor_.reset();
+    observer_.reset();
+    seq_ = 0;
+    if (controller_) {
+        controller_->reset();
+        predictor_.setSatLog2Prob(controller_->log2Prob());
+    }
+}
+
+uint64_t
+GradedTage::allocations() const
+{
+    return predictor_.allocations();
+}
+
+unsigned
+GradedTage::satLog2Prob() const
+{
+    return predictor_.satLog2Prob();
+}
+
+std::string
+GradedTage::defaultName() const
+{
+    return "tage-" + predictor_.config().name;
+}
+
+// ----------------------------------------------------------- GradedLTage
+
+GradedLTage::GradedLTage(TageConfig tage_config,
+                         LoopPredictor::Config loop_config,
+                         GradedTageOptions opt)
+    : tageConfig_(tage_config), loopConfig_(loop_config),
+      predictor_(std::move(tage_config), loop_config),
+      observer_(opt.bimWindow)
+{
+    if (opt.adaptive)
+        fatal("the adaptive controller is not wired into L-TAGE; use a "
+              "tage* base for adaptive runs");
+}
+
+Prediction
+GradedLTage::predict(uint64_t pc)
+{
+    raw_ = predictor_.predict(pc);
+    Prediction p;
+    p.taken = raw_.taken;
+    if (raw_.fromLoopPredictor) {
+        // Loop-provided predictions are practically always correct.
+        p.confidence = ConfidenceLevel::High;
+        p.cls = representativeClass(p.confidence);
+    } else {
+        p.cls = observer_.classify(raw_.tage);
+        p.confidence = confidenceLevel(p.cls);
+    }
+    p.payload = ++seq_;
+    return p;
+}
+
+void
+GradedLTage::update(uint64_t pc, const Prediction& p, bool taken)
+{
+    if (p.payload != seq_)
+        fatal("GradedLTage::update: prediction is not from the "
+              "immediately preceding predict()");
+    observer_.onResolve(raw_.tage, taken);
+    predictor_.update(pc, raw_, taken);
+}
+
+uint64_t
+GradedLTage::storageBits() const
+{
+    return predictor_.storageBits();
+}
+
+void
+GradedLTage::reset()
+{
+    predictor_ = LTagePredictor(tageConfig_, loopConfig_);
+    observer_.reset();
+    seq_ = 0;
+}
+
+uint64_t
+GradedLTage::allocations() const
+{
+    return predictor_.tage().allocations();
+}
+
+unsigned
+GradedLTage::satLog2Prob() const
+{
+    return predictor_.tage().satLog2Prob();
+}
+
+std::string
+GradedLTage::defaultName() const
+{
+    return "ltage-" + predictor_.tage().config().name;
+}
+
+} // namespace tagecon

@@ -101,6 +101,32 @@ CliArgs::getBool(const std::string& name, bool def) const
 }
 
 std::vector<std::string>
+CliArgs::getList(const std::string& name,
+                 const std::vector<std::string>& def) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    std::vector<std::string> items;
+    std::string item;
+    for (const char c : it->second) {
+        if (c == ',') {
+            if (!item.empty())
+                items.push_back(std::move(item));
+            item.clear();
+        } else {
+            item += c;
+        }
+    }
+    if (!item.empty())
+        items.push_back(std::move(item));
+    if (items.empty())
+        fatal("flag --" + name +
+              " expects a non-empty comma-separated list");
+    return items;
+}
+
+std::vector<std::string>
 CliArgs::flagNames() const
 {
     std::vector<std::string> names;

@@ -43,6 +43,16 @@ class CliArgs
     /** Boolean flag: present without value or with true/1/yes. */
     bool getBool(const std::string& name, bool def) const;
 
+    /**
+     * Comma-separated list value of --name, or @p def when absent.
+     * Empty items are dropped ("a,,b" -> {a, b}); a flag that is
+     * present but has no items (e.g. an unset shell variable expanding
+     * to --name=) is fatal() rather than silently the default.
+     */
+    std::vector<std::string>
+    getList(const std::string& name,
+            const std::vector<std::string>& def = {}) const;
+
     /** Positional (non-flag) arguments in order. */
     const std::vector<std::string>& positional() const { return positional_; }
 

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the GradedPredictor API: adapter equivalence with the
+ * hand-wired seed pipeline, estimator decoration, and the contract
+ * checks (payload routing, reset determinism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/graded_baselines.hpp"
+#include "core/confidence_observer.hpp"
+#include "core/estimators.hpp"
+#include "sim/experiment.hpp"
+#include "tage/graded_tage.hpp"
+#include "tage/tage_predictor.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(GradedTage, MatchesHandWiredPipeline)
+{
+    const TageConfig cfg =
+        TageConfig::small16K().withProbabilisticSaturation(7);
+
+    // Hand-wired: the way every seed bench drove the paper's pipeline.
+    TagePredictor predictor(cfg);
+    ConfidenceObserver observer;
+    ClassStats manual;
+    SyntheticTrace t1 = makeTrace("MM-2", 20000);
+    BranchRecord rec;
+    while (t1.next(rec)) {
+        const TagePrediction p = predictor.predict(rec.pc);
+        const PredictionClass cls = observer.classify(p);
+        manual.record(cls, p.taken != rec.taken,
+                      uint64_t{rec.instructionsBefore} + 1);
+        observer.onResolve(p, rec.taken);
+        predictor.update(rec.pc, p, rec.taken);
+    }
+
+    // The adapter behind the unified API.
+    GradedTage graded(cfg);
+    SyntheticTrace t2 = makeTrace("MM-2", 20000);
+    const RunResult r = runTrace(t2, graded);
+
+    EXPECT_EQ(r.stats.totalPredictions(), manual.totalPredictions());
+    EXPECT_EQ(r.stats.totalMispredictions(),
+              manual.totalMispredictions());
+    for (const auto c : kAllPredictionClasses) {
+        EXPECT_EQ(r.stats.predictions(c), manual.predictions(c));
+        EXPECT_EQ(r.stats.mispredictions(c), manual.mispredictions(c));
+    }
+}
+
+TEST(GradedTage, LegacyRunConfigAndSpecRunsAgree)
+{
+    RunConfig rc;
+    rc.predictor = TageConfig::small16K();
+    const RunResult legacy = runNamedTrace("SERV-2", rc, 15000);
+    const RunResult spec = runNamedTrace("SERV-2", "tage16k+sfc", 15000);
+    EXPECT_EQ(legacy.stats.totalMispredictions(),
+              spec.stats.totalMispredictions());
+    for (const auto c : kAllPredictionClasses)
+        EXPECT_EQ(legacy.stats.predictions(c), spec.stats.predictions(c));
+}
+
+TEST(GradedTage, StalePredictionIsFatal)
+{
+    GradedTage graded(TageConfig::small16K());
+    const Prediction p1 = graded.predict(100);
+    graded.update(100, p1, true);
+    const Prediction p2 = graded.predict(100);
+    (void)p2;
+    EXPECT_EXIT(graded.update(100, p1, true),
+                ::testing::ExitedWithCode(1), "immediately preceding");
+}
+
+TEST(GradedTage, ResetRestoresDeterminism)
+{
+    GradedTage graded(TageConfig::small16K());
+    SyntheticTrace t1 = makeTrace("INT-3", 10000);
+    const RunResult a = runTrace(t1, graded);
+    graded.reset();
+    SyntheticTrace t2 = makeTrace("INT-3", 10000);
+    const RunResult b = runTrace(t2, graded);
+    EXPECT_EQ(a.stats.totalMispredictions(),
+              b.stats.totalMispredictions());
+    EXPECT_EQ(a.confusion.highCorrect(), b.confusion.highCorrect());
+}
+
+TEST(GradedLTage, RunsAndGradesLoopBranches)
+{
+    GradedLTage graded(TageConfig::small16K());
+    SyntheticTrace t = makeTrace("FP-2", 20000);
+    const RunResult r = runTrace(t, graded);
+    EXPECT_EQ(r.stats.totalPredictions(), 20000u);
+    EXPECT_GT(graded.storageBits(),
+              TageConfig::small16K().storageBits());
+}
+
+TEST(EstimatedPredictor, JrsOverridesIntrinsicGrade)
+{
+    auto host = std::make_unique<GradedTage>(TageConfig::small16K());
+    EstimatedPredictor est(std::move(host),
+                           std::make_unique<JrsEstimator>());
+
+    // Freshly-reset JRS counters are all zero, far below the
+    // threshold, so the first grade must be Low regardless of what
+    // TAGE's intrinsic grade says.
+    const Prediction p = est.predict(0x1234);
+    EXPECT_EQ(p.confidence, ConfidenceLevel::Low);
+    EXPECT_EQ(p.cls, representativeClass(ConfidenceLevel::Low));
+    est.update(0x1234, p, p.taken);
+}
+
+TEST(EstimatedPredictor, ClassStaysConsistentWithLevel)
+{
+    auto p = makeTrace("164.gzip", 5000);
+    EstimatedPredictor est(std::make_unique<GradedTage>(
+                               TageConfig::small16K()),
+                           std::make_unique<JrsEstimator>());
+    BranchRecord rec;
+    while (p.next(rec)) {
+        const Prediction pred = est.predict(rec.pc);
+        EXPECT_EQ(confidenceLevel(pred.cls), pred.confidence);
+        est.update(rec.pc, pred, rec.taken);
+    }
+}
+
+TEST(GradedBimodal, GradesWithSmithSelfConfidence)
+{
+    GradedBimodal bimodal(10);
+    // A fresh 2-bit counter starts weak: low confidence.
+    Prediction p = bimodal.predict(64);
+    EXPECT_EQ(p.confidence, ConfidenceLevel::Low);
+    bimodal.update(64, p, true);
+    // Train the counter strong; confidence must rise.
+    for (int i = 0; i < 4; ++i) {
+        p = bimodal.predict(64);
+        bimodal.update(64, p, true);
+    }
+    p = bimodal.predict(64);
+    EXPECT_EQ(p.confidence, ConfidenceLevel::High);
+    EXPECT_TRUE(p.taken);
+    bimodal.update(64, p, true);
+}
+
+TEST(GradedGshare, IsConfidenceBlind)
+{
+    GradedGshare gshare(10, 10);
+    EXPECT_FALSE(gshare.hasIntrinsicConfidence());
+    const Prediction p = gshare.predict(4);
+    EXPECT_EQ(p.confidence, ConfidenceLevel::High);
+}
+
+TEST(GradedPerceptron, SelfConfidenceTracksTheta)
+{
+    GradedPerceptron perceptron(6, 12);
+    // An untrained perceptron's |sum| is 0 < theta: low confidence.
+    const Prediction p = perceptron.predict(8);
+    EXPECT_EQ(p.confidence, ConfidenceLevel::Low);
+    EXPECT_TRUE(perceptron.hasIntrinsicConfidence());
+}
+
+TEST(GenericRunTrace, FillsConfusionAndIdentity)
+{
+    GradedOgehl ogehl;
+    SyntheticTrace t = makeTrace("181.mcf", 8000);
+    const RunResult r = runTrace(t, ogehl);
+    EXPECT_EQ(r.configName, "ogehl");
+    EXPECT_EQ(r.traceName, "181.mcf");
+    EXPECT_EQ(r.confusion.total(), 8000u);
+    EXPECT_EQ(r.confusion.highCorrect() + r.confusion.lowCorrect(),
+              r.stats.totalPredictions() -
+                  r.stats.totalMispredictions());
+    EXPECT_EQ(r.storageBits, ogehl.storageBits());
+}
+
+TEST(GenericRunTrace, SpecSetRunMatchesLegacySetRun)
+{
+    RunConfig rc;
+    rc.predictor = TageConfig::small16K();
+    const SetResult legacy =
+        runBenchmarkSet(BenchmarkSet::Cbp1, rc, 2000);
+    const SetResult spec =
+        runBenchmarkSet(BenchmarkSet::Cbp1, "tage16k+sfc", 2000);
+    ASSERT_EQ(legacy.perTrace.size(), spec.perTrace.size());
+    EXPECT_EQ(legacy.aggregate.totalMispredictions(),
+              spec.aggregate.totalMispredictions());
+    EXPECT_NEAR(legacy.meanMpki, spec.meanMpki, 1e-12);
+    EXPECT_EQ(spec.confusion.total(),
+              spec.aggregate.totalPredictions());
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the string-spec predictor registry: spec round-trips,
+ * construction of every family, and the error paths for unknown names
+ * and invalid combinations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/registry.hpp"
+
+namespace tagecon {
+namespace {
+
+TEST(Registry, EverySpecRoundTrips)
+{
+    for (const auto& spec : exampleSpecs()) {
+        std::string error;
+        auto p = tryMakePredictor(spec, &error);
+        ASSERT_NE(p, nullptr) << spec << ": " << error;
+
+        // name() is the canonical spec and parses back to itself.
+        EXPECT_EQ(p->name(), canonicalizeSpec(spec)) << spec;
+        auto again = tryMakePredictor(p->name(), &error);
+        ASSERT_NE(again, nullptr) << p->name() << ": " << error;
+        EXPECT_EQ(again->name(), p->name());
+    }
+}
+
+TEST(Registry, AllSixFamiliesRunThroughGenericLoop)
+{
+    const std::vector<std::string> families = {
+        "tage64k+sfc",  "ltage64k+sfc",    "gshare+jrs",
+        "bimodal+sfc",  "perceptron+sfc",  "ogehl+sfc",
+    };
+    for (const auto& spec : families) {
+        auto p = makePredictor(spec);
+        SyntheticTrace trace = makeTrace("INT-1", 5000);
+        const RunResult r = runTrace(trace, *p);
+        EXPECT_EQ(r.stats.totalPredictions(), 5000u) << spec;
+        EXPECT_EQ(r.confusion.total(), 5000u) << spec;
+        EXPECT_EQ(r.configName, canonicalizeSpec(spec)) << spec;
+        EXPECT_GT(r.storageBits, 0u) << spec;
+        // Every family must beat "always mispredict" on this profile.
+        EXPECT_LT(r.stats.totalMispredictions(), 2500u) << spec;
+    }
+}
+
+TEST(Registry, RegisteredBasesAreConstructibleBare)
+{
+    for (const auto& base : registeredBases()) {
+        std::string error;
+        auto p = tryMakePredictor(base, &error);
+        ASSERT_NE(p, nullptr) << base << ": " << error;
+        EXPECT_EQ(p->name(), base);
+    }
+}
+
+TEST(Registry, UnknownBaseFails)
+{
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("neural-net-9000", &error), nullptr);
+    EXPECT_NE(error.find("unknown predictor base"), std::string::npos)
+        << error;
+}
+
+TEST(Registry, UnknownTokenFails)
+{
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("tage64k+turbo", &error), nullptr);
+    EXPECT_NE(error.find("unknown token"), std::string::npos) << error;
+}
+
+TEST(Registry, AdaptiveWithoutProbabilisticSaturationFails)
+{
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("tage64k+adaptive+sfc", &error), nullptr);
+    EXPECT_NE(error.find("probabilisticSaturation"), std::string::npos)
+        << error;
+}
+
+TEST(Registry, AdaptiveWithProbSucceeds)
+{
+    auto p = makePredictor("tage64k+prob7+adaptive+sfc");
+    EXPECT_EQ(p->name(), "tage64k+prob7+adaptive+sfc");
+    EXPECT_EQ(p->satLog2Prob(), 7u);
+}
+
+TEST(Registry, SfcOnConfidenceBlindHostFails)
+{
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("gshare+sfc", &error), nullptr);
+    EXPECT_NE(error.find("intrinsic"), std::string::npos) << error;
+}
+
+TEST(Registry, TageModifiersRejectedOnBaselines)
+{
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("gshare+prob7+jrs", &error), nullptr);
+    EXPECT_NE(error.find("tage family"), std::string::npos) << error;
+    EXPECT_EQ(tryMakePredictor("perceptron+adaptive", &error), nullptr);
+}
+
+TEST(Registry, AtMostOneEstimator)
+{
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("tage64k+sfc+jrs", &error), nullptr);
+    EXPECT_NE(error.find("more than one estimator"), std::string::npos)
+        << error;
+}
+
+TEST(Registry, SpecsAreCaseInsensitiveAndCanonicallyOrdered)
+{
+    auto p = makePredictor("TAGE64K+SFC+Prob7");
+    EXPECT_EQ(p->name(), "tage64k+prob7+sfc");
+}
+
+TEST(Registry, SelfIsAnAliasForSfc)
+{
+    auto p = makePredictor("ogehl+self");
+    EXPECT_EQ(p->name(), "ogehl+sfc");
+}
+
+TEST(Registry, ProbModifierSetsLog2)
+{
+    auto p = makePredictor("tage16k+prob5+sfc");
+    EXPECT_EQ(p->satLog2Prob(), 5u);
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("tage16k+prob99+sfc", &error), nullptr);
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+    EXPECT_EQ(tryMakePredictor("tage16k+probx+sfc", &error), nullptr);
+}
+
+TEST(Registry, MalformedSpecsFail)
+{
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("", &error), nullptr);
+    EXPECT_EQ(tryMakePredictor("tage64k++sfc", &error), nullptr);
+    EXPECT_NE(error.find("empty token"), std::string::npos) << error;
+}
+
+TEST(Registry, MakePredictorIsFatalOnBadSpec)
+{
+    EXPECT_EXIT(makePredictor("no-such-predictor"),
+                ::testing::ExitedWithCode(1), "unknown predictor base");
+}
+
+TEST(Registry, JrsDecorationAddsStorage)
+{
+    const uint64_t bare = makePredictor("gshare")->storageBits();
+    const uint64_t jrs = makePredictor("gshare+jrs")->storageBits();
+    EXPECT_GT(jrs, bare);
+    // The paper's claim, as an API property: sfc adds zero storage.
+    EXPECT_EQ(makePredictor("tage64k+sfc")->storageBits(),
+              makePredictor("tage64k")->storageBits());
+}
+
+TEST(Registry, NewBasesCanBeRegistered)
+{
+    registerPredictorBase(
+        "alwaystaken",
+        [](const SpecModifiers& mods,
+           std::string& error) -> std::unique_ptr<GradedPredictor> {
+            if (mods.prob || mods.adaptive) {
+                error = "modifiers not supported";
+                return nullptr;
+            }
+            class AlwaysTaken : public GradedPredictor
+            {
+              public:
+                Prediction predict(uint64_t) override
+                {
+                    Prediction p;
+                    p.taken = true;
+                    return p;
+                }
+                void update(uint64_t, const Prediction&, bool) override {}
+                uint64_t storageBits() const override { return 0; }
+                void reset() override {}
+
+              protected:
+                std::string defaultName() const override
+                {
+                    return "alwaystaken";
+                }
+            };
+            return std::make_unique<AlwaysTaken>();
+        });
+
+    auto p = makePredictor("alwaystaken+jrs");
+    EXPECT_EQ(p->name(), "alwaystaken+jrs");
+    SyntheticTrace trace = makeTrace("FP-1", 1000);
+    const RunResult r = runTrace(trace, *p);
+    EXPECT_EQ(r.stats.totalPredictions(), 1000u);
+}
+
+} // namespace
+} // namespace tagecon
