@@ -7,15 +7,16 @@
  * saturated counters; moreover widening the prediction counter has a
  * slightly negative impact on the overall misprediction rate."
  *
- * This bench sweeps the tagged counter width over 2/3/4/5 bits
- * (baseline automaton) and reports overall accuracy plus the saturated
- * class statistics.
+ * The sweep is declarative: one "tage64k:ctr=N" spec per width over
+ * each benchmark set, run by the shared parallel runner (--jobs=N) —
+ * the parameterized spec grammar replaces the hand-built TageConfig
+ * of the original bench.
  */
 
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "util/table_printer.hpp"
 
 using namespace tagecon;
@@ -26,7 +27,21 @@ main(int argc, char** argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::printHeader("Ablation: tagged counter width (64Kbit)",
                        "Seznec, RR-7371 / HPCA 2011, Sec. 6 discussion",
-                       opt);
+                       opt, /*show_jobs=*/true);
+
+    const std::vector<int> widths = {2, 3, 4, 5};
+    std::vector<std::string> specs;
+    for (const int bits : widths)
+        specs.push_back("tage64k:ctr=" + std::to_string(bits));
+
+    const auto cbp1 = runSweepRows(
+        SweepPlan::over(specs, traceNames(BenchmarkSet::Cbp1),
+                        opt.branchesPerTrace, opt.seedSalt),
+        {opt.jobs});
+    const auto cbp2 = runSweepRows(
+        SweepPlan::over(specs, traceNames(BenchmarkSet::Cbp2),
+                        opt.branchesPerTrace, opt.seedSalt),
+        {opt.jobs});
 
     TextTable t;
     t.addColumn("ctr bits", TextTable::Align::Left);
@@ -35,17 +50,10 @@ main(int argc, char** argv)
     t.addColumn("Stag Pcov (CBP-1)");
     t.addColumn("Stag MPrate MKP (CBP-1)");
 
-    for (const int bits : {2, 3, 4, 5}) {
-        TageConfig cfg = TageConfig::medium64K();
-        cfg.taggedCtrBits = bits;
-        cfg.name = "64K/" + std::to_string(bits) + "b";
-        RunConfig rc;
-        rc.predictor = cfg;
-        const SetResult r1 = runBenchmarkSet(BenchmarkSet::Cbp1, rc,
-                                             opt.branchesPerTrace);
-        const SetResult r2 = runBenchmarkSet(BenchmarkSet::Cbp2, rc,
-                                             opt.branchesPerTrace);
-        t.addRow({std::to_string(bits),
+    for (size_t i = 0; i < widths.size(); ++i) {
+        const SweepRow& r1 = cbp1[i];
+        const SweepRow& r2 = cbp2[i];
+        t.addRow({std::to_string(widths[i]),
                   TextTable::num(r1.meanMpki, 3),
                   TextTable::num(r2.meanMpki, 3),
                   TextTable::frac(

@@ -4,59 +4,44 @@
  * reference [12]). The loop predictor captures constant trip counts
  * beyond the history window, which matters most for the small
  * predictor on loop-heavy traces (FP-3's 40-250 iteration loops).
+ *
+ * One declarative sweep: {tage, ltage} x {16K, 64K} specs over five
+ * representative traces, per-cell results paired into TAGE/L-TAGE
+ * rows (--jobs=N).
  */
 
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
-#include "tage/ltage_predictor.hpp"
+#include "sim/sweep.hpp"
 #include "util/table_printer.hpp"
 
 using namespace tagecon;
-
-namespace {
-
-double
-runLtage(const std::string& trace_name, const TageConfig& cfg,
-         uint64_t branches)
-{
-    SyntheticTrace trace = makeTrace(trace_name, branches);
-    LTagePredictor pred(cfg);
-    uint64_t miss = 0;
-    uint64_t instr = 0;
-    BranchRecord rec;
-    while (trace.next(rec)) {
-        const LTagePrediction p = pred.predict(rec.pc);
-        if (p.taken != rec.taken)
-            ++miss;
-        instr += uint64_t{rec.instructionsBefore} + 1;
-        pred.update(rec.pc, p, rec.taken);
-    }
-    return 1000.0 * static_cast<double>(miss) /
-           static_cast<double>(instr);
-}
-
-double
-runTage(const std::string& trace_name, const TageConfig& cfg,
-        uint64_t branches)
-{
-    RunConfig rc;
-    rc.predictor = cfg;
-    return runNamedTrace(trace_name, rc, branches).stats.mpki();
-}
-
-} // namespace
 
 int
 main(int argc, char** argv)
 {
     const auto opt = bench::parseOptions(argc, argv);
     bench::printHeader("Ablation: TAGE vs L-TAGE (loop predictor)",
-                       "Seznec, JILP 2007 (paper reference [12])", opt);
+                       "Seznec, JILP 2007 (paper reference [12])", opt,
+                       /*show_jobs=*/true);
 
     const std::vector<std::string> traces = {"FP-1", "FP-3", "INT-1",
                                              "164.gzip", "300.twolf"};
+    // Adjacent (tage, ltage) spec pairs share a storage budget.
+    const std::vector<std::pair<std::string, std::string>> sizes = {
+        {"16K", "tage16k"},
+        {"64K", "tage64k"},
+    };
+    std::vector<std::string> specs;
+    for (const auto& size : sizes) {
+        specs.push_back(size.second);
+        specs.push_back("l" + size.second);
+    }
+
+    const SweepPlan plan = SweepPlan::over(
+        specs, traces, opt.branchesPerTrace, opt.seedSalt);
+    const auto cells = runSweep(plan, {opt.jobs});
 
     TextTable t;
     t.addColumn("trace", TextTable::Align::Left);
@@ -65,14 +50,14 @@ main(int argc, char** argv)
     t.addColumn("L-TAGE misp/KI");
     t.addColumn("delta %");
 
-    for (const TageConfig& cfg :
-         {TageConfig::small16K(), TageConfig::medium64K()}) {
-        for (const auto& name : traces) {
+    for (size_t s = 0; s < sizes.size(); ++s) {
+        for (size_t i = 0; i < traces.size(); ++i) {
             const double tage =
-                runTage(name, cfg, opt.branchesPerTrace);
+                cells[(2 * s) * traces.size() + i].stats.mpki();
             const double ltage =
-                runLtage(name, cfg, opt.branchesPerTrace);
-            t.addRow({name, cfg.name, TextTable::num(tage, 3),
+                cells[(2 * s + 1) * traces.size() + i].stats.mpki();
+            t.addRow({traces[i], sizes[s].first,
+                      TextTable::num(tage, 3),
                       TextTable::num(ltage, 3),
                       TextTable::num(100.0 * (ltage - tage) / tage, 1)});
         }

@@ -3,14 +3,15 @@
  * Ablation of the USE_ALT_ON_NA mechanism (Sec. 3.1): the paper notes
  * that using the alternate prediction on weak ("newly allocated")
  * provider entries slightly improves accuracy, and that the Wtag class
- * stays ~30%+ mispredicted even with it. This bench compares the
- * predictor with and without the mechanism.
+ * stays ~30%+ mispredicted even with it. The two configurations are
+ * the parameterized specs "tage64k:ualt=1" / "tage64k:ualt=0", run as
+ * one declarative sweep per benchmark set (--jobs=N).
  */
 
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "util/table_printer.hpp"
 
 using namespace tagecon;
@@ -20,7 +21,20 @@ main(int argc, char** argv)
 {
     const auto opt = bench::parseOptions(argc, argv);
     bench::printHeader("Ablation: USE_ALT_ON_NA on/off (64Kbit)",
-                       "Seznec, RR-7371 / HPCA 2011, Sec. 3.1", opt);
+                       "Seznec, RR-7371 / HPCA 2011, Sec. 3.1", opt,
+                       /*show_jobs=*/true);
+
+    const std::vector<std::string> specs = {"tage64k:ualt=1",
+                                            "tage64k:ualt=0"};
+
+    const auto cbp1 = runSweepRows(
+        SweepPlan::over(specs, traceNames(BenchmarkSet::Cbp1),
+                        opt.branchesPerTrace, opt.seedSalt),
+        {opt.jobs});
+    const auto cbp2 = runSweepRows(
+        SweepPlan::over(specs, traceNames(BenchmarkSet::Cbp2),
+                        opt.branchesPerTrace, opt.seedSalt),
+        {opt.jobs});
 
     TextTable t;
     t.addColumn("USE_ALT_ON_NA", TextTable::Align::Left);
@@ -29,17 +43,10 @@ main(int argc, char** argv)
     t.addColumn("Wtag MPrate MKP (CBP-1)");
     t.addColumn("Wtag MPrate MKP (CBP-2)");
 
-    for (const bool enabled : {true, false}) {
-        TageConfig cfg = TageConfig::medium64K();
-        cfg.useAltOnNa = enabled;
-        cfg.name = enabled ? "64K/alt-on" : "64K/alt-off";
-        RunConfig rc;
-        rc.predictor = cfg;
-        const SetResult r1 = runBenchmarkSet(BenchmarkSet::Cbp1, rc,
-                                             opt.branchesPerTrace);
-        const SetResult r2 = runBenchmarkSet(BenchmarkSet::Cbp2, rc,
-                                             opt.branchesPerTrace);
-        t.addRow({enabled ? "enabled" : "disabled",
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const SweepRow& r1 = cbp1[i];
+        const SweepRow& r2 = cbp2[i];
+        t.addRow({i == 0 ? "enabled" : "disabled",
                   TextTable::num(r1.meanMpki, 3),
                   TextTable::num(r2.meanMpki, 3),
                   TextTable::num(

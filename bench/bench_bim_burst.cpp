@@ -38,10 +38,10 @@ struct BurstHistogram {
 
 void
 collect(BurstHistogram& h, BenchmarkSet set, const TageConfig& cfg,
-        uint64_t branches)
+        uint64_t branches, uint64_t seed_salt)
 {
     for (const auto& name : traceNames(set)) {
-        SyntheticTrace trace = makeTrace(name, branches);
+        SyntheticTrace trace = makeTrace(name, branches, seed_salt);
         TagePredictor predictor(cfg);
         int distance = kMaxDistance; // start "far" from any miss
 
@@ -77,10 +77,10 @@ main(int argc, char** argv)
 
     BurstHistogram h16;
     collect(h16, BenchmarkSet::Cbp1, TageConfig::small16K(),
-            opt.branchesPerTrace);
+            opt.branchesPerTrace, opt.seedSalt);
     BurstHistogram h256;
     collect(h256, BenchmarkSet::Cbp1, TageConfig::large256K(),
-            opt.branchesPerTrace);
+            opt.branchesPerTrace, opt.seedSalt);
 
     TextTable t;
     t.addColumn("BIM preds since last BIM miss", TextTable::Align::Left);

@@ -30,6 +30,12 @@ struct BenchOptions {
     bool csv = false;
 
     /**
+     * Worker threads for sweep-based benches (--jobs=N); 0 means
+     * hardware concurrency. Results are bit-identical at any value.
+     */
+    unsigned jobs = 1;
+
+    /**
      * Registry specs to drive (--predictors=a,b,c). Empty means the
      * bench's built-in default lineup.
      */
@@ -57,19 +63,29 @@ parseOptions(int argc, char** argv)
     opt.branchesPerTrace = args.getUint("branches", opt.branchesPerTrace);
     opt.seedSalt = args.getUint("seed", 0);
     opt.csv = args.getBool("csv", false);
-    opt.predictors = args.getList("predictors");
+    opt.jobs = static_cast<unsigned>(args.getUint("jobs", opt.jobs));
+    // Rejoin parameterized specs the comma-split cut apart.
+    opt.predictors = regroupSpecList(args.getList("predictors"));
     return opt;
 }
 
-/** Print the standard experiment banner. */
+/**
+ * Print the standard experiment banner. @p show_jobs is set by the
+ * sweep-driven benches, which actually honor --jobs; the serial
+ * benches omit the field so the banner never advertises parallelism
+ * that does not exist.
+ */
 inline void
 printHeader(const std::string& experiment, const std::string& paper_ref,
-            const BenchOptions& opt)
+            const BenchOptions& opt, bool show_jobs = false)
 {
     std::cout << "=== " << experiment << " ===\n"
               << "reproduces: " << paper_ref << "\n"
               << "branches/trace: " << opt.branchesPerTrace
-              << "  seed-salt: " << opt.seedSalt << "\n\n";
+              << "  seed-salt: " << opt.seedSalt;
+    if (show_jobs)
+        std::cout << "  jobs: " << opt.jobs;
+    std::cout << "\n\n";
 }
 
 } // namespace tagecon::bench

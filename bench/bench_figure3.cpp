@@ -25,7 +25,8 @@ main(int argc, char** argv)
         RunConfig rc;
         rc.predictor = cfg;
         const SetResult result = runBenchmarkSet(BenchmarkSet::Cbp2, rc,
-                                                 opt.branchesPerTrace);
+                                                 opt.branchesPerTrace,
+                                                 opt.seedSalt);
 
         std::cout << "--- " << cfg.name
                   << " predictor: prediction coverage per class (%) "

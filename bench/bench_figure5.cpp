@@ -23,7 +23,8 @@ runPanel(const TageConfig& cfg, BenchmarkSet set,
     RunConfig rc;
     rc.predictor = cfg.withProbabilisticSaturation(7);
     const SetResult result =
-        runBenchmarkSet(set, rc, opt.branchesPerTrace);
+        runBenchmarkSet(set, rc, opt.branchesPerTrace,
+                        opt.seedSalt);
 
     std::cout << "--- " << cfg.name << " predictor, "
               << benchmarkSetName(set)

@@ -24,7 +24,8 @@ main(int argc, char** argv)
     RunConfig rc;
     rc.predictor = TageConfig::medium64K().withProbabilisticSaturation(7);
     const SetResult result = runBenchmarkSet(BenchmarkSet::Cbp2, rc,
-                                             opt.branchesPerTrace);
+                                             opt.branchesPerTrace,
+                                             opt.seedSalt);
 
     const std::vector<std::string> figure_traces = {
         "164.gzip", "175.vpr", "176.gcc", "181.mcf", "186.crafty",

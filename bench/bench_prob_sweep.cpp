@@ -6,6 +6,10 @@
  * coverage and misprediction rate of the high-confidence class, plus
  * the overall accuracy cost of the automaton change.
  *
+ * The sweep is one declarative SweepPlan — the baseline automaton
+ * ("tage16k") plus one "tage16k+probN" spec per probability — over
+ * the shared parallel runner (--jobs=N).
+ *
  * Paper anchor (16Kbit, CBP-1): with p = 1/16 the high-confidence
  * class reaches 79% coverage at 10 MKP / 22.3% misprediction
  * coverage, against 69% at 7 MKP / 12.8% with p = 1/128; the overall
@@ -15,7 +19,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "util/table_printer.hpp"
 
 using namespace tagecon;
@@ -26,13 +30,20 @@ main(int argc, char** argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::printHeader("Sec. 6.2: saturation probability sweep "
                        "(16Kbit, CBP-1)",
-                       "Seznec, RR-7371 / HPCA 2011, Sec. 6.2", opt);
+                       "Seznec, RR-7371 / HPCA 2011, Sec. 6.2", opt,
+                       /*show_jobs=*/true);
 
-    // Baseline automaton for the accuracy-cost comparison.
-    RunConfig base;
-    base.predictor = TageConfig::small16K();
-    const SetResult baseline = runBenchmarkSet(BenchmarkSet::Cbp1, base,
-                                               opt.branchesPerTrace);
+    // Row 0 is the baseline automaton; the rest sweep log2(1/p).
+    const std::vector<unsigned> log2ps = {0u, 2u, 4u, 7u, 10u};
+    std::vector<std::string> specs = {"tage16k"};
+    for (const unsigned log2p : log2ps)
+        specs.push_back("tage16k+prob" + std::to_string(log2p));
+
+    const SweepPlan plan =
+        SweepPlan::over(specs, traceNames(BenchmarkSet::Cbp1),
+                        opt.branchesPerTrace, opt.seedSalt);
+    const auto rows = runSweepRows(plan, {opt.jobs});
+    const SweepRow& baseline = rows.front();
 
     TextTable t;
     t.addColumn("p", TextTable::Align::Left);
@@ -42,13 +53,9 @@ main(int argc, char** argv)
     t.addColumn("misp/KI");
     t.addColumn("delta vs baseline");
 
-    for (const unsigned log2p : {0u, 2u, 4u, 7u, 10u}) {
-        RunConfig rc;
-        rc.predictor =
-            TageConfig::small16K().withProbabilisticSaturation(log2p);
-        const SetResult r = runBenchmarkSet(BenchmarkSet::Cbp1, rc,
-                                            opt.branchesPerTrace);
-        t.addRow({"1/" + std::to_string(1u << log2p),
+    for (size_t i = 0; i < log2ps.size(); ++i) {
+        const SweepRow& r = rows[i + 1];
+        t.addRow({"1/" + std::to_string(1u << log2ps[i]),
                   TextTable::frac(r.aggregate.pcov(ConfidenceLevel::High)),
                   TextTable::frac(
                       r.aggregate.mpcov(ConfidenceLevel::High)),

@@ -34,7 +34,8 @@ report(const TageConfig& cfg, const tagecon::bench::BenchOptions& opt)
     RunConfig rc;
     rc.predictor = cfg;
     const SetResult r = runBenchmarkSet(BenchmarkSet::Cbp1, rc,
-                                        opt.branchesPerTrace);
+                                        opt.branchesPerTrace,
+                                        opt.seedSalt);
     const ClassStats& s = r.aggregate;
 
     const auto bim_classes = {PredictionClass::HighConfBim,

@@ -51,9 +51,11 @@ main(int argc, char** argv)
         RunConfig rc;
         rc.predictor = cfg;
         const SetResult r1 = runBenchmarkSet(BenchmarkSet::Cbp1, rc,
-                                             opt.branchesPerTrace);
+                                             opt.branchesPerTrace,
+                                             opt.seedSalt);
         const SetResult r2 = runBenchmarkSet(BenchmarkSet::Cbp2, rc,
-                                             opt.branchesPerTrace);
+                                             opt.branchesPerTrace,
+                                             opt.seedSalt);
         cbp1_row.push_back(TextTable::num(r1.meanMpki, 2));
         cbp2_row.push_back(TextTable::num(r2.meanMpki, 2));
     }

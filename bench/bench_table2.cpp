@@ -28,7 +28,8 @@ main(int argc, char** argv)
             RunConfig rc;
             rc.predictor = cfg.withProbabilisticSaturation(7);
             const SetResult r =
-                runBenchmarkSet(set, rc, opt.branchesPerTrace);
+                runBenchmarkSet(set, rc, opt.branchesPerTrace,
+                                opt.seedSalt);
             t.addRow(threeClassRow(cfg.name + " " + benchmarkSetName(set),
                                    r.aggregate));
         }

@@ -33,7 +33,8 @@ main(int argc, char** argv)
             rc.adaptiveConfig.minLog2 = 0;   // p = 1
             rc.adaptiveConfig.maxLog2 = 10;  // p = 1/1024
             const SetResult r =
-                runBenchmarkSet(set, rc, opt.branchesPerTrace);
+                runBenchmarkSet(set, rc, opt.branchesPerTrace,
+                                opt.seedSalt);
             t.addRow(threeClassRow(cfg.name + " " + benchmarkSetName(set),
                                    r.aggregate));
         }

@@ -7,22 +7,18 @@
  * TAGE predictor, evaluated with Grunwald's binary metrics
  * (SENS / PVP / SPEC / PVN).
  *
- * Every row is one registry spec driven through the shared generic
- * loop (runSets): the storage-free estimator is "tage64k+prob7+sfc",
- * the JRS variants decorate the same predictor via "+jrs" / "+jrsg".
- * Override the lineup with --predictors=spec1,spec2,...
- *
- * Each row simulates its own host predictor (unlike the original
- * bespoke loop, which shared one host across estimators): traces and
- * predictors are deterministic, so identically-specced hosts see
- * identical prediction streams and the numbers are unchanged — the
- * extra host work is the price of rows being arbitrary specs.
+ * The whole experiment is one declarative SweepPlan — rows are
+ * registry specs, columns are all 40 traces of both benchmark sets —
+ * executed by the shared parallel sweep runner (--jobs=N; results are
+ * bit-identical at any thread count). Override the lineup with
+ * --predictors=spec1,spec2,...
  */
 
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "core/estimators.hpp"
+#include "sim/sweep.hpp"
 #include "util/table_printer.hpp"
 
 using namespace tagecon;
@@ -34,12 +30,16 @@ main(int argc, char** argv)
     bench::printHeader("Storage-free vs JRS confidence (64Kbit TAGE, "
                        "both benchmark sets)",
                        "Seznec, RR-7371 / HPCA 2011, Sec. 2.2 context",
-                       opt);
+                       opt, /*show_jobs=*/true);
 
     std::vector<std::string> specs = opt.predictors;
     if (specs.empty())
         specs = {"tage64k+prob7+sfc", "tage64k+prob7+jrs",
                  "tage64k+prob7+jrsg"};
+
+    const SweepPlan plan = SweepPlan::over(
+        specs, allTraceNames(), opt.branchesPerTrace, opt.seedSalt);
+    const auto rows = runSweepRows(plan, {opt.jobs});
 
     TextTable t;
     t.addColumn("estimator", TextTable::Align::Left);
@@ -49,24 +49,21 @@ main(int argc, char** argv)
     t.addColumn("PVP");
     t.addColumn("SPEC");
     t.addColumn("PVN");
-    for (const auto& spec : specs) {
+    for (const auto& row : rows) {
         // Storage the estimator costs on top of its own host.
-        const auto probe = makePredictor(spec);
+        const auto probe = makePredictor(row.spec);
         uint64_t extra_bits = 0;
         if (const auto* est =
                 dynamic_cast<const EstimatedPredictor*>(probe.get()))
             extra_bits = est->estimator().storageBits();
 
-        const RunResult r =
-            runSets({BenchmarkSet::Cbp1, BenchmarkSet::Cbp2}, spec,
-                    opt.branchesPerTrace);
-        t.addRow({r.configName,
+        t.addRow({row.spec,
                   std::to_string(extra_bits / 1024) + " Kbit",
-                  TextTable::frac(r.confusion.highCoverage()),
-                  TextTable::frac(r.confusion.sens()),
-                  TextTable::frac(r.confusion.pvp()),
-                  TextTable::frac(r.confusion.spec()),
-                  TextTable::frac(r.confusion.pvn())});
+                  TextTable::frac(row.confusion.highCoverage()),
+                  TextTable::frac(row.confusion.sens()),
+                  TextTable::frac(row.confusion.pvp()),
+                  TextTable::frac(row.confusion.spec()),
+                  TextTable::frac(row.confusion.pvn())});
     }
     if (opt.csv)
         t.renderCsv(std::cout);

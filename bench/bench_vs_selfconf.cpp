@@ -12,15 +12,16 @@
  *
  * Each predictor is evaluated with its own confidence scheme on its
  * own predictions (self-confidence is inseparable from its host), so
- * the comparison covers both accuracy and confidence quality. Every
- * row is one registry spec driven through the shared generic loop;
- * override the lineup with --predictors=spec1,spec2,...
+ * the comparison covers both accuracy and confidence quality. The
+ * experiment is one declarative SweepPlan over the shared parallel
+ * runner (--jobs=N); override the lineup with
+ * --predictors=spec1,spec2,...
  */
 
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "util/table_printer.hpp"
 
 using namespace tagecon;
@@ -31,11 +32,16 @@ main(int argc, char** argv)
     const auto opt = bench::parseOptions(argc, argv);
     bench::printHeader("Self-confidence comparison: TAGE storage-free "
                        "vs O-GEHL vs perceptron",
-                       "Seznec, RR-7371 / HPCA 2011, Sec. 2.2", opt);
+                       "Seznec, RR-7371 / HPCA 2011, Sec. 2.2", opt,
+                       /*show_jobs=*/true);
 
     std::vector<std::string> specs = opt.predictors;
     if (specs.empty())
         specs = {"tage64k+prob7+sfc", "ogehl+self", "perceptron+self"};
+
+    const SweepPlan plan = SweepPlan::over(
+        specs, allTraceNames(), opt.branchesPerTrace, opt.seedSalt);
+    const auto rows = runSweepRows(plan, {opt.jobs});
 
     TextTable t;
     t.addColumn("predictor + confidence", TextTable::Align::Left);
@@ -46,19 +52,16 @@ main(int argc, char** argv)
     t.addColumn("PVP");
     t.addColumn("SPEC");
     t.addColumn("PVN");
-    for (const auto& spec : specs) {
-        const RunResult r =
-            runSets({BenchmarkSet::Cbp1, BenchmarkSet::Cbp2}, spec,
-                    opt.branchesPerTrace);
-        t.addRow({r.configName,
+    for (const auto& row : rows) {
+        t.addRow({row.spec,
                   TextTable::num(
-                      static_cast<double>(r.storageBits) / 1024.0, 0),
-                  TextTable::num(r.stats.totalMkp(), 1),
-                  TextTable::frac(r.confusion.highCoverage()),
-                  TextTable::frac(r.confusion.sens()),
-                  TextTable::frac(r.confusion.pvp()),
-                  TextTable::frac(r.confusion.spec()),
-                  TextTable::frac(r.confusion.pvn())});
+                      static_cast<double>(row.storageBits) / 1024.0, 0),
+                  TextTable::num(row.aggregate.totalMkp(), 1),
+                  TextTable::frac(row.confusion.highCoverage()),
+                  TextTable::frac(row.confusion.sens()),
+                  TextTable::frac(row.confusion.pvp()),
+                  TextTable::frac(row.confusion.spec()),
+                  TextTable::frac(row.confusion.pvn())});
     }
     if (opt.csv)
         t.renderCsv(std::cout);

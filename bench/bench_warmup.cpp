@@ -28,9 +28,9 @@ namespace {
 
 void
 analyze(const std::string& trace_name, const TageConfig& cfg,
-        uint64_t branches, uint64_t interval)
+        uint64_t branches, uint64_t interval, uint64_t seed_salt)
 {
-    SyntheticTrace trace = makeTrace(trace_name, branches);
+    SyntheticTrace trace = makeTrace(trace_name, branches, seed_salt);
     TagePredictor predictor(cfg);
     ConfidenceObserver observer;
     IntervalRecorder recorder(interval);
@@ -96,9 +96,9 @@ main(int argc, char** argv)
                                   ? 1
                                   : opt.branchesPerTrace / 10;
     analyze("SERV-2", TageConfig::small16K(), opt.branchesPerTrace,
-            interval);
+            interval, opt.seedSalt);
     analyze("FP-1", TageConfig::large256K(), opt.branchesPerTrace,
-            interval);
+            interval, opt.seedSalt);
 
     std::cout << "expected shape: interval 0 carries the warming spike "
                  "(highest BIM MKP); the phased SERV trace keeps "

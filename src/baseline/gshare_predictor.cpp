@@ -9,8 +9,7 @@ namespace tagecon {
 
 GsharePredictor::GsharePredictor(int log_entries, int history_bits,
                                  int ctr_bits)
-    : logEntries_(log_entries),
-      historyBits_(std::min(history_bits, log_entries)),
+    : logEntries_(log_entries), historyBits_(history_bits),
       ctrBits_(ctr_bits)
 {
     if (log_entries < 1 || log_entries > 24)
@@ -24,8 +23,11 @@ GsharePredictor::GsharePredictor(int log_entries, int history_bits,
 uint32_t
 GsharePredictor::indexFor(uint64_t pc) const
 {
-    const uint64_t hist = history_ & maskBits(historyBits_);
-    return static_cast<uint32_t>((pc ^ hist) & maskBits(logEntries_));
+    // Histories longer than the index are folded in log_entries-bit
+    // chunks; for history_bits <= log_entries this is the plain XOR.
+    const uint64_t folded =
+        xorFold(history_ & maskBits(historyBits_), logEntries_);
+    return static_cast<uint32_t>((pc ^ folded) & maskBits(logEntries_));
 }
 
 bool

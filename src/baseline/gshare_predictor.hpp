@@ -22,8 +22,10 @@ class GsharePredictor : public ConditionalPredictor
   public:
     /**
      * @param log_entries log2 of the counter table size.
-     * @param history_bits Global history bits XORed into the index;
-     *        clamped to log_entries.
+     * @param history_bits Global history bits mixed into the index;
+     *        histories longer than log_entries are folded in
+     *        log_entries-bit chunks (so the parameter is honored, not
+     *        clamped).
      * @param ctr_bits Counter width.
      */
     GsharePredictor(int log_entries, int history_bits, int ctr_bits = 2);

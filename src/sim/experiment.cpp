@@ -56,13 +56,14 @@ runTrace(TraceSource& trace, GradedPredictor& predictor)
 
 SetResult
 runBenchmarkSet(BenchmarkSet set, const std::string& spec,
-                uint64_t branches_per_trace)
+                uint64_t branches_per_trace, uint64_t seed_salt)
 {
     SetResult sr;
     sr.set = set;
     double mpki_sum = 0.0;
     for (const auto& name : traceNames(set)) {
-        SyntheticTrace trace = makeTrace(name, branches_per_trace);
+        SyntheticTrace trace =
+            makeTrace(name, branches_per_trace, seed_salt);
         auto predictor = makePredictor(spec);
         foldIntoSet(sr, runTrace(trace, *predictor), mpki_sum);
     }
@@ -72,16 +73,16 @@ runBenchmarkSet(BenchmarkSet set, const std::string& spec,
 
 RunResult
 runNamedTrace(const std::string& trace_name, const std::string& spec,
-              uint64_t branches)
+              uint64_t branches, uint64_t seed_salt)
 {
-    SyntheticTrace trace = makeTrace(trace_name, branches);
+    SyntheticTrace trace = makeTrace(trace_name, branches, seed_salt);
     auto predictor = makePredictor(spec);
     return runTrace(trace, *predictor);
 }
 
 RunResult
 runSets(const std::vector<BenchmarkSet>& sets, const std::string& spec,
-        uint64_t branches_per_trace)
+        uint64_t branches_per_trace, uint64_t seed_salt)
 {
     RunResult pooled;
     pooled.configName = canonicalizeSpec(spec);
@@ -89,7 +90,7 @@ runSets(const std::vector<BenchmarkSet>& sets, const std::string& spec,
     for (const BenchmarkSet set : sets) {
         names += (names.empty() ? "" : "+") + benchmarkSetName(set);
         const SetResult sr =
-            runBenchmarkSet(set, spec, branches_per_trace);
+            runBenchmarkSet(set, spec, branches_per_trace, seed_salt);
         pooled.stats.merge(sr.aggregate);
         pooled.confusion.merge(sr.confusion);
         if (!sr.perTrace.empty())
@@ -118,13 +119,14 @@ runTrace(TraceSource& trace, const RunConfig& cfg)
 
 SetResult
 runBenchmarkSet(BenchmarkSet set, const RunConfig& cfg,
-                uint64_t branches_per_trace)
+                uint64_t branches_per_trace, uint64_t seed_salt)
 {
     SetResult sr;
     sr.set = set;
     double mpki_sum = 0.0;
     for (const auto& name : traceNames(set)) {
-        SyntheticTrace trace = makeTrace(name, branches_per_trace);
+        SyntheticTrace trace =
+            makeTrace(name, branches_per_trace, seed_salt);
         foldIntoSet(sr, runTrace(trace, cfg), mpki_sum);
     }
     finishSet(sr, mpki_sum);
@@ -133,9 +135,9 @@ runBenchmarkSet(BenchmarkSet set, const RunConfig& cfg,
 
 RunResult
 runNamedTrace(const std::string& trace_name, const RunConfig& cfg,
-              uint64_t branches)
+              uint64_t branches, uint64_t seed_salt)
 {
-    SyntheticTrace trace = makeTrace(trace_name, branches);
+    SyntheticTrace trace = makeTrace(trace_name, branches, seed_salt);
     return runTrace(trace, cfg);
 }
 

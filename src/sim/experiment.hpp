@@ -99,17 +99,20 @@ RunResult runTrace(TraceSource& trace, GradedPredictor& predictor);
 /**
  * Simulate every trace of @p set on a fresh registry-built @p spec
  * predictor per trace, generating each trace synthetically with
- * @p branches_per_trace branches.
+ * @p branches_per_trace branches. @p seed_salt perturbs every trace's
+ * profile seed (0 = the profiles' canonical streams).
  */
 SetResult runBenchmarkSet(BenchmarkSet set, const std::string& spec,
-                          uint64_t branches_per_trace);
+                          uint64_t branches_per_trace,
+                          uint64_t seed_salt = 0);
 
 /**
  * Simulate one named synthetic trace of @p branches branches on a
  * fresh registry-built @p spec predictor.
  */
 RunResult runNamedTrace(const std::string& trace_name,
-                        const std::string& spec, uint64_t branches);
+                        const std::string& spec, uint64_t branches,
+                        uint64_t seed_salt = 0);
 
 /**
  * Simulate @p spec over every trace of several benchmark sets (fresh
@@ -117,7 +120,8 @@ RunResult runNamedTrace(const std::string& trace_name,
  * shape of the cross-set comparison benches.
  */
 RunResult runSets(const std::vector<BenchmarkSet>& sets,
-                  const std::string& spec, uint64_t branches_per_trace);
+                  const std::string& spec, uint64_t branches_per_trace,
+                  uint64_t seed_salt = 0);
 
 // ------------------------------------------- legacy TAGE entry points
 
@@ -129,13 +133,14 @@ RunResult runTrace(TraceSource& trace, const RunConfig& cfg);
  * @p branches_per_trace branches.
  */
 SetResult runBenchmarkSet(BenchmarkSet set, const RunConfig& cfg,
-                          uint64_t branches_per_trace);
+                          uint64_t branches_per_trace,
+                          uint64_t seed_salt = 0);
 
 /**
  * Simulate one named trace generated with @p branches branches.
  */
 RunResult runNamedTrace(const std::string& trace_name, const RunConfig& cfg,
-                        uint64_t branches);
+                        uint64_t branches, uint64_t seed_salt = 0);
 
 } // namespace tagecon
 

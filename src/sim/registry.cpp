@@ -9,19 +9,11 @@
 #include "core/estimators.hpp"
 #include "tage/graded_tage.hpp"
 #include "util/logging.hpp"
+#include "util/text.hpp"
 
 namespace tagecon {
 
 namespace {
-
-std::string
-toLower(std::string s)
-{
-    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
-        return static_cast<char>(std::tolower(c));
-    });
-    return s;
-}
 
 /** Split @p spec on '+'; empty tokens are malformed. */
 bool
@@ -44,10 +36,83 @@ splitSpec(const std::string& spec, std::vector<std::string>& tokens,
     return true;
 }
 
-std::unique_ptr<GradedPredictor>
-makeTageBase(TageConfig cfg, const SpecModifiers& mods,
-             std::string& error)
+/** Reject the TAGE-only modifiers on a non-TAGE base. */
+bool
+rejectModifiers(const std::string& name, const SpecModifiers& mods,
+                std::string& error)
 {
+    if (mods.prob || mods.adaptive) {
+        error = "modifiers prob/adaptive only apply to the tage "
+                "family, not to '" +
+                name + "'";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Apply the TAGE-family parameter keys to a named budget's geometry
+ * and build the config. Shared by the tage* and ltage* factories.
+ *
+ * Keys: tables, logent, tag, minhist, maxhist, logbim, bimctr, ctr
+ * (tagged counter bits), ubits (useful counter bits), ualt
+ * (USE_ALT_ON_NA on/off).
+ */
+bool
+buildTageConfig(const TageGeometry& base_geometry, const SpecParams& p,
+                TageConfig& out, std::string& error)
+{
+    TageGeometry g = base_geometry;
+    g.numTables = static_cast<int>(
+        p.getInt("tables", g.numTables, 1, kMaxTaggedTables));
+    g.logEntries =
+        static_cast<int>(p.getInt("logent", g.logEntries, 1, 24));
+    g.tagBits = static_cast<int>(p.getInt("tag", g.tagBits, 2, 16));
+    g.minHistory =
+        static_cast<int>(p.getInt("minhist", g.minHistory, 1, 4000));
+    g.maxHistory =
+        static_cast<int>(p.getInt("maxhist", g.maxHistory, 1, 4000));
+    g.logBimodalEntries = static_cast<int>(
+        p.getInt("logbim", g.logBimodalEntries, 1, 24));
+
+    const int bim_ctr = static_cast<int>(p.getInt("bimctr", 2, 1, 8));
+    const int ctr = static_cast<int>(p.getInt("ctr", 3, 2, 8));
+    const int ubits = static_cast<int>(p.getInt("ubits", 2, 1, 8));
+    const bool ualt = p.getBool("ualt", true);
+
+    // Surface a malformed value as this factory's own error so it is
+    // reported ahead of any modifier problem, and skip constructing a
+    // predictor that is already disqualified.
+    if (!p.error().empty()) {
+        error = p.error();
+        return false;
+    }
+
+    // The rounded geometric series needs one strictly-increasing
+    // length per table; check here so fromGeometry cannot fatal().
+    if (g.maxHistory < g.minHistory + g.numTables - 1) {
+        error = "maxhist " + std::to_string(g.maxHistory) +
+                " too short for " + std::to_string(g.numTables) +
+                " tables starting at minhist " +
+                std::to_string(g.minHistory);
+        return false;
+    }
+
+    out = TageConfig::fromGeometry("custom", g);
+    out.bimodalCtrBits = bim_ctr;
+    out.taggedCtrBits = ctr;
+    out.usefulBits = ubits;
+    out.useAltOnNa = ualt;
+    return true;
+}
+
+std::unique_ptr<GradedPredictor>
+makeTageBase(const TageGeometry& geometry, const SpecParams& params,
+             const SpecModifiers& mods, std::string& error)
+{
+    TageConfig cfg;
+    if (!buildTageConfig(geometry, params, cfg, error))
+        return nullptr;
     if (mods.prob)
         cfg = cfg.withProbabilisticSaturation(mods.probLog2);
     if (mods.adaptive && !cfg.probabilisticSaturation) {
@@ -61,33 +126,37 @@ makeTageBase(TageConfig cfg, const SpecModifiers& mods,
 }
 
 std::unique_ptr<GradedPredictor>
-makeLTageBase(TageConfig cfg, const SpecModifiers& mods,
-              std::string& error)
+makeLTageBase(const TageGeometry& geometry, const SpecParams& params,
+              const SpecModifiers& mods, std::string& error)
 {
     if (mods.adaptive) {
         error = "adaptive is not supported on ltage bases";
         return nullptr;
     }
+    TageConfig cfg;
+    if (!buildTageConfig(geometry, params, cfg, error))
+        return nullptr;
     if (mods.prob)
         cfg = cfg.withProbabilisticSaturation(mods.probLog2);
     return std::make_unique<GradedLTage>(std::move(cfg));
 }
 
-/** Wrap a modifier-free baseline constructor, rejecting modifiers. */
-template <typename Make>
+/** Registry entries for a named TAGE / L-TAGE budget. */
 PredictorBaseFactory
-plainBase(const std::string& name, Make make)
+tageFactory(TageGeometry geometry)
 {
-    return [name, make](const SpecModifiers& mods,
-                        std::string& error)
-               -> std::unique_ptr<GradedPredictor> {
-        if (mods.prob || mods.adaptive) {
-            error = "modifiers prob/adaptive only apply to the tage "
-                    "family, not to '" +
-                    name + "'";
-            return nullptr;
-        }
-        return make();
+    return [geometry](const SpecParams& p, const SpecModifiers& m,
+                      std::string& e) {
+        return makeTageBase(geometry, p, m, e);
+    };
+}
+
+PredictorBaseFactory
+ltageFactory(TageGeometry geometry)
+{
+    return [geometry](const SpecParams& p, const SpecModifiers& m,
+                      std::string& e) {
+        return makeLTageBase(geometry, p, m, e);
     };
 }
 
@@ -96,36 +165,81 @@ baseRegistry()
 {
     static std::map<std::string, PredictorBaseFactory> registry = [] {
         std::map<std::string, PredictorBaseFactory> r;
-        r["tage16k"] = [](const SpecModifiers& m, std::string& e) {
-            return makeTageBase(TageConfig::small16K(), m, e);
+        r["tage16k"] = tageFactory(TageConfig::geometry16K());
+        r["tage64k"] = tageFactory(TageConfig::geometry64K());
+        r["tage256k"] = tageFactory(TageConfig::geometry256K());
+        r["ltage16k"] = ltageFactory(TageConfig::geometry16K());
+        r["ltage64k"] = ltageFactory(TageConfig::geometry64K());
+        r["ltage256k"] = ltageFactory(TageConfig::geometry256K());
+        r["gshare"] = [](const SpecParams& p, const SpecModifiers& m,
+                         std::string& e)
+            -> std::unique_ptr<GradedPredictor> {
+            if (!rejectModifiers("gshare", m, e))
+                return nullptr;
+            const int entries =
+                static_cast<int>(p.getInt("entries", 15, 1, 24));
+            const int hist =
+                static_cast<int>(p.getInt("hist", 15, 1, 64));
+            const int ctr = static_cast<int>(p.getInt("ctr", 2, 1, 8));
+            return std::make_unique<GradedGshare>(entries, hist, ctr);
         };
-        r["tage64k"] = [](const SpecModifiers& m, std::string& e) {
-            return makeTageBase(TageConfig::medium64K(), m, e);
+        r["bimodal"] = [](const SpecParams& p, const SpecModifiers& m,
+                          std::string& e)
+            -> std::unique_ptr<GradedPredictor> {
+            if (!rejectModifiers("bimodal", m, e))
+                return nullptr;
+            const int entries =
+                static_cast<int>(p.getInt("entries", 15, 1, 24));
+            const int ctr = static_cast<int>(p.getInt("ctr", 2, 1, 8));
+            return std::make_unique<GradedBimodal>(entries, ctr);
         };
-        r["tage256k"] = [](const SpecModifiers& m, std::string& e) {
-            return makeTageBase(TageConfig::large256K(), m, e);
+        r["perceptron"] = [](const SpecParams& p,
+                             const SpecModifiers& m, std::string& e)
+            -> std::unique_ptr<GradedPredictor> {
+            if (!rejectModifiers("perceptron", m, e))
+                return nullptr;
+            const int perceptrons =
+                static_cast<int>(p.getInt("perceptrons", 9, 1, 20));
+            const int hist =
+                static_cast<int>(p.getInt("hist", 32, 1, 64));
+            return std::make_unique<GradedPerceptron>(perceptrons,
+                                                      hist);
         };
-        r["ltage16k"] = [](const SpecModifiers& m, std::string& e) {
-            return makeLTageBase(TageConfig::small16K(), m, e);
+        r["ogehl"] = [](const SpecParams& p, const SpecModifiers& m,
+                        std::string& e)
+            -> std::unique_ptr<GradedPredictor> {
+            if (!rejectModifiers("ogehl", m, e))
+                return nullptr;
+            OgehlPredictor::Config cfg;
+            cfg.numTables = static_cast<int>(
+                p.getInt("tables", cfg.numTables, 2, 16));
+            cfg.logEntries = static_cast<int>(
+                p.getInt("entries", cfg.logEntries, 4, 20));
+            cfg.ctrBits =
+                static_cast<int>(p.getInt("ctr", cfg.ctrBits, 2, 8));
+            cfg.minHistory = static_cast<int>(
+                p.getInt("minhist", cfg.minHistory, 1, 4000));
+            cfg.maxHistory = static_cast<int>(
+                p.getInt("maxhist", cfg.maxHistory, 1, 4000));
+            cfg.initialTheta = static_cast<int>(
+                p.getInt("theta", cfg.initialTheta, 1, 1024));
+            if (!p.error().empty()) {
+                e = p.error();
+                return nullptr;
+            }
+            // T1..T_{M-1} take a strictly-increasing geometric series
+            // of numTables-1 history lengths capped at maxhist; a
+            // shorter span would round lengths past maxhist and
+            // overflow the history buffer mid-run.
+            if (cfg.maxHistory < cfg.minHistory + cfg.numTables - 2) {
+                e = "maxhist " + std::to_string(cfg.maxHistory) +
+                    " too short for " + std::to_string(cfg.numTables) +
+                    " tables starting at minhist " +
+                    std::to_string(cfg.minHistory);
+                return nullptr;
+            }
+            return std::make_unique<GradedOgehl>(cfg);
         };
-        r["ltage64k"] = [](const SpecModifiers& m, std::string& e) {
-            return makeLTageBase(TageConfig::medium64K(), m, e);
-        };
-        r["ltage256k"] = [](const SpecModifiers& m, std::string& e) {
-            return makeLTageBase(TageConfig::large256K(), m, e);
-        };
-        r["gshare"] = plainBase("gshare", [] {
-            return std::make_unique<GradedGshare>();
-        });
-        r["bimodal"] = plainBase("bimodal", [] {
-            return std::make_unique<GradedBimodal>();
-        });
-        r["perceptron"] = plainBase("perceptron", [] {
-            return std::make_unique<GradedPerceptron>();
-        });
-        r["ogehl"] = plainBase("ogehl", [] {
-            return std::make_unique<GradedOgehl>();
-        });
         return r;
     }();
     return registry;
@@ -146,6 +260,7 @@ isEstimatorToken(const std::string& tok)
 /** Everything a spec string parses into. */
 struct ParsedSpec {
     std::string base;
+    SpecParams params;
     SpecModifiers mods;
     std::string estimator; // canonical token, empty = none
 };
@@ -157,7 +272,17 @@ parseSpec(const std::string& spec, ParsedSpec& out, std::string& error)
     if (!splitSpec(spec, tokens, error))
         return false;
 
-    out.base = tokens[0];
+    // tokens[0] is "base" or "base:key=value,..."
+    const auto colon = tokens[0].find(':');
+    out.base = tokens[0].substr(0, colon);
+    if (colon != std::string::npos) {
+        std::string param_error;
+        if (!SpecParams::parse(tokens[0].substr(colon + 1), out.params,
+                               param_error)) {
+            error = "malformed spec '" + spec + "': " + param_error;
+            return false;
+        }
+    }
     if (baseRegistry().find(out.base) == baseRegistry().end()) {
         error = "unknown predictor base '" + out.base +
                 "' (known: " + [&] {
@@ -171,6 +296,11 @@ parseSpec(const std::string& spec, ParsedSpec& out, std::string& error)
 
     for (size_t i = 1; i < tokens.size(); ++i) {
         const std::string& tok = tokens[i];
+        if (tok.find(':') != std::string::npos) {
+            error = "parameters only attach to the base, not to '" +
+                    tok + "' in spec '" + spec + "'";
+            return false;
+        }
         if (isEstimatorToken(tok)) {
             if (!out.estimator.empty()) {
                 error = "spec '" + spec +
@@ -212,6 +342,8 @@ std::string
 canonicalName(const ParsedSpec& p)
 {
     std::string s = p.base;
+    if (!p.params.empty())
+        s += ":" + p.params.canonical();
     if (p.mods.prob)
         s += "+prob" + std::to_string(p.mods.probLog2);
     if (p.mods.adaptive)
@@ -280,6 +412,24 @@ exampleSpecs()
     specs.push_back("gshare+jrsg");
     specs.push_back("tage64k+jrs");
     specs.push_back("gshare");
+    specs.push_back("gshare:entries=16,hist=17+jrs");
+    specs.push_back("tage64k:ctr=4,tables=8+prob7+sfc");
+    specs.push_back("ogehl:maxhist=120,tables=6+sfc");
+    return specs;
+}
+
+std::vector<std::string>
+regroupSpecList(const std::vector<std::string>& items)
+{
+    std::vector<std::string> specs;
+    for (const auto& item : items) {
+        const std::string head =
+            item.substr(0, item.find_first_of(":+"));
+        if (!specs.empty() && head.find('=') != std::string::npos)
+            specs.back() += "," + item;
+        else
+            specs.push_back(item);
+    }
     return specs;
 }
 
@@ -303,7 +453,25 @@ tryMakePredictor(const std::string& spec, std::string* error)
     std::string err;
     std::unique_ptr<GradedPredictor> predictor;
     if (parseSpec(spec, parsed, err)) {
-        predictor = baseRegistry()[parsed.base](parsed.mods, err);
+        predictor =
+            baseRegistry()[parsed.base](parsed.params, parsed.mods, err);
+        // Parameter hygiene: every supplied key must have been read by
+        // the factory, and every value must have parsed cleanly.
+        if (predictor && !parsed.params.error().empty()) {
+            err = "spec '" + spec + "': " + parsed.params.error();
+            predictor.reset();
+        }
+        if (predictor) {
+            const auto unknown = parsed.params.unrecognizedKeys();
+            if (!unknown.empty()) {
+                std::string names;
+                for (const auto& k : unknown)
+                    names += (names.empty() ? "" : ", ") + k;
+                err = "unknown parameter(s) [" + names +
+                      "] for base '" + parsed.base + "'";
+                predictor.reset();
+            }
+        }
         if (predictor && !parsed.estimator.empty()) {
             if (parsed.estimator == "sfc" &&
                 !predictor->hasIntrinsicConfidence()) {

@@ -10,11 +10,17 @@
  *
  * Spec grammar (case-insensitive):
  *
- *   spec      := base ( '+' token )*
+ *   spec      := base [':' params] ( '+' token )*
  *   base      := tage16k | tage64k | tage256k
  *              | ltage16k | ltage64k | ltage256k
  *              | gshare | bimodal | perceptron | ogehl
  *              | any name added via registerPredictorBase()
+ *   params    := key '=' value ( ',' key '=' value )*
+ *                geometry overrides of the base, e.g.
+ *                "gshare:hist=17,entries=16" or
+ *                "tage64k:tables=8,ctr=2,maxhist=300"; unknown keys
+ *                and malformed values are rejected (see each base's
+ *                factory for its keys, or README "spec grammar")
  *   token     := modifier | estimator
  *   modifier  := "prob" [digits]   probabilistic saturation automaton
  *                                  (Sec. 6), log2(1/p), default 7
@@ -40,6 +46,7 @@
 #include <vector>
 
 #include "core/graded_predictor.hpp"
+#include "sim/spec_params.hpp"
 
 namespace tagecon {
 
@@ -58,10 +65,17 @@ struct SpecModifiers {
 /**
  * Factory for one predictor base. Returns the predictor, or nullptr
  * after filling @p error (e.g. when a modifier does not apply).
+ *
+ * @p params is the spec's "key=value,..." list; read every supported
+ * key through the typed getters (with the base's default as the
+ * fallback). The registry rejects the spec after the factory returns
+ * if any supplied key was never read or any value was malformed, so
+ * factories need no unknown-key handling of their own.
  */
 using PredictorBaseFactory =
     std::function<std::unique_ptr<GradedPredictor>(
-        const SpecModifiers& mods, std::string& error)>;
+        const SpecParams& params, const SpecModifiers& mods,
+        std::string& error)>;
 
 /**
  * Register (or replace) a predictor base under @p name, making
@@ -84,9 +98,24 @@ std::vector<std::string> registeredEstimators();
 std::vector<std::string> exampleSpecs();
 
 /**
+ * Repair a comma-split spec list: canonical multi-parameter specs
+ * contain ',' ("gshare:entries=16,hist=17+jrs"), so a generic
+ * comma-split cuts them apart. A segment whose base part (text before
+ * the first ':' or '+') contains '=' cannot start a spec — base names
+ * never contain '=' — so it is provably a parameter continuation of
+ * the previous segment and is rejoined with ','. Lets the output of
+ * name() / exampleSpecs() be pasted into --predictors lists verbatim.
+ */
+std::vector<std::string>
+regroupSpecList(const std::vector<std::string>& items);
+
+/**
  * Canonical form of @p spec (lowercase, tokens in base / prob /
- * adaptive / estimator order, aliases resolved). Empty string on a
- * malformed spec, with the reason in @p error when given.
+ * adaptive / estimator order, base parameters sorted by key, aliases
+ * resolved). Empty string on a malformed spec, with the reason in
+ * @p error when given. Syntactic only: parameter keys are checked
+ * against the base's supported set at construction time
+ * (tryMakePredictor), not here.
  */
 std::string canonicalizeSpec(const std::string& spec,
                              std::string* error = nullptr);

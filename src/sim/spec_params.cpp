@@ -1,0 +1,134 @@
+#include "sim/spec_params.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strict_parse.hpp"
+
+namespace tagecon {
+
+bool
+SpecParams::parse(const std::string& text, SpecParams& out,
+                  std::string& error)
+{
+    std::map<std::string, std::string> kv;
+    // ';' is an alias for ',' so multi-parameter specs survive inside
+    // comma-separated flag lists ("--predictors=a:x=1;y=2,b"); the
+    // canonical rendering always uses ','.
+    std::string separable = text;
+    std::replace(separable.begin(), separable.end(), ';', ',');
+    // getline never yields the empty entry after a trailing
+    // separator, so a typo-truncated list ("hist=9,") would silently
+    // pass the per-entry checks below; reject it explicitly.
+    if (!separable.empty() && separable.back() == ',') {
+        error = "trailing parameter separator in '" + text + "'";
+        return false;
+    }
+    std::stringstream ss(separable);
+    std::string entry;
+    bool any = false;
+    while (std::getline(ss, entry, ',')) {
+        any = true;
+        const auto eq = entry.find('=');
+        if (eq == std::string::npos) {
+            error = "parameter '" + entry + "' is not key=value";
+            return false;
+        }
+        const std::string key = entry.substr(0, eq);
+        const std::string value = entry.substr(eq + 1);
+        if (key.empty() || value.empty()) {
+            error = "parameter '" + entry + "' has an empty " +
+                    (key.empty() ? "key" : "value");
+            return false;
+        }
+        if (value.find('=') != std::string::npos) {
+            error = "parameter '" + entry + "' has more than one '='";
+            return false;
+        }
+        if (!kv.emplace(key, value).second) {
+            error = "duplicate parameter '" + key + "'";
+            return false;
+        }
+    }
+    if (!any) {
+        error = "empty parameter list after ':'";
+        return false;
+    }
+    out = SpecParams(std::move(kv));
+    return true;
+}
+
+const std::string*
+SpecParams::find(const std::string& key) const
+{
+    recognized_.insert(key);
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? nullptr : &it->second;
+}
+
+void
+SpecParams::recordError(const std::string& key,
+                        const std::string& why) const
+{
+    if (error_.empty())
+        error_ = "parameter '" + key + "': " + why;
+}
+
+int64_t
+SpecParams::getInt(const std::string& key, int64_t def, int64_t lo,
+                   int64_t hi) const
+{
+    const std::string* raw = find(key);
+    if (!raw)
+        return def;
+    int64_t v = 0;
+    std::string why;
+    if (!parseInt64(*raw, v, why)) {
+        recordError(key, why + " ('" + *raw + "')");
+        return def;
+    }
+    if (v < lo || v > hi) {
+        recordError(key, "value " + std::to_string(v) +
+                             " out of range [" + std::to_string(lo) +
+                             ", " + std::to_string(hi) + "]");
+        return def;
+    }
+    return v;
+}
+
+bool
+SpecParams::getBool(const std::string& key, bool def) const
+{
+    const std::string* raw = find(key);
+    if (!raw)
+        return def;
+    if (*raw == "1" || *raw == "true" || *raw == "yes")
+        return true;
+    if (*raw == "0" || *raw == "false" || *raw == "no")
+        return false;
+    recordError(key, "expected a boolean, got '" + *raw + "'");
+    return def;
+}
+
+std::vector<std::string>
+SpecParams::unrecognizedKeys() const
+{
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : kv_) {
+        if (recognized_.count(key) == 0)
+            keys.push_back(key);
+    }
+    return keys;
+}
+
+std::string
+SpecParams::canonical() const
+{
+    // kv_ is a std::map, so iteration is already key-sorted.
+    std::string s;
+    for (const auto& [key, value] : kv_)
+        s += (s.empty() ? "" : ",") + key + "=" + value;
+    return s;
+}
+
+} // namespace tagecon

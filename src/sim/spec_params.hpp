@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Typed parameter map for registry spec strings. A spec base may carry
+ * a parameter list — "gshare:hist=17,entries=16" — which the parser
+ * turns into a SpecParams and hands to the base's factory.
+ *
+ * Lookups are typed and range-checked, and every lookup marks its key
+ * as recognized; after the factory runs, the registry rejects the spec
+ * if any key was never looked up (unknown-key rejection) or if any
+ * value failed to parse or fell outside its range (the first such
+ * problem is kept in error()). This keeps per-base parameter handling
+ * declarative: a factory just reads the keys it supports.
+ */
+
+#ifndef TAGECON_SIM_SPEC_PARAMS_HPP
+#define TAGECON_SIM_SPEC_PARAMS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tagecon {
+
+/** Parsed "key=value,..." parameter list of one spec base. */
+class SpecParams
+{
+  public:
+    SpecParams() = default;
+
+    /** Wrap an already-parsed key/value map (keys lowercase). */
+    explicit SpecParams(std::map<std::string, std::string> kv)
+        : kv_(std::move(kv))
+    {
+    }
+
+    /**
+     * Parse "key=value,key=value" (already lowercased; ';' is
+     * accepted as a ',' alias so specs can sit inside comma-separated
+     * flag lists). Returns false on a malformed list — empty entry,
+     * missing '=', empty key or value, duplicate key — with the
+     * reason in @p error.
+     */
+    static bool parse(const std::string& text, SpecParams& out,
+                      std::string& error);
+
+    /** True when no parameters were given. */
+    bool empty() const { return kv_.empty(); }
+
+    /** Number of parameters. */
+    size_t size() const { return kv_.size(); }
+
+    /** True when @p key was supplied (does not mark it recognized). */
+    bool has(const std::string& key) const
+    {
+        return kv_.count(key) > 0;
+    }
+
+    /**
+     * Integer value of @p key clamped-checked against [lo, hi], or
+     * @p def when absent. A malformed or out-of-range value records
+     * the problem for error() and returns @p def.
+     */
+    int64_t getInt(const std::string& key, int64_t def,
+                   int64_t lo = std::numeric_limits<int64_t>::min(),
+                   int64_t hi = std::numeric_limits<int64_t>::max()) const;
+
+    /** Boolean value of @p key (1/0/true/false/yes/no). */
+    bool getBool(const std::string& key, bool def) const;
+
+    /** Keys never looked up by any getter, sorted. */
+    std::vector<std::string> unrecognizedKeys() const;
+
+    /** First value parse/range problem, or empty when all clean. */
+    const std::string& error() const { return error_; }
+
+    /**
+     * Canonical "k1=v1,k2=v2" rendering, keys sorted — the parameter
+     * part of a canonical spec, so parameter order round-trips.
+     */
+    std::string canonical() const;
+
+  private:
+    const std::string* find(const std::string& key) const;
+    void recordError(const std::string& key, const std::string& why) const;
+
+    std::map<std::string, std::string> kv_;
+
+    // Lookup bookkeeping: factories take SpecParams by const reference,
+    // so recognition/error state is mutable.
+    mutable std::set<std::string> recognized_;
+    mutable std::string error_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_SIM_SPEC_PARAMS_HPP

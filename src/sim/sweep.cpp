@@ -1,0 +1,199 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <thread>
+
+#include "sim/registry.hpp"
+#include "trace/profiles.hpp"
+#include "util/logging.hpp"
+#include "util/text.hpp"
+
+namespace tagecon {
+
+namespace {
+
+bool
+isKnownTrace(const std::string& name)
+{
+    const auto names = allTraceNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+} // namespace
+
+SweepPlan
+SweepPlan::over(std::vector<std::string> specs,
+                std::vector<std::string> traces,
+                uint64_t branches_per_trace, uint64_t seed_salt)
+{
+    SweepPlan plan;
+    plan.specs = std::move(specs);
+    plan.traces = std::move(traces);
+    plan.branchesPerTrace = branches_per_trace;
+    plan.seedSalt = seed_salt;
+    return plan;
+}
+
+bool
+SweepPlan::resolveTraceArgs(const std::vector<std::string>& args,
+                            std::vector<std::string>& out,
+                            std::string& error)
+{
+    out.clear();
+    for (const auto& arg : args) {
+        const std::string key = toLower(arg);
+        if (key == "all") {
+            const auto names = allTraceNames();
+            out.insert(out.end(), names.begin(), names.end());
+        } else if (key == "cbp1") {
+            const auto& names = traceNames(BenchmarkSet::Cbp1);
+            out.insert(out.end(), names.begin(), names.end());
+        } else if (key == "cbp2") {
+            const auto& names = traceNames(BenchmarkSet::Cbp2);
+            out.insert(out.end(), names.begin(), names.end());
+        } else if (isKnownTrace(arg)) {
+            out.push_back(arg);
+        } else {
+            error = "unknown trace '" + arg +
+                    "' (use a trace name, cbp1, cbp2 or all)";
+            return false;
+        }
+    }
+    if (out.empty()) {
+        error = "no traces named";
+        return false;
+    }
+    return true;
+}
+
+bool
+SweepPlan::validate(std::string* error)
+{
+    if (validated)
+        return true;
+    std::string err;
+    if (specs.empty())
+        err = "sweep plan names no predictor specs";
+    else if (traces.empty())
+        err = "sweep plan names no traces";
+    else if (branchesPerTrace == 0)
+        err = "sweep plan generates zero branches per trace";
+
+    for (auto& spec : specs) {
+        if (!err.empty())
+            break;
+        std::string spec_err;
+        // Probe-construct so workers can't hit a bad spec mid-sweep.
+        if (!tryMakePredictor(spec, &spec_err)) {
+            err = spec_err;
+            break;
+        }
+        spec = canonicalizeSpec(spec);
+    }
+    for (const auto& trace : traces) {
+        if (!err.empty())
+            break;
+        if (!isKnownTrace(trace))
+            err = "unknown trace '" + trace + "'";
+    }
+
+    if (!err.empty()) {
+        if (error)
+            *error = err;
+        return false;
+    }
+    validated = true;
+    return true;
+}
+
+std::vector<SweepCell>
+SweepPlan::cells() const
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(cellCount());
+    for (const auto& spec : specs) {
+        for (const auto& trace : traces)
+            cells.push_back(
+                SweepCell{spec, trace, branchesPerTrace, seedSalt});
+    }
+    return cells;
+}
+
+RunResult
+runSweepCell(const SweepCell& cell)
+{
+    SyntheticTrace trace =
+        makeTrace(cell.trace, cell.branches, cell.seedSalt);
+    auto predictor = makePredictor(cell.spec);
+    return runTrace(trace, *predictor);
+}
+
+std::vector<RunResult>
+runSweep(SweepPlan plan, const SweepOptions& opt)
+{
+    std::string error;
+    if (!plan.validate(&error))
+        fatal("runSweep: " + error);
+
+    const std::vector<SweepCell> cells = plan.cells();
+    std::vector<RunResult> results(cells.size());
+
+    size_t jobs = opt.jobs != 0
+                      ? opt.jobs
+                      : std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min(jobs, cells.size());
+
+    if (jobs <= 1) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            results[i] = runSweepCell(cells[i]);
+        return results;
+    }
+
+    // Work-stealing by atomic cell index; each worker writes only its
+    // own preassigned slot, so no locking and no ordering effects.
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (size_t i = next.fetch_add(1); i < cells.size();
+             i = next.fetch_add(1))
+            results[i] = runSweepCell(cells[i]);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (size_t t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (auto& t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<SweepRow>
+runSweepRows(SweepPlan plan, const SweepOptions& opt)
+{
+    std::vector<RunResult> flat = runSweep(plan, opt);
+    const size_t per_row = plan.traces.size();
+
+    std::vector<SweepRow> rows;
+    rows.reserve(plan.specs.size());
+    for (size_t s = 0; s < plan.specs.size(); ++s) {
+        SweepRow row;
+        row.spec = canonicalizeSpec(plan.specs[s]);
+        double mpki_sum = 0.0;
+        for (size_t t = 0; t < per_row; ++t) {
+            RunResult& rr = flat[s * per_row + t];
+            row.aggregate.merge(rr.stats);
+            row.confusion.merge(rr.confusion);
+            mpki_sum += rr.stats.mpki();
+            row.storageBits = rr.storageBits;
+            row.perTrace.push_back(std::move(rr));
+        }
+        row.meanMpki = per_row == 0
+                           ? 0.0
+                           : mpki_sum / static_cast<double>(per_row);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace tagecon

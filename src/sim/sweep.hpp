@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Declarative (spec x trace) sweep grids and a parallel runner.
+ *
+ * Every table and figure of the paper is a grid of (predictor config x
+ * trace) cells, and the registry makes each cell a pure function of
+ * its strings: a SweepCell names a spec, a trace, a branch count and a
+ * seed salt, nothing else. SweepPlan is the cross product; SweepRunner
+ * executes the cells across a std::thread pool and collects RunResults
+ * in the plan's canonical (spec-major) order, so multithreaded output
+ * is bit-identical to a serial run:
+ *
+ *   SweepPlan plan = SweepPlan::over(
+ *       {"tage64k+prob7+sfc", "gshare:hist=17+jrs"}, allTraceNames(),
+ *       1000000);
+ *   auto rows = runSweepRows(plan, {.jobs = 8});   // one row per spec
+ *
+ * Determinism: cells share no state (fresh predictor and trace per
+ * cell, no globals), each cell's trace derives its seed purely from
+ * (profile seed XOR plan.seedSalt), and results land in a
+ * preallocated slot indexed by cell position — thread count and
+ * scheduling cannot change any output bit.
+ */
+
+#ifndef TAGECON_SIM_SWEEP_HPP
+#define TAGECON_SIM_SWEEP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace tagecon {
+
+/** One (spec, trace) grid cell — a pure function of its strings. */
+struct SweepCell {
+    /** Canonical registry spec to construct. */
+    std::string spec;
+
+    /** Synthetic trace name (see trace/profiles.hpp). */
+    std::string trace;
+
+    /** Branches to generate. */
+    uint64_t branches = 0;
+
+    /** Seed salt applied to the trace's profile seed. */
+    uint64_t seedSalt = 0;
+};
+
+/** A (specs x traces) grid with shared branch count and seed salt. */
+struct SweepPlan {
+    /** Registry specs, one row per spec. */
+    std::vector<std::string> specs;
+
+    /** Trace names, the columns of every row. */
+    std::vector<std::string> traces;
+
+    /** Branches generated per cell. */
+    uint64_t branchesPerTrace = 1000000;
+
+    /** Seed salt applied to every cell's trace generation. */
+    uint64_t seedSalt = 0;
+
+    /** Convenience builder for the common literal case. */
+    static SweepPlan over(std::vector<std::string> specs,
+                          std::vector<std::string> traces,
+                          uint64_t branches_per_trace,
+                          uint64_t seed_salt = 0);
+
+    /**
+     * Expand user trace arguments into trace names: each item is a
+     * trace name, or one of the set aliases "cbp1" / "cbp2" / "all"
+     * (case-insensitive). Returns false on an unknown item with the
+     * reason in @p error.
+     */
+    static bool resolveTraceArgs(const std::vector<std::string>& args,
+                                 std::vector<std::string>& out,
+                                 std::string& error);
+
+    /**
+     * Check the plan and canonicalize its specs in place: every spec
+     * must be constructible, every trace name known, and the grid
+     * non-empty. Returns false with the reason in @p error.
+     * Idempotent: a second call on an unmodified plan (including the
+     * copy runSweep() validates) returns immediately without
+     * re-probing the predictors; mutating the plan after a successful
+     * validate() is a usage error.
+     */
+    bool validate(std::string* error = nullptr);
+
+    /** True once validate() has succeeded on this plan (or a copy). */
+    bool validated = false;
+
+    /** Number of grid cells. */
+    size_t cellCount() const { return specs.size() * traces.size(); }
+
+    /**
+     * The grid cells in canonical order: spec-major, traces in plan
+     * order within each spec — the order results are returned in.
+     */
+    std::vector<SweepCell> cells() const;
+};
+
+/** Execution knobs of a sweep. */
+struct SweepOptions {
+    /** Worker threads; 0 means hardware concurrency. */
+    unsigned jobs = 1;
+};
+
+/** Run one cell: fresh trace + fresh predictor through runTrace(). */
+RunResult runSweepCell(const SweepCell& cell);
+
+/**
+ * Run every cell of @p plan across @p opt.jobs threads. fatal()s on an
+ * invalid plan. Results are in plan.cells() order regardless of the
+ * thread count or scheduling.
+ */
+std::vector<RunResult> runSweep(SweepPlan plan,
+                                const SweepOptions& opt = {});
+
+/** One spec's row of a sweep, pooled over the plan's traces. */
+struct SweepRow {
+    /** Canonical spec of this row. */
+    std::string spec;
+
+    /** Per-trace results, in plan trace order. */
+    std::vector<RunResult> perTrace;
+
+    /** Pooled statistics over all the row's branches. */
+    ClassStats aggregate;
+
+    /** Pooled binary confidence confusion. */
+    BinaryConfidenceMetrics confusion;
+
+    /** Arithmetic mean of per-trace MPKI (the paper's misp/KI rows). */
+    double meanMpki = 0.0;
+
+    /** Predictor storage in bits (identical across the row's cells). */
+    uint64_t storageBits = 0;
+};
+
+/**
+ * Run @p plan and fold each spec's cells into one SweepRow — the shape
+ * of the comparison benches (one table row per spec, pooled over both
+ * benchmark sets).
+ */
+std::vector<SweepRow> runSweepRows(SweepPlan plan,
+                                   const SweepOptions& opt = {});
+
+} // namespace tagecon
+
+#endif // TAGECON_SIM_SWEEP_HPP

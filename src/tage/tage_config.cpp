@@ -35,47 +35,60 @@ TageConfig::geometricHistories(int min_hist, int max_hist, int n)
     return lengths;
 }
 
-namespace {
-
 TageConfig
-makeConfig(std::string name, int log_bimodal, int num_tables,
-           int log_entries, int tag_bits, int min_hist, int max_hist)
+TageConfig::fromGeometry(std::string name, const TageGeometry& g)
 {
     TageConfig cfg;
     cfg.name = std::move(name);
-    cfg.logBimodalEntries = log_bimodal;
-    const auto lengths =
-        TageConfig::geometricHistories(min_hist, max_hist, num_tables);
-    cfg.tagged.reserve(static_cast<size_t>(num_tables));
-    for (int i = 0; i < num_tables; ++i) {
+    cfg.logBimodalEntries = g.logBimodalEntries;
+    const auto lengths = TageConfig::geometricHistories(
+        g.minHistory, g.maxHistory, g.numTables);
+    cfg.tagged.reserve(static_cast<size_t>(g.numTables));
+    for (int i = 0; i < g.numTables; ++i) {
         cfg.tagged.push_back(TageTableConfig{
-            log_entries, tag_bits, lengths[static_cast<size_t>(i)]});
+            g.logEntries, g.tagBits, lengths[static_cast<size_t>(i)]});
     }
     cfg.validate();
     return cfg;
 }
 
-} // namespace
+TageGeometry
+TageConfig::geometry16K()
+{
+    // 1024x2b bimodal + 4 x 256 x (8b tag + 3b ctr + 2b u) = 15.0 Kbit.
+    return TageGeometry{10, 4, 8, 8, 3, 80};
+}
+
+TageGeometry
+TageConfig::geometry64K()
+{
+    // 4096x2b bimodal + 7 x 512 x (10+3+2) = 60.5 Kbit.
+    return TageGeometry{12, 7, 9, 10, 5, 130};
+}
+
+TageGeometry
+TageConfig::geometry256K()
+{
+    // 4096x2b bimodal + 8 x 2048 x (10+3+2) = 248 Kbit.
+    return TageGeometry{12, 8, 11, 10, 5, 300};
+}
 
 TageConfig
 TageConfig::small16K()
 {
-    // 1024x2b bimodal + 4 x 256 x (8b tag + 3b ctr + 2b u) = 15.0 Kbit.
-    return makeConfig("16K", 10, 4, 8, 8, 3, 80);
+    return fromGeometry("16K", geometry16K());
 }
 
 TageConfig
 TageConfig::medium64K()
 {
-    // 4096x2b bimodal + 7 x 512 x (10+3+2) = 60.5 Kbit.
-    return makeConfig("64K", 12, 7, 9, 10, 5, 130);
+    return fromGeometry("64K", geometry64K());
 }
 
 TageConfig
 TageConfig::large256K()
 {
-    // 4096x2b bimodal + 8 x 2048 x (10+3+2) = 248 Kbit.
-    return makeConfig("256K", 12, 8, 11, 10, 5, 300);
+    return fromGeometry("256K", geometry256K());
 }
 
 std::vector<TageConfig>

@@ -20,6 +20,32 @@ namespace tagecon {
 /** Upper bound on tagged tables supported by the implementation. */
 inline constexpr int kMaxTaggedTables = 16;
 
+/**
+ * The shape parameters the paper's named budgets are generated from:
+ * uniform tagged tables over a geometric history series. Kept as an
+ * explicit struct so the registry can override individual fields
+ * ("tage64k:tables=8,maxhist=300") and rebuild the series.
+ */
+struct TageGeometry {
+    /** log2 of the bimodal (base) table entry count. */
+    int logBimodalEntries = 12;
+
+    /** Number of tagged components. */
+    int numTables = 7;
+
+    /** log2 of entries per tagged table. */
+    int logEntries = 9;
+
+    /** Partial tag width in bits. */
+    int tagBits = 10;
+
+    /** Shortest history length L(1). */
+    int minHistory = 5;
+
+    /** Longest history length L(M). */
+    int maxHistory = 130;
+};
+
 /** Geometry of one tagged TAGE component. */
 struct TageTableConfig {
     /** log2 of the number of entries. */
@@ -95,6 +121,19 @@ struct TageConfig {
      */
     static std::vector<int> geometricHistories(int min_hist, int max_hist,
                                                int n);
+
+    /**
+     * Build a config from a geometry: uniform tagged tables with a
+     * geometric history series, exactly how the named budgets below
+     * are generated.
+     */
+    static TageConfig fromGeometry(std::string name,
+                                   const TageGeometry& g);
+
+    /** Generation shape of the named budgets. */
+    static TageGeometry geometry16K();
+    static TageGeometry geometry64K();
+    static TageGeometry geometry256K();
 
     /** The paper's small configuration: ~16Kbit, 1+4 tables, 3..80. */
     static TageConfig small16K();

@@ -1,8 +1,7 @@
 #include "util/cli.hpp"
 
-#include <cstdlib>
-
 #include "util/logging.hpp"
+#include "util/strict_parse.hpp"
 
 namespace tagecon {
 
@@ -50,11 +49,11 @@ CliArgs::getInt(const std::string& name, int64_t def) const
     const auto it = flags_.find(name);
     if (it == flags_.end())
         return def;
-    char* end = nullptr;
-    const int64_t v = std::strtoll(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0')
+    int64_t v = 0;
+    std::string why;
+    if (!parseInt64(it->second, v, why))
         fatal("flag --" + name + " expects an integer, got '" +
-              it->second + "'");
+              it->second + "' (" + why + ")");
     return v;
 }
 
@@ -64,11 +63,11 @@ CliArgs::getUint(const std::string& name, uint64_t def) const
     const auto it = flags_.find(name);
     if (it == flags_.end())
         return def;
-    char* end = nullptr;
-    const uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0')
+    uint64_t v = 0;
+    std::string why;
+    if (!parseUint64(it->second, v, why))
         fatal("flag --" + name + " expects an unsigned integer, got '" +
-              it->second + "'");
+              it->second + "' (" + why + ")");
     return v;
 }
 
@@ -78,11 +77,11 @@ CliArgs::getDouble(const std::string& name, double def) const
     const auto it = flags_.find(name);
     if (it == flags_.end())
         return def;
-    char* end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0')
+    double v = 0.0;
+    std::string why;
+    if (!parseFiniteDouble(it->second, v, why))
         fatal("flag --" + name + " expects a number, got '" +
-              it->second + "'");
+              it->second + "' (" + why + ")");
     return v;
 }
 

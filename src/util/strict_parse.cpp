@@ -1,0 +1,109 @@
+#include "util/strict_parse.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace tagecon {
+
+namespace {
+
+/** Reject empty strings and surrounding whitespace up front: strtoull
+ *  and friends silently skip leading whitespace, which lets values
+ *  like " 5" or "5 " through depending on the side. */
+bool
+checkShape(const std::string& text, std::string& why)
+{
+    if (text.empty()) {
+        why = "empty value";
+        return false;
+    }
+    if (std::isspace(static_cast<unsigned char>(text.front())) ||
+        std::isspace(static_cast<unsigned char>(text.back()))) {
+        why = "surrounding whitespace";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseUint64(const std::string& text, uint64_t& out, std::string& why)
+{
+    if (!checkShape(text, why))
+        return false;
+    // strtoull accepts a leading '-' and wraps the value; forbid signs.
+    if (text.front() == '-' || text.front() == '+') {
+        why = "sign on unsigned value";
+        return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const uint64_t v = std::strtoull(text.c_str(), &end, 0);
+    if (end == text.c_str()) {
+        why = "not a number";
+        return false;
+    }
+    if (*end != '\0') {
+        why = std::string("trailing garbage '") + end + "'";
+        return false;
+    }
+    if (errno == ERANGE) {
+        why = "out of range";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseInt64(const std::string& text, int64_t& out, std::string& why)
+{
+    if (!checkShape(text, why))
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const int64_t v = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str()) {
+        why = "not a number";
+        return false;
+    }
+    if (*end != '\0') {
+        why = std::string("trailing garbage '") + end + "'";
+        return false;
+    }
+    if (errno == ERANGE) {
+        why = "out of range";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseFiniteDouble(const std::string& text, double& out, std::string& why)
+{
+    if (!checkShape(text, why))
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str()) {
+        why = "not a number";
+        return false;
+    }
+    if (*end != '\0') {
+        why = std::string("trailing garbage '") + end + "'";
+        return false;
+    }
+    if (errno == ERANGE || !std::isfinite(v)) {
+        why = "out of range";
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace tagecon

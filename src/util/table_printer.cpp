@@ -91,9 +91,24 @@ TextTable::render(std::ostream& os) const
 void
 TextTable::renderCsv(std::ostream& os) const
 {
+    // RFC 4180 quoting: cells containing the separator, quotes or
+    // newlines (e.g. multi-parameter spec names like
+    // "gshare:entries=16,hist=17+jrs") are wrapped in double quotes.
+    auto quote = [](const std::string& cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (const char ch : cell) {
+            if (ch == '"')
+                quoted += '"';
+            quoted += ch;
+        }
+        quoted += '"';
+        return quoted;
+    };
     auto emit = [&](const std::vector<std::string>& cells) {
         for (size_t c = 0; c < cells.size(); ++c)
-            os << (c == 0 ? "" : ",") << cells[c];
+            os << (c == 0 ? "" : ",") << quote(cells[c]);
         os << "\n";
     };
     emit(headers_);

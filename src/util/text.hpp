@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Small shared string helpers for the spec/trace grammars.
+ */
+
+#ifndef TAGECON_UTIL_TEXT_HPP
+#define TAGECON_UTIL_TEXT_HPP
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace tagecon {
+
+/** ASCII-lowercase a copy of @p s (spec and trace names are ASCII). */
+inline std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+} // namespace tagecon
+
+#endif // TAGECON_UTIL_TEXT_HPP

@@ -156,12 +156,196 @@ TEST(Registry, JrsDecorationAddsStorage)
               makePredictor("tage64k")->storageBits());
 }
 
+// ------------------------------------------- parameterized specs
+
+TEST(RegistryParams, ParameterizedSpecsRoundTripCanonically)
+{
+    // Keys are sorted in the canonical form, and name() parses back
+    // to the same pipeline.
+    auto p = makePredictor("GSHARE:hist=17,entries=16+JRS");
+    EXPECT_EQ(p->name(), "gshare:entries=16,hist=17+jrs");
+    auto again = makePredictor(p->name());
+    EXPECT_EQ(again->name(), p->name());
+    EXPECT_EQ(again->storageBits(), p->storageBits());
+
+    EXPECT_EQ(canonicalizeSpec("tage64k:tables=8,ctr=2+prob5+sfc"),
+              "tage64k:ctr=2,tables=8+prob5+sfc");
+}
+
+TEST(RegistryParams, SemicolonIsAParameterSeparatorAlias)
+{
+    // ';' lets multi-parameter specs sit inside comma-separated flag
+    // lists; the canonical form always uses ','.
+    EXPECT_EQ(canonicalizeSpec("tage64k:tables=8;ctr=2+sfc"),
+              "tage64k:ctr=2,tables=8+sfc");
+}
+
+TEST(RegistryParams, ParametersChangeTheBuiltPredictor)
+{
+    // gshare: 2^16 entries x 2b = 128 Kbit vs default 64 Kbit.
+    EXPECT_EQ(makePredictor("gshare:entries=16")->storageBits(),
+              2u * makePredictor("gshare")->storageBits());
+
+    // Defaults spelled explicitly build the identical predictor.
+    EXPECT_EQ(makePredictor("tage64k:ctr=3")->storageBits(),
+              makePredictor("tage64k")->storageBits());
+    EXPECT_EQ(makePredictor("bimodal:entries=15,ctr=2")->storageBits(),
+              makePredictor("bimodal")->storageBits());
+
+    // TAGE geometry overrides move the storage in the right direction.
+    EXPECT_GT(makePredictor("tage64k:tables=8")->storageBits(),
+              makePredictor("tage64k")->storageBits());
+    EXPECT_LT(makePredictor("tage64k:logent=8")->storageBits(),
+              makePredictor("tage64k")->storageBits());
+}
+
+TEST(RegistryParams, GshareHistoryLongerThanIndexIsHonored)
+{
+    // hist > entries folds the history into the index rather than
+    // silently clamping, so the parameter must change the results.
+    auto deflt = makePredictor("gshare+jrs");
+    auto longh = makePredictor("gshare:hist=30+jrs");
+    EXPECT_EQ(deflt->storageBits(), longh->storageBits());
+
+    SyntheticTrace t1 = makeTrace("INT-1", 8000);
+    SyntheticTrace t2 = makeTrace("INT-1", 8000);
+    const RunResult r1 = runTrace(t1, *deflt);
+    const RunResult r2 = runTrace(t2, *longh);
+    EXPECT_NE(r1.stats.totalMispredictions(),
+              r2.stats.totalMispredictions());
+}
+
+TEST(RegistryParams, ParamErrorsReportedAheadOfModifierErrors)
+{
+    // The user should learn about the bad parameter first, not chase
+    // the modifier problem and re-run into the parameter one.
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("tage64k:ctr=99+adaptive", &error),
+              nullptr);
+    EXPECT_NE(error.find("ctr"), std::string::npos) << error;
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(RegistryParams, UnknownKeysAreRejected)
+{
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("gshare:bogus=1", &error), nullptr);
+    EXPECT_NE(error.find("unknown parameter"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+
+    // TAGE keys are not gshare keys.
+    EXPECT_EQ(tryMakePredictor("gshare:tables=4", &error), nullptr);
+    EXPECT_NE(error.find("unknown parameter"), std::string::npos)
+        << error;
+}
+
+TEST(RegistryParams, MalformedParameterListsAreRejected)
+{
+    std::string error;
+    // Missing '=', empty key/value, duplicates, empty list.
+    EXPECT_EQ(tryMakePredictor("gshare:hist", &error), nullptr);
+    EXPECT_NE(error.find("not key=value"), std::string::npos) << error;
+    EXPECT_EQ(tryMakePredictor("gshare:hist=", &error), nullptr);
+    EXPECT_EQ(tryMakePredictor("gshare:=17", &error), nullptr);
+    EXPECT_EQ(tryMakePredictor("gshare:hist=1,hist=2", &error),
+              nullptr);
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+    EXPECT_EQ(tryMakePredictor("gshare:", &error), nullptr);
+    // A typo-truncated list must not silently narrow the sweep.
+    EXPECT_EQ(tryMakePredictor("gshare:hist=9,", &error), nullptr);
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+    EXPECT_EQ(tryMakePredictor("gshare:hist=9;", &error), nullptr);
+}
+
+TEST(RegistryParams, MalformedValuesAreRejected)
+{
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("gshare:hist=abc", &error), nullptr);
+    EXPECT_NE(error.find("hist"), std::string::npos) << error;
+    EXPECT_EQ(tryMakePredictor("gshare:hist=1e6", &error), nullptr);
+    EXPECT_EQ(tryMakePredictor("gshare:hist=-3", &error), nullptr);
+    // Out of the key's documented range.
+    EXPECT_EQ(tryMakePredictor("gshare:entries=99", &error), nullptr);
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(RegistryParams, ParametersOnlyAttachToTheBase)
+{
+    std::string error;
+    EXPECT_EQ(tryMakePredictor("tage64k+sfc:window=3", &error),
+              nullptr);
+    EXPECT_NE(error.find("only attach to the base"), std::string::npos)
+        << error;
+}
+
+TEST(RegistryParams, TageGeometryCrossChecksAreErrorsNotFatals)
+{
+    // 12 tables cannot fit strictly-increasing histories in 5..10.
+    std::string error;
+    EXPECT_EQ(
+        tryMakePredictor("tage64k:tables=12,maxhist=10", &error),
+        nullptr);
+    EXPECT_NE(error.find("maxhist"), std::string::npos) << error;
+
+    EXPECT_EQ(tryMakePredictor("ogehl:minhist=50,maxhist=10", &error),
+              nullptr);
+    EXPECT_NE(error.find("maxhist"), std::string::npos) << error;
+
+    // A span too tight for the table count must be rejected up front,
+    // not overflow the history buffer mid-run (T1..T_{M-1} need
+    // numTables-1 strictly-increasing lengths capped at maxhist).
+    EXPECT_EQ(tryMakePredictor("ogehl:minhist=1,maxhist=2,tables=16",
+                               &error),
+              nullptr);
+    EXPECT_NE(error.find("too short"), std::string::npos) << error;
+    // The widest span that fits 16 tables still constructs and runs.
+    auto p = makePredictor("ogehl:minhist=1,maxhist=15,tables=16+sfc");
+    SyntheticTrace trace = makeTrace("FP-1", 2000);
+    EXPECT_EQ(runTrace(trace, *p).stats.totalPredictions(), 2000u);
+}
+
+TEST(RegistryParams, RegroupSpecListRejoinsCommaSplitParams)
+{
+    // What a comma-split of "gshare:entries=16,hist=17+jrs,tage64k"
+    // produces — the continuation is provably not a spec start.
+    const std::vector<std::string> split = {"gshare:entries=16",
+                                            "hist=17+jrs", "tage64k"};
+    const auto specs = regroupSpecList(split);
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0], "gshare:entries=16,hist=17+jrs");
+    EXPECT_EQ(specs[1], "tage64k");
+
+    // Canonical names therefore paste back into spec lists verbatim.
+    const std::string name =
+        makePredictor("gshare:hist=17,entries=16+jrs")->name();
+    const auto round =
+        regroupSpecList({"gshare:entries=16", "hist=17+jrs"});
+    ASSERT_EQ(round.size(), 1u);
+    EXPECT_EQ(canonicalizeSpec(round[0]), name);
+
+    // Lists without parameters pass through untouched.
+    const auto plain = regroupSpecList({"tage64k+sfc", "gshare+jrs"});
+    ASSERT_EQ(plain.size(), 2u);
+}
+
+TEST(RegistryParams, ParameterizedTageStillTakesModifiersAndSfc)
+{
+    auto p = makePredictor("tage16k:tables=3,maxhist=40+prob5+sfc");
+    EXPECT_EQ(p->name(), "tage16k:maxhist=40,tables=3+prob5+sfc");
+    EXPECT_EQ(p->satLog2Prob(), 5u);
+    SyntheticTrace trace = makeTrace("INT-1", 3000);
+    const RunResult r = runTrace(trace, *p);
+    EXPECT_EQ(r.stats.totalPredictions(), 3000u);
+}
+
 TEST(Registry, NewBasesCanBeRegistered)
 {
     registerPredictorBase(
         "alwaystaken",
-        [](const SpecModifiers& mods,
+        [](const SpecParams& params, const SpecModifiers& mods,
            std::string& error) -> std::unique_ptr<GradedPredictor> {
+            (void)params;
             if (mods.prob || mods.adaptive) {
                 error = "modifiers not supported";
                 return nullptr;

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the sweep subsystem (sim/sweep.hpp): plan validation and
+ * cell enumeration, bit-identical results across thread counts, seed
+ * salting, and row pooling equivalence with the serial runSets path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/registry.hpp"
+#include "sim/sweep.hpp"
+#include "trace/profiles.hpp"
+
+namespace tagecon {
+namespace {
+
+/** Field-by-field equality of two RunResults (exact, not approx). */
+void
+expectIdentical(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.traceName, b.traceName);
+    EXPECT_EQ(a.configName, b.configName);
+    EXPECT_EQ(a.stats.totalPredictions(), b.stats.totalPredictions());
+    EXPECT_EQ(a.stats.totalMispredictions(),
+              b.stats.totalMispredictions());
+    EXPECT_EQ(a.stats.instructions(), b.stats.instructions());
+    EXPECT_EQ(a.confusion.highCorrect(), b.confusion.highCorrect());
+    EXPECT_EQ(a.confusion.highWrong(), b.confusion.highWrong());
+    EXPECT_EQ(a.confusion.lowCorrect(), b.confusion.lowCorrect());
+    EXPECT_EQ(a.confusion.lowWrong(), b.confusion.lowWrong());
+    EXPECT_EQ(a.finalLog2Prob, b.finalLog2Prob);
+    EXPECT_EQ(a.allocations, b.allocations);
+    EXPECT_EQ(a.storageBits, b.storageBits);
+}
+
+TEST(SweepPlan, CellsAreSpecMajorInPlanOrder)
+{
+    const SweepPlan plan = SweepPlan::over(
+        {"tage16k", "gshare"}, {"FP-1", "INT-1", "SERV-1"}, 1000, 7);
+    const auto cells = plan.cells();
+    ASSERT_EQ(cells.size(), 6u);
+    EXPECT_EQ(cells[0].spec, "tage16k");
+    EXPECT_EQ(cells[0].trace, "FP-1");
+    EXPECT_EQ(cells[2].trace, "SERV-1");
+    EXPECT_EQ(cells[3].spec, "gshare");
+    EXPECT_EQ(cells[3].trace, "FP-1");
+    for (const auto& cell : cells) {
+        EXPECT_EQ(cell.branches, 1000u);
+        EXPECT_EQ(cell.seedSalt, 7u);
+    }
+}
+
+TEST(SweepPlan, ValidateCanonicalizesSpecsInPlace)
+{
+    SweepPlan plan = SweepPlan::over(
+        {"TAGE16K+SFC+Prob7", "gshare:hist=9,entries=10+jrs"},
+        {"FP-1"}, 1000);
+    ASSERT_TRUE(plan.validate());
+    EXPECT_EQ(plan.specs[0], "tage16k+prob7+sfc");
+    EXPECT_EQ(plan.specs[1], "gshare:entries=10,hist=9+jrs");
+}
+
+TEST(SweepPlan, ValidateRejectsBadSpecsTracesAndEmptyGrids)
+{
+    std::string error;
+    SweepPlan plan = SweepPlan::over({"no-such-base"}, {"FP-1"}, 1000);
+    EXPECT_FALSE(plan.validate(&error));
+    EXPECT_NE(error.find("unknown predictor base"), std::string::npos);
+
+    plan = SweepPlan::over({"tage16k"}, {"NOT-A-TRACE"}, 1000);
+    EXPECT_FALSE(plan.validate(&error));
+    EXPECT_NE(error.find("unknown trace"), std::string::npos);
+
+    plan = SweepPlan::over({}, {"FP-1"}, 1000);
+    EXPECT_FALSE(plan.validate(&error));
+
+    plan = SweepPlan::over({"tage16k"}, {"FP-1"}, 0);
+    EXPECT_FALSE(plan.validate(&error));
+}
+
+TEST(SweepPlan, ResolveTraceArgsExpandsSetAliases)
+{
+    std::vector<std::string> out;
+    std::string error;
+    ASSERT_TRUE(SweepPlan::resolveTraceArgs({"cbp1"}, out, error));
+    EXPECT_EQ(out, traceNames(BenchmarkSet::Cbp1));
+
+    ASSERT_TRUE(SweepPlan::resolveTraceArgs({"ALL"}, out, error));
+    EXPECT_EQ(out, allTraceNames());
+
+    ASSERT_TRUE(
+        SweepPlan::resolveTraceArgs({"FP-1", "cbp2"}, out, error));
+    EXPECT_EQ(out.size(), 1u + traceNames(BenchmarkSet::Cbp2).size());
+    EXPECT_EQ(out.front(), "FP-1");
+
+    EXPECT_FALSE(SweepPlan::resolveTraceArgs({"nope"}, out, error));
+    EXPECT_NE(error.find("unknown trace"), std::string::npos);
+}
+
+// The acceptance property of the whole subsystem: a multithreaded
+// sweep is bit-identical to the serial one, cell by cell.
+TEST(SweepRunner, ParallelResultsIdenticalToSerial)
+{
+    const SweepPlan plan = SweepPlan::over(
+        {"tage64k+prob7+sfc", "gshare:hist=17+jrs", "ltage16k+sfc"},
+        {"FP-1", "INT-3", "SERV-1", "300.twolf"}, 20000);
+
+    const auto serial = runSweep(plan, SweepOptions{1});
+    const auto parallel = runSweep(plan, SweepOptions{4});
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), plan.cellCount());
+    for (size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+}
+
+TEST(SweepRunner, SeedSaltChangesTheGeneratedStreams)
+{
+    const auto salted = runSweep(
+        SweepPlan::over({"tage16k"}, {"INT-1"}, 20000, 12345));
+    const auto unsalted =
+        runSweep(SweepPlan::over({"tage16k"}, {"INT-1"}, 20000, 0));
+    ASSERT_EQ(salted.size(), 1u);
+    ASSERT_EQ(unsalted.size(), 1u);
+    // Identical totals but different streams: the misprediction
+    // pattern must move.
+    EXPECT_EQ(salted[0].stats.totalPredictions(),
+              unsalted[0].stats.totalPredictions());
+    EXPECT_NE(salted[0].stats.totalMispredictions(),
+              unsalted[0].stats.totalMispredictions());
+}
+
+TEST(SweepRunner, RowPoolingMatchesSerialRunSets)
+{
+    const std::string spec = "tage16k+prob7+sfc";
+    const uint64_t branches = 10000;
+
+    SweepPlan plan =
+        SweepPlan::over({spec}, allTraceNames(), branches);
+    const auto rows = runSweepRows(plan, SweepOptions{4});
+    ASSERT_EQ(rows.size(), 1u);
+
+    const RunResult pooled = runSets(
+        {BenchmarkSet::Cbp1, BenchmarkSet::Cbp2}, spec, branches);
+
+    EXPECT_EQ(rows[0].spec, pooled.configName);
+    EXPECT_EQ(rows[0].aggregate.totalPredictions(),
+              pooled.stats.totalPredictions());
+    EXPECT_EQ(rows[0].aggregate.totalMispredictions(),
+              pooled.stats.totalMispredictions());
+    EXPECT_EQ(rows[0].aggregate.instructions(),
+              pooled.stats.instructions());
+    EXPECT_EQ(rows[0].confusion.highCorrect(),
+              pooled.confusion.highCorrect());
+    EXPECT_EQ(rows[0].confusion.lowWrong(),
+              pooled.confusion.lowWrong());
+    EXPECT_EQ(rows[0].storageBits, pooled.storageBits);
+    EXPECT_EQ(rows[0].perTrace.size(), allTraceNames().size());
+}
+
+TEST(SweepRunner, JobsZeroMeansHardwareConcurrency)
+{
+    // Must run (and stay deterministic) whatever the host's core count.
+    const auto rows = runSweepRows(
+        SweepPlan::over({"bimodal+sfc"}, {"FP-1", "FP-2"}, 5000),
+        SweepOptions{0});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].perTrace.size(), 2u);
+    EXPECT_EQ(rows[0].aggregate.totalPredictions(), 10000u);
+}
+
+} // namespace
+} // namespace tagecon

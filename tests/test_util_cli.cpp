@@ -96,5 +96,48 @@ TEST(Cli, MalformedBoolIsFatal)
                 "expects a boolean");
 }
 
+TEST(Cli, ScientificNotationIsNotAnInteger)
+{
+    // "1e6" must not silently parse as 1; the error names the flag.
+    const CliArgs a = parse({"--branches=1e6"});
+    EXPECT_EXIT(a.getUint("branches", 0), ::testing::ExitedWithCode(1),
+                "flag --branches expects an unsigned integer");
+    EXPECT_EXIT(a.getInt("branches", 0), ::testing::ExitedWithCode(1),
+                "flag --branches expects an integer");
+}
+
+TEST(Cli, TrailingGarbageIsFatal)
+{
+    const CliArgs a = parse({"--n=7x", "--d=1.5z"});
+    EXPECT_EXIT(a.getUint("n", 0), ::testing::ExitedWithCode(1),
+                "trailing garbage");
+    EXPECT_EXIT(a.getDouble("d", 0.0), ::testing::ExitedWithCode(1),
+                "trailing garbage");
+}
+
+TEST(Cli, NegativeUnsignedDoesNotWrapAround)
+{
+    // strtoull would wrap "-1" to 2^64-1; getUint must reject it.
+    const CliArgs a = parse({"--branches=-1"});
+    EXPECT_EXIT(a.getUint("branches", 0), ::testing::ExitedWithCode(1),
+                "flag --branches expects an unsigned integer");
+}
+
+TEST(Cli, OutOfRangeMagnitudesAreFatal)
+{
+    const CliArgs a = parse({"--n=99999999999999999999999999"});
+    EXPECT_EXIT(a.getUint("n", 0), ::testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(a.getInt("n", 0), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(Cli, WhitespaceWrappedNumbersAreFatal)
+{
+    const CliArgs a = parse({"--n= 5"});
+    EXPECT_EXIT(a.getUint("n", 0), ::testing::ExitedWithCode(1),
+                "whitespace");
+}
+
 } // namespace
 } // namespace tagecon

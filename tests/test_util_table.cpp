@@ -79,6 +79,22 @@ TEST(TextTable, CsvOutput)
     EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
 }
 
+TEST(TextTable, CsvQuotesCellsContainingSeparators)
+{
+    // Canonical multi-parameter spec names contain commas; CSV must
+    // quote them (RFC 4180) so columns don't shift for consumers.
+    TextTable t;
+    t.addColumn("spec");
+    t.addColumn("v");
+    t.addRow({"gshare:entries=16,hist=17+jrs", "1"});
+    t.addRow({"say \"hi\"", "2"});
+    std::ostringstream os;
+    t.renderCsv(os);
+    EXPECT_EQ(os.str(), "spec,v\n"
+                        "\"gshare:entries=16,hist=17+jrs\",1\n"
+                        "\"say \"\"hi\"\"\",2\n");
+}
+
 TEST(TextTable, NumberFormatting)
 {
     EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
