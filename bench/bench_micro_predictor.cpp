@@ -1,16 +1,33 @@
 /**
  * @file
  * google-benchmark microbenchmarks: simulation throughput of the TAGE
- * predictor (predict + update per branch) for the three paper sizes,
- * the incremental cost of confidence classification, and the synthetic
- * trace generator's own throughput.
+ * predictor for the three paper sizes, split by phase so storage-
+ * layout work is attributable:
+ *
+ *  - BM_TagePredictUpdate: the full per-branch loop (the sweep
+ *    engine's unit of work),
+ *  - BM_TagePredictOnly: the lookup path alone on warmed tables,
+ *  - BM_TageUpdateOnly: the training path alone, replaying a recorded
+ *    prediction stream,
+ *  - BM_TageAllocationStorm: cold-table behaviour — a random stream
+ *    that mispredicts constantly, so the allocation scan and u-decay
+ *    paths dominate,
+ *  - BM_TagePredictUpdateClassify: incremental cost of confidence
+ *    classification,
+ *  - BM_SyntheticTraceGeneration: the trace generator's own cost.
+ *
+ * Run with --benchmark_out=BENCH_micro.json --benchmark_out_format=json
+ * to extend the committed perf trajectory (see README, "Performance").
  */
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/confidence_observer.hpp"
 #include "tage/tage_predictor.hpp"
 #include "trace/profiles.hpp"
+#include "util/random.hpp"
 
 using namespace tagecon;
 
@@ -59,6 +76,89 @@ BM_TagePredictUpdate(benchmark::State& state)
 }
 
 void
+BM_TagePredictOnly(benchmark::State& state)
+{
+    const auto& records = sharedTrace().records();
+    TagePredictor predictor(configByIndex(state.range(0)));
+    // Warm the tables with one full pass so the measured lookups see
+    // steady-state occupancy, then measure the lookup path alone
+    // (predict() is const: history stays fixed, tables stay warm).
+    for (const BranchRecord& rec : records) {
+        const TagePrediction p = predictor.predict(rec.pc);
+        predictor.update(rec.pc, p, rec.taken);
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        const TagePrediction p = predictor.predict(records[i].pc);
+        benchmark::DoNotOptimize(p.taken);
+        i = (i + 1) % records.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_TageUpdateOnly(benchmark::State& state)
+{
+    // Record a prediction stream from a fresh predictor, then replay
+    // only the update() half against an identical predictor. Replayed
+    // updates are bit-identical to the recorded run, so the training
+    // path sees exactly the state it would in the fused loop.
+    constexpr size_t kReplayWindow = size_t{1} << 16;
+    const auto& records = sharedTrace().records();
+
+    struct Step {
+        uint64_t pc;
+        bool taken;
+        TagePrediction p;
+    };
+    std::vector<Step> replay(kReplayWindow);
+    {
+        TagePredictor recorder(configByIndex(state.range(0)));
+        for (size_t i = 0; i < kReplayWindow; ++i) {
+            const BranchRecord& rec = records[i % records.size()];
+            replay[i] = {rec.pc, rec.taken, recorder.predict(rec.pc)};
+            recorder.update(rec.pc, replay[i].p, rec.taken);
+        }
+    }
+
+    TagePredictor predictor(configByIndex(state.range(0)));
+    size_t i = 0;
+    for (auto _ : state) {
+        if (i == kReplayWindow) {
+            state.PauseTiming();
+            predictor = TagePredictor(configByIndex(state.range(0)));
+            i = 0;
+            state.ResumeTiming();
+        }
+        const Step& s = replay[i];
+        predictor.update(s.pc, s.p, s.taken);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_TageAllocationStorm(benchmark::State& state)
+{
+    // Cold-table stress: a wide random PC stream with random outcomes
+    // never trains, so nearly every branch mispredicts and the
+    // allocation scan / useful-counter decay dominate the profile.
+    TagePredictor predictor(configByIndex(state.range(0)));
+    XorShift128Plus rng(0xA110CA7E);
+    for (auto _ : state) {
+        const uint64_t r = rng.next();
+        const uint64_t pc = (r >> 16) & 0x3FFFFC;
+        const TagePrediction p = predictor.predict(pc);
+        benchmark::DoNotOptimize(p.taken);
+        predictor.update(pc, p, (r & 1) != 0);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    state.counters["allocs_per_branch"] = benchmark::Counter(
+        static_cast<double>(predictor.allocations()) /
+        static_cast<double>(predictor.updates()));
+}
+
+void
 BM_TagePredictUpdateClassify(benchmark::State& state)
 {
     const auto& records = sharedTrace().records();
@@ -93,6 +193,9 @@ BM_SyntheticTraceGeneration(benchmark::State& state)
 }
 
 BENCHMARK(BM_TagePredictUpdate)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_TagePredictOnly)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_TageUpdateOnly)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_TageAllocationStorm)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_TagePredictUpdateClassify)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_SyntheticTraceGeneration);
 

@@ -10,9 +10,10 @@ BimodalPredictor::BimodalPredictor(int log_entries, int ctr_bits)
 {
     if (log_entries < 1 || log_entries > 24)
         fatal("bimodal: bad table size");
+    if (ctr_bits < 1 || ctr_bits > 8)
+        fatal("bimodal: bad counter width");
     table_.assign(size_t{1} << log_entries,
-                  UnsignedSatCounter(ctr_bits,
-                                     1u << (ctr_bits - 1)));
+                  static_cast<uint8_t>(1u << (ctr_bits - 1)));
 }
 
 uint32_t
@@ -24,13 +25,14 @@ BimodalPredictor::indexFor(uint64_t pc) const
 bool
 BimodalPredictor::predict(uint64_t pc)
 {
-    return table_[indexFor(pc)].taken();
+    return packed::unsignedTaken(table_[indexFor(pc)], ctrBits_);
 }
 
 void
 BimodalPredictor::update(uint64_t pc, bool taken)
 {
-    table_[indexFor(pc)].update(taken);
+    uint8_t& ctr = table_[indexFor(pc)];
+    ctr = static_cast<uint8_t>(packed::unsignedUpdate(ctr, ctrBits_, taken));
 }
 
 uint64_t
@@ -42,13 +44,13 @@ BimodalPredictor::storageBits() const
 bool
 BimodalPredictor::highConfidence(uint64_t pc) const
 {
-    return !table_[indexFor(pc)].weak();
+    return !packed::unsignedWeak(table_[indexFor(pc)], ctrBits_);
 }
 
-const UnsignedSatCounter&
+UnsignedSatCounter
 BimodalPredictor::counterFor(uint64_t pc) const
 {
-    return table_[indexFor(pc)];
+    return UnsignedSatCounter(ctrBits_, table_[indexFor(pc)]);
 }
 
 } // namespace tagecon

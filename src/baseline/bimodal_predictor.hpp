@@ -37,13 +37,14 @@ class BimodalPredictor : public ConditionalPredictor
      */
     bool highConfidence(uint64_t pc) const;
 
-    /** The counter backing @p pc (tests / introspection). */
-    const UnsignedSatCounter& counterFor(uint64_t pc) const;
+    /** Snapshot of the counter backing @p pc (tests / introspection). */
+    UnsignedSatCounter counterFor(uint64_t pc) const;
 
   private:
     uint32_t indexFor(uint64_t pc) const;
 
-    std::vector<UnsignedSatCounter> table_;
+    /** Packed counters: one byte per entry, width held in ctrBits_. */
+    std::vector<uint8_t> table_;
     int logEntries_;
     int ctrBits_;
 };

@@ -16,8 +16,10 @@ GsharePredictor::GsharePredictor(int log_entries, int history_bits,
         fatal("gshare: bad table size");
     if (history_bits < 1)
         fatal("gshare: bad history length");
+    if (ctr_bits < 1 || ctr_bits > 8)
+        fatal("gshare: bad counter width");
     table_.assign(size_t{1} << log_entries,
-                  UnsignedSatCounter(ctr_bits, 1u << (ctr_bits - 1)));
+                  static_cast<uint8_t>(1u << (ctr_bits - 1)));
 }
 
 uint32_t
@@ -33,13 +35,14 @@ GsharePredictor::indexFor(uint64_t pc) const
 bool
 GsharePredictor::predict(uint64_t pc)
 {
-    return table_[indexFor(pc)].taken();
+    return packed::unsignedTaken(table_[indexFor(pc)], ctrBits_);
 }
 
 void
 GsharePredictor::update(uint64_t pc, bool taken)
 {
-    table_[indexFor(pc)].update(taken);
+    uint8_t& ctr = table_[indexFor(pc)];
+    ctr = static_cast<uint8_t>(packed::unsignedUpdate(ctr, ctrBits_, taken));
     history_ = ((history_ << 1) | (taken ? 1 : 0)) &
                maskBits(historyBits_);
 }

@@ -42,7 +42,8 @@ class GsharePredictor : public ConditionalPredictor
     uint32_t indexFor(uint64_t pc) const;
 
   private:
-    std::vector<UnsignedSatCounter> table_;
+    /** Packed counters: one byte per entry, width held in ctrBits_. */
+    std::vector<uint8_t> table_;
     uint64_t history_ = 0;
     int logEntries_;
     int historyBits_;

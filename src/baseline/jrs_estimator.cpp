@@ -21,8 +21,7 @@ JrsConfidenceEstimator::JrsConfidenceEstimator(Config cfg)
         fatal("JRS: threshold exceeds counter range");
     if (cfg_.historyBits < 1 || cfg_.historyBits > 32)
         fatal("JRS: bad history length");
-    table_.assign(size_t{1} << cfg_.logEntries,
-                  UnsignedSatCounter(cfg_.ctrBits, 0));
+    table_.assign(size_t{1} << cfg_.logEntries, 0);
 }
 
 uint32_t
@@ -37,25 +36,26 @@ JrsConfidenceEstimator::indexFor(uint64_t pc, bool predicted_taken) const
 bool
 JrsConfidenceEstimator::query(uint64_t pc, bool predicted_taken) const
 {
-    return table_[indexFor(pc, predicted_taken)].value() >= cfg_.threshold;
+    return table_[indexFor(pc, predicted_taken)] >= cfg_.threshold;
 }
 
 unsigned
 JrsConfidenceEstimator::counterValue(uint64_t pc,
                                      bool predicted_taken) const
 {
-    return table_[indexFor(pc, predicted_taken)].value();
+    return table_[indexFor(pc, predicted_taken)];
 }
 
 void
 JrsConfidenceEstimator::record(uint64_t pc, bool predicted_taken,
                                bool correct, bool taken)
 {
-    UnsignedSatCounter& ctr = table_[indexFor(pc, predicted_taken)];
-    if (correct)
-        ctr.increment();
-    else
-        ctr.reset();
+    uint16_t& ctr = table_[indexFor(pc, predicted_taken)];
+    // Resetting counter: saturating increment when correct, zero on a
+    // misprediction.
+    ctr = correct ? static_cast<uint16_t>(
+                        packed::unsignedInc(ctr, cfg_.ctrBits))
+                  : uint16_t{0};
     history_ = (history_ << 1) | (taken ? 1 : 0);
 }
 

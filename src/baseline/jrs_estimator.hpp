@@ -81,7 +81,9 @@ class JrsConfidenceEstimator
     uint32_t indexFor(uint64_t pc, bool predicted_taken) const;
 
     Config cfg_;
-    std::vector<UnsignedSatCounter> table_;
+
+    /** Packed resetting counters (width in cfg_.ctrBits, up to 16). */
+    std::vector<uint16_t> table_;
     uint64_t history_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include "util/bit_utils.hpp"
 #include "util/logging.hpp"
+#include "util/saturating_counter.hpp"
 
 namespace tagecon {
 
@@ -12,9 +13,9 @@ LoopPredictor::LoopPredictor()
 
 LoopPredictor::LoopPredictor(Config cfg)
     : cfg_(cfg),
-      confMax_((1u << cfg.confBits) - 1),
-      ageMax_((1u << cfg.ageBits) - 1),
-      iterMax_((1u << cfg.iterBits) - 1)
+      confMax_(packed::unsignedMax(cfg.confBits)),
+      ageMax_(packed::unsignedMax(cfg.ageBits)),
+      iterMax_(packed::unsignedMax(cfg.iterBits))
 {
     if (cfg_.logEntries < 1 || cfg_.logEntries > 16)
         fatal("loop predictor: bad table size");
@@ -61,8 +62,8 @@ LoopPredictor::update(uint64_t pc, bool taken, bool main_mispredicted)
     const uint16_t tag = tagFor(pc);
 
     if (e.inUse && e.tag == tag) {
-        if (e.age < ageMax_)
-            ++e.age;
+        e.age = static_cast<uint8_t>(
+            packed::unsignedInc(e.age, cfg_.ageBits));
 
         if (taken == e.dir) {
             // Another iteration of the loop body.
@@ -78,8 +79,8 @@ LoopPredictor::update(uint64_t pc, bool taken, bool main_mispredicted)
         const uint16_t trip =
             static_cast<uint16_t>(e.currentIter + 1);
         if (e.pastIter == trip) {
-            if (e.confidence < confMax_)
-                ++e.confidence;
+            e.confidence = static_cast<uint8_t>(
+                packed::unsignedInc(e.confidence, cfg_.confBits));
         } else if (e.pastIter == 0) {
             // First complete run: learn the trip count.
             e.pastIter = trip;
@@ -100,7 +101,7 @@ LoopPredictor::update(uint64_t pc, bool taken, bool main_mispredicted)
     if (!main_mispredicted)
         return;
     if (e.inUse && e.age > 0) {
-        --e.age;
+        e.age = static_cast<uint8_t>(packed::unsignedDec(e.age));
         return;
     }
     e = Entry{};

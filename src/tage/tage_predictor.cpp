@@ -16,6 +16,16 @@ bimodalInit(int bits)
     return 1u << (bits - 1); // e.g. 2 for a 2-bit counter
 }
 
+/** rotateLeft specialized for rot already reduced mod width. */
+inline uint32_t
+rotlMasked(uint32_t v, int rot, int width, uint32_t mask)
+{
+    v &= mask;
+    if (rot == 0)
+        return v;
+    return ((v << rot) | (v >> (width - rot))) & mask;
+}
+
 } // namespace
 
 TagePredictor::TagePredictor(TageConfig config, uint16_t lfsr_seed)
@@ -28,27 +38,34 @@ TagePredictor::TagePredictor(TageConfig config, uint16_t lfsr_seed)
     config_.validate();
 
     bimodal_.assign(size_t{1} << config_.logBimodalEntries,
-                    UnsignedSatCounter(config_.bimodalCtrBits,
-                                       bimodalInit(config_.bimodalCtrBits)));
+                    static_cast<uint8_t>(
+                        bimodalInit(config_.bimodalCtrBits)));
 
     const int m = config_.numTaggedTables();
-    tables_.resize(static_cast<size_t>(m) + 1);
-    indexFold_.resize(static_cast<size_t>(m) + 1);
-    tagFold0_.resize(static_cast<size_t>(m) + 1);
-    tagFold1_.resize(static_cast<size_t>(m) + 1);
+    meta_.resize(static_cast<size_t>(m) + 1);
+    folds_.resize(static_cast<size_t>(m) + 1);
+    uint32_t offset = 0;
     for (int i = 1; i <= m; ++i) {
         const auto& tc = config_.tagged[static_cast<size_t>(i - 1)];
-        tables_[static_cast<size_t>(i)].assign(
-            size_t{1} << tc.logEntries,
-            TaggedEntry{SignedSatCounter(config_.taggedCtrBits, 0), 0,
-                        UnsignedSatCounter(config_.usefulBits, 0)});
-        indexFold_[static_cast<size_t>(i)] =
-            FoldedHistory(tc.historyLength, tc.logEntries);
-        tagFold0_[static_cast<size_t>(i)] =
-            FoldedHistory(tc.historyLength, tc.tagBits);
-        tagFold1_[static_cast<size_t>(i)] =
-            FoldedHistory(tc.historyLength, tc.tagBits - 1);
+        TableMeta& t = meta_[static_cast<size_t>(i)];
+        t.offset = offset;
+        t.indexMask = static_cast<uint32_t>(maskBits(tc.logEntries));
+        t.tagMask = static_cast<uint32_t>(maskBits(tc.tagBits));
+        t.pathMask = static_cast<uint32_t>(maskBits(
+            std::min(tc.historyLength, config_.pathHistoryBits)));
+        t.logEntries = static_cast<uint8_t>(tc.logEntries);
+        t.rot = static_cast<uint8_t>(i % tc.logEntries);
+        t.idxShift = static_cast<uint8_t>(tc.logEntries - t.rot);
+        offset += uint32_t{1} << tc.logEntries;
+
+        folds_[static_cast<size_t>(i)] = FoldedHistoryTriple(
+            tc.historyLength, tc.logEntries, tc.tagBits, tc.tagBits - 1);
     }
+    ctr_.assign(offset, 0);
+    tag_.assign(offset, 0);
+    u_.assign(offset, 0);
+
+    uResetCountdown_ = config_.uResetPeriod;
 }
 
 void
@@ -71,45 +88,38 @@ TagePredictor::pathHash(int table) const
     // Classic TAGE "F" function: fold the path history register into
     // logEntries bits with a table-dependent rotation so components do
     // not alias the same way.
-    const auto& tc = config_.tagged[static_cast<size_t>(table - 1)];
-    const int logg = tc.logEntries;
-    const int size = std::min(tc.historyLength, config_.pathHistoryBits);
+    const TableMeta& t = meta_[static_cast<size_t>(table)];
+    const int logg = t.logEntries;
 
-    uint32_t a = pathHistory_.value() & static_cast<uint32_t>(
-                                            maskBits(size));
-    const uint32_t a1 = a & static_cast<uint32_t>(maskBits(logg));
+    uint32_t a = pathHistory_.value() & t.pathMask;
+    const uint32_t a1 = a & t.indexMask;
     uint32_t a2 = a >> logg;
-    const int rot = table % logg;
-    a2 = static_cast<uint32_t>(
-        rotateLeft(a2, rot, logg));
+    a2 = rotlMasked(a2, t.rot, logg, t.indexMask);
     a = a1 ^ a2;
-    a = static_cast<uint32_t>(rotateLeft(a, rot, logg));
+    a = rotlMasked(a, t.rot, logg, t.indexMask);
     return a;
 }
 
 uint32_t
 TagePredictor::taggedIndex(uint64_t pc, int table) const
 {
-    const auto& tc = config_.tagged[static_cast<size_t>(table - 1)];
-    const int logg = tc.logEntries;
+    const TableMeta& t = meta_[static_cast<size_t>(table)];
     const uint64_t shifted = pc >> config_.instShift;
-    const uint64_t mixed = shifted ^ (shifted >> (logg - table % logg)) ^
-                           indexFold_[static_cast<size_t>(table)].value() ^
+    const uint64_t mixed = shifted ^ (shifted >> t.idxShift) ^
+                           folds_[static_cast<size_t>(table)].a() ^
                            pathHash(table);
-    return static_cast<uint32_t>(mixed & maskBits(logg));
+    return static_cast<uint32_t>(mixed) & t.indexMask;
 }
 
 uint16_t
 TagePredictor::taggedTag(uint64_t pc, int table) const
 {
-    const auto& tc = config_.tagged[static_cast<size_t>(table - 1)];
+    const TableMeta& t = meta_[static_cast<size_t>(table)];
+    const FoldedHistoryTriple& f = folds_[static_cast<size_t>(table)];
     const uint64_t shifted = pc >> config_.instShift;
     const uint64_t mixed =
-        shifted ^ tagFold0_[static_cast<size_t>(table)].value() ^
-        (static_cast<uint64_t>(
-             tagFold1_[static_cast<size_t>(table)].value())
-         << 1);
-    return static_cast<uint16_t>(mixed & maskBits(tc.tagBits));
+        shifted ^ f.b() ^ (static_cast<uint64_t>(f.c()) << 1);
+    return static_cast<uint16_t>(static_cast<uint32_t>(mixed) & t.tagMask);
 }
 
 TagePrediction
@@ -119,22 +129,24 @@ TagePredictor::predict(uint64_t pc) const
     const int m = config_.numTaggedTables();
 
     p.index[0] = bimodalIndex(pc);
-    const UnsignedSatCounter& bim = bimodal_[p.index[0]];
-    p.bimodalTaken = bim.taken();
-    p.bimodalWeak = bim.weak();
+    const uint8_t bim = bimodal_[p.index[0]];
+    const int bim_bits = config_.bimodalCtrBits;
+    p.bimodalTaken = packed::unsignedTaken(bim, bim_bits);
+    p.bimodalWeak = packed::unsignedWeak(bim, bim_bits);
 
     for (int i = 1; i <= m; ++i) {
         p.index[static_cast<size_t>(i)] = taggedIndex(pc, i);
         p.tag[static_cast<size_t>(i)] = taggedTag(pc, i);
     }
 
-    // Find provider (longest matching history) and the alternate.
+    // Find provider (longest matching history) and the alternate. The
+    // scan only touches the packed tag arena.
     int provider = 0;
     int alt = 0;
     for (int i = m; i >= 1; --i) {
-        const auto& entry =
-            tables_[static_cast<size_t>(i)][p.index[static_cast<size_t>(i)]];
-        if (entry.tag == p.tag[static_cast<size_t>(i)]) {
+        const uint32_t at = meta_[static_cast<size_t>(i)].offset +
+                            p.index[static_cast<size_t>(i)];
+        if (tag_[at] == p.tag[static_cast<size_t>(i)]) {
             if (provider == 0) {
                 provider = i;
             } else {
@@ -144,11 +156,11 @@ TagePredictor::predict(uint64_t pc) const
         }
     }
 
+    const int ctr_bits = config_.taggedCtrBits;
     if (alt != 0) {
-        const auto& alt_entry =
-            tables_[static_cast<size_t>(alt)]
-                   [p.index[static_cast<size_t>(alt)]];
-        p.altTaken = alt_entry.ctr.taken();
+        const uint32_t at = meta_[static_cast<size_t>(alt)].offset +
+                            p.index[static_cast<size_t>(alt)];
+        p.altTaken = packed::signedTaken(ctr_[at]);
         p.altIsTagged = true;
         p.altTable = alt;
     } else {
@@ -158,16 +170,16 @@ TagePredictor::predict(uint64_t pc) const
     }
 
     if (provider != 0) {
-        const auto& entry =
-            tables_[static_cast<size_t>(provider)]
-                   [p.index[static_cast<size_t>(provider)]];
+        const uint32_t at = meta_[static_cast<size_t>(provider)].offset +
+                            p.index[static_cast<size_t>(provider)];
+        const int ctr = ctr_[at];
         p.providerIsTagged = true;
         p.providerTable = provider;
-        p.providerCtr = entry.ctr.value();
-        p.providerStrength = entry.ctr.strength();
-        p.providerSaturated = entry.ctr.saturated();
-        p.providerWeak = entry.ctr.weak();
-        p.providerPredTaken = entry.ctr.taken();
+        p.providerCtr = ctr;
+        p.providerStrength = packed::signedStrength(ctr);
+        p.providerSaturated = packed::signedSaturated(ctr, ctr_bits);
+        p.providerWeak = packed::signedWeak(ctr);
+        p.providerPredTaken = packed::signedTaken(ctr);
 
         // Sec. 3.1: when the provider entry is weak and USE_ALT_ON_NA
         // is non-negative, the alternate prediction is used instead.
@@ -189,10 +201,12 @@ TagePredictor::predict(uint64_t pc) const
 }
 
 void
-TagePredictor::updateTaggedCtr(SignedSatCounter& ctr, bool taken)
+TagePredictor::updateTaggedCtr(uint32_t at, bool taken)
 {
+    const int bits = config_.taggedCtrBits;
+    const int ctr = ctr_[at];
     if (config_.probabilisticSaturation &&
-        ctr.updateWouldSaturate(taken)) {
+        packed::signedUpdateWouldSaturate(ctr, bits, taken)) {
         // Sec. 6: the transition into the saturated state only happens
         // with probability 1/2^satLog2Prob. All other transitions are
         // unchanged, so the accuracy impact is marginal while a
@@ -200,7 +214,7 @@ TagePredictor::updateTaggedCtr(SignedSatCounter& ctr, bool taken)
         if (!lfsr_.oneIn(config_.satLog2Prob))
             return;
     }
-    ctr.update(taken);
+    ctr_[at] = static_cast<int8_t>(packed::signedUpdate(ctr, bits, taken));
 }
 
 void
@@ -213,19 +227,17 @@ TagePredictor::allocate(const TagePrediction& p, bool taken)
 
     bool any_useless = false;
     for (int k = start; k <= m && !any_useless; ++k) {
-        any_useless =
-            tables_[static_cast<size_t>(k)]
-                   [p.index[static_cast<size_t>(k)]].u.value() == 0;
+        any_useless = u_[meta_[static_cast<size_t>(k)].offset +
+                         p.index[static_cast<size_t>(k)]] == 0;
     }
 
     if (!any_useless) {
         // No free entry: gracefully decay the contenders so an
         // allocation will succeed soon (anti-ping-pong).
         for (int k = start; k <= m; ++k) {
-            auto& entry =
-                tables_[static_cast<size_t>(k)]
-                       [p.index[static_cast<size_t>(k)]];
-            entry.u.decrement();
+            uint8_t& u = u_[meta_[static_cast<size_t>(k)].offset +
+                            p.index[static_cast<size_t>(k)]];
+            u = static_cast<uint8_t>(packed::unsignedDec(u));
         }
         return;
     }
@@ -236,31 +248,28 @@ TagePredictor::allocate(const TagePrediction& p, bool taken)
     // 1/2, falling through to longer histories otherwise.
     int chosen = 0;
     for (int k = start; k <= m; ++k) {
-        const auto& entry =
-            tables_[static_cast<size_t>(k)][p.index[static_cast<size_t>(k)]];
-        if (entry.u.value() != 0)
+        if (u_[meta_[static_cast<size_t>(k)].offset +
+               p.index[static_cast<size_t>(k)]] != 0)
             continue;
         chosen = k;
         if (lfsr_.oneIn(1))
             break;
     }
 
-    auto& entry =
-        tables_[static_cast<size_t>(chosen)]
-               [p.index[static_cast<size_t>(chosen)]];
-    entry.tag = p.tag[static_cast<size_t>(chosen)];
-    entry.ctr.set(taken ? 0 : -1); // weak correct
-    entry.u.set(0);                // strong not useful
+    const uint32_t at = meta_[static_cast<size_t>(chosen)].offset +
+                        p.index[static_cast<size_t>(chosen)];
+    tag_[at] = p.tag[static_cast<size_t>(chosen)];
+    ctr_[at] = static_cast<int8_t>(taken ? 0 : -1); // weak correct
+    u_[at] = 0;                                     // strong not useful
     ++allocations_;
 }
 
 void
 TagePredictor::ageUsefulCounters()
 {
-    for (auto& table : tables_) {
-        for (auto& entry : table)
-            entry.u.shiftDown();
-    }
+    // One-bit right shift of the whole packed arena; vectorizes.
+    for (uint8_t& u : u_)
+        u = static_cast<uint8_t>(u >> 1);
 }
 
 void
@@ -269,8 +278,9 @@ TagePredictor::update(uint64_t pc, const TagePrediction& p, bool taken)
     const bool mispredicted = p.taken != taken;
 
     if (p.providerIsTagged) {
-        auto& entry = tables_[static_cast<size_t>(p.providerTable)]
-                             [p.index[static_cast<size_t>(p.providerTable)]];
+        const uint32_t at =
+            meta_[static_cast<size_t>(p.providerTable)].offset +
+            p.index[static_cast<size_t>(p.providerTable)];
 
         // Manage USE_ALT_ON_NA: on a weak ("pseudo newly allocated")
         // provider whose direction differs from the alternate, learn
@@ -278,14 +288,19 @@ TagePredictor::update(uint64_t pc, const TagePrediction& p, bool taken)
         if (p.providerWeak && p.providerPredTaken != p.altTaken)
             useAltOnNa_.update(p.altTaken == taken);
 
-        updateTaggedCtr(entry.ctr, taken);
+        updateTaggedCtr(at, taken);
 
         // Sec. 3.2: u is updated when the alternate prediction differs
         // from the provider prediction.
-        if (p.providerPredTaken != p.altTaken)
-            entry.u.update(p.providerPredTaken == taken);
+        if (p.providerPredTaken != p.altTaken) {
+            u_[at] = static_cast<uint8_t>(
+                packed::unsignedUpdate(u_[at], config_.usefulBits,
+                                       p.providerPredTaken == taken));
+        }
     } else {
-        bimodal_[p.index[0]].update(taken);
+        uint8_t& bim = bimodal_[p.index[0]];
+        bim = static_cast<uint8_t>(
+            packed::unsignedUpdate(bim, config_.bimodalCtrBits, taken));
     }
 
     // Sec. 3.3: allocate on mispredictions — but when a weak provider
@@ -299,17 +314,19 @@ TagePredictor::update(uint64_t pc, const TagePrediction& p, bool taken)
         allocate(p, taken);
 
     ++updates_;
-    if (config_.uResetPeriod != 0 && updates_ % config_.uResetPeriod == 0)
+    if (uResetCountdown_ != 0 && --uResetCountdown_ == 0) {
         ageUsefulCounters();
+        uResetCountdown_ = config_.uResetPeriod;
+    }
 
-    // Advance speculative state with the resolved outcome.
+    // Advance speculative state with the resolved outcome. The fused
+    // fold triple updates index and both tag folds with one pair of
+    // history reads per table.
     history_.push(taken);
     pathHistory_.push(pc >> config_.instShift);
-    for (int i = 1; i <= config_.numTaggedTables(); ++i) {
-        indexFold_[static_cast<size_t>(i)].update(history_);
-        tagFold0_[static_cast<size_t>(i)].update(history_);
-        tagFold1_[static_cast<size_t>(i)].update(history_);
-    }
+    const int m = config_.numTaggedTables();
+    for (int i = 1; i <= m; ++i)
+        folds_[static_cast<size_t>(i)].update(history_);
 }
 
 void
@@ -319,21 +336,24 @@ TagePredictor::setSatLog2Prob(unsigned log2_prob)
     config_.satLog2Prob = log2_prob;
 }
 
-const TagePredictor::TaggedEntry&
+TagePredictor::TaggedEntry
 TagePredictor::taggedEntry(int table, uint32_t index) const
 {
     TAGECON_ASSERT(table >= 1 && table <= config_.numTaggedTables(),
                    "tagged table id out of range");
-    const auto& t = tables_[static_cast<size_t>(table)];
-    TAGECON_ASSERT(index < t.size(), "tagged index out of range");
-    return t[index];
+    const TableMeta& t = meta_[static_cast<size_t>(table)];
+    TAGECON_ASSERT(index <= t.indexMask, "tagged index out of range");
+    const uint32_t at = t.offset + index;
+    return TaggedEntry{
+        SignedSatCounter(config_.taggedCtrBits, ctr_[at]), tag_[at],
+        UnsignedSatCounter(config_.usefulBits, u_[at])};
 }
 
-const UnsignedSatCounter&
+UnsignedSatCounter
 TagePredictor::bimodalEntry(uint32_t index) const
 {
     TAGECON_ASSERT(index < bimodal_.size(), "bimodal index out of range");
-    return bimodal_[index];
+    return UnsignedSatCounter(config_.bimodalCtrBits, bimodal_[index]);
 }
 
 } // namespace tagecon

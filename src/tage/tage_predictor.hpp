@@ -80,20 +80,53 @@ class TagePredictor
     /** Reset all tables, counters and histories to the initial state. */
     void reset();
 
-    /** One entry of a tagged component (exposed for tests). */
+    /**
+     * Value snapshot of one tagged-component entry (tests /
+     * introspection). The live storage is packed (see the SoA arenas
+     * below); this view materializes full counter objects on demand.
+     */
     struct TaggedEntry {
         SignedSatCounter ctr{3, 0};
         uint16_t tag = 0;
         UnsignedSatCounter u{2, 0};
     };
 
-    /** Read-only access to a tagged entry (tests / introspection). */
-    const TaggedEntry& taggedEntry(int table, uint32_t index) const;
+    /** Snapshot of a tagged entry (tests / introspection). */
+    TaggedEntry taggedEntry(int table, uint32_t index) const;
 
-    /** Read-only access to a bimodal counter (tests / introspection). */
-    const UnsignedSatCounter& bimodalEntry(uint32_t index) const;
+    /** Snapshot of a bimodal counter (tests / introspection). */
+    UnsignedSatCounter bimodalEntry(uint32_t index) const;
 
   private:
+    /**
+     * Per-table lookup constants, precomputed at construction into one
+     * flat array so the per-branch loops never chase config_.tagged[]
+     * or re-derive rotation/shift amounts. 16 bytes per table; the
+     * whole array fits in one cache line for every paper config.
+     */
+    struct TableMeta {
+        /** Start of this table's entries in the SoA arenas. */
+        uint32_t offset = 0;
+
+        /** (1 << logEntries) - 1. */
+        uint32_t indexMask = 0;
+
+        /** (1 << tagBits) - 1. */
+        uint32_t tagMask = 0;
+
+        /** maskBits(min(historyLength, pathHistoryBits)). */
+        uint32_t pathMask = 0;
+
+        /** log2 of the entry count. */
+        uint8_t logEntries = 0;
+
+        /** Path-hash rotation: table % logEntries. */
+        uint8_t rot = 0;
+
+        /** PC self-shear shift in the index hash: logEntries - rot. */
+        uint8_t idxShift = 0;
+    };
+
     /** Compute the index into tagged table @p table (1-based). */
     uint32_t taggedIndex(uint64_t pc, int table) const;
 
@@ -107,10 +140,11 @@ class TagePredictor
     uint32_t pathHash(int table) const;
 
     /**
-     * Update a tagged prediction counter toward @p taken, applying the
-     * Sec. 6 probabilistic saturation gate when enabled.
+     * Update the tagged prediction counter at arena position @p at
+     * toward @p taken, applying the Sec. 6 probabilistic saturation
+     * gate when enabled.
      */
-    void updateTaggedCtr(SignedSatCounter& ctr, bool taken);
+    void updateTaggedCtr(uint32_t at, bool taken);
 
     /** Allocate at most one entry above the provider on misprediction. */
     void allocate(const TagePrediction& p, bool taken);
@@ -120,14 +154,25 @@ class TagePredictor
 
     TageConfig config_;
 
-    std::vector<UnsignedSatCounter> bimodal_;
-    std::vector<std::vector<TaggedEntry>> tables_; // [1..M], [0] empty
+    /**
+     * Packed per-table storage (structure-of-arrays). A tagged entry is
+     * 4 bytes across three arenas — int8_t ctr, uint16_t tag, uint8_t u
+     * — instead of a ~24-byte entry of counter objects; a bimodal
+     * counter is one byte. Tables are laid out back to back; table i
+     * owns [meta_[i].offset, meta_[i].offset + meta_[i].indexMask].
+     */
+    std::vector<uint8_t> bimodal_;
+    std::vector<int8_t> ctr_;
+    std::vector<uint16_t> tag_;
+    std::vector<uint8_t> u_;
+
+    std::vector<TableMeta> meta_; // [1..M], [0] unused
 
     GlobalHistory history_;
     PathHistory pathHistory_;
-    std::vector<FoldedHistory> indexFold_;   // [1..M]
-    std::vector<FoldedHistory> tagFold0_;    // [1..M] tagBits fold
-    std::vector<FoldedHistory> tagFold1_;    // [1..M] tagBits-1 fold
+
+    /** Fused index/tag/tag-1 folds, one contiguous struct per table. */
+    std::vector<FoldedHistoryTriple> folds_; // [1..M], [0] unused
 
     SignedSatCounter useAltOnNa_;
     Lfsr16 lfsr_;
@@ -135,6 +180,13 @@ class TagePredictor
 
     uint64_t updates_ = 0;
     uint64_t allocations_ = 0;
+
+    /**
+     * Branches until the next graceful useful-counter reset; reloaded
+     * from config_.uResetPeriod (0 disables aging). Replaces a per-
+     * update 64-bit modulo on the hot path.
+     */
+    uint64_t uResetCountdown_ = 0;
 };
 
 } // namespace tagecon

@@ -150,6 +150,97 @@ class FoldedHistory
 };
 
 /**
+ * Three folded views of the same history window, fused into one
+ * cache-line-friendly struct. A TAGE component needs exactly this
+ * triple — an index fold (logEntries bits) plus two tag folds
+ * (tagBits and tagBits-1) — all over the component's history length
+ * L(i). Fusing them means one pair of ring-buffer reads per component
+ * per branch instead of three, and one contiguous array for all
+ * per-table fold state instead of three parallel vectors.
+ *
+ * Each component's fold step is bit-identical to FoldedHistory::update.
+ */
+class FoldedHistoryTriple
+{
+  public:
+    FoldedHistoryTriple() = default;
+
+    /**
+     * @param orig_length History window folded by all three components.
+     * @param len_a Folded width of component a (table index fold).
+     * @param len_b Folded width of component b (tag fold).
+     * @param len_c Folded width of component c (tag - 1 fold).
+     */
+    FoldedHistoryTriple(int orig_length, int len_a, int len_b, int len_c)
+        : origLength_(orig_length), lenA_(static_cast<uint8_t>(len_a)),
+          lenB_(static_cast<uint8_t>(len_b)),
+          lenC_(static_cast<uint8_t>(len_c)),
+          outA_(static_cast<uint8_t>(orig_length % len_a)),
+          outB_(static_cast<uint8_t>(orig_length % len_b)),
+          outC_(static_cast<uint8_t>(orig_length % len_c))
+    {
+        TAGECON_ASSERT(len_a > 0 && len_a < 32, "folded width out of range");
+        TAGECON_ASSERT(len_b > 0 && len_b < 32, "folded width out of range");
+        TAGECON_ASSERT(len_c > 0 && len_c < 32, "folded width out of range");
+        TAGECON_ASSERT(orig_length >= 0, "negative history length");
+    }
+
+    /**
+     * Fold the newest bit in and the bit leaving the window out of all
+     * three components. Must be called once per GlobalHistory::push(),
+     * after it. The two history reads are shared by the components.
+     */
+    void
+    update(const GlobalHistory& h)
+    {
+        const uint32_t in = h[0];
+        const uint32_t out = h[static_cast<size_t>(origLength_)];
+        a_ = foldStep(a_, in, out, lenA_, outA_);
+        b_ = foldStep(b_, in, out, lenB_, outB_);
+        c_ = foldStep(c_, in, out, lenC_, outC_);
+    }
+
+    /** Current index-fold value (len_a bits). */
+    uint32_t a() const { return a_; }
+
+    /** Current tag-fold value (len_b bits). */
+    uint32_t b() const { return b_; }
+
+    /** Current tag-1-fold value (len_c bits). */
+    uint32_t c() const { return c_; }
+
+    /** History length being folded. */
+    int origLength() const { return origLength_; }
+
+    /** Reset all three folds (history cleared). */
+    void clear() { a_ = b_ = c_ = 0; }
+
+  private:
+    /** One FoldedHistory::update step on a raw comp value. */
+    static uint32_t
+    foldStep(uint32_t comp, uint32_t in, uint32_t out, int len,
+             int out_point)
+    {
+        comp = (comp << 1) | in;
+        comp ^= out << out_point;
+        comp ^= comp >> len;
+        comp &= (1u << len) - 1u;
+        return comp;
+    }
+
+    uint32_t a_ = 0;
+    uint32_t b_ = 0;
+    uint32_t c_ = 0;
+    int32_t origLength_ = 0;
+    uint8_t lenA_ = 1;
+    uint8_t lenB_ = 1;
+    uint8_t lenC_ = 1;
+    uint8_t outA_ = 0;
+    uint8_t outB_ = 0;
+    uint8_t outC_ = 0;
+};
+
+/**
  * Path history: low-order PC bits of recent branches, as used by the
  * TAGE index hash to decorrelate branches that share global outcome
  * history.

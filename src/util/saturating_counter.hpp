@@ -2,14 +2,22 @@
  * @file
  * Saturating counter primitives used throughout the predictor code.
  *
- * Two flavours are provided:
+ * Three layers are provided:
+ *  - packed::*: static saturating-counter operations on raw storage
+ *    bytes, parameterized by a table-level width. These are what the
+ *    hot predictor tables use: a table stores one int8_t/uint8_t per
+ *    counter (hardware stores 2-4 bits) and applies these ops with the
+ *    width held once per table instead of once per entry.
  *  - SignedSatCounter: the width-parameterized two's-complement counter
- *    used by the tagged TAGE components (e.g. 3-bit, range [-4, 3]).
+ *    used for low-frequency architectural registers (USE_ALT_ON_NA).
  *    Its sign encodes the prediction; |2*ctr + 1| encodes the strength,
  *    which is the quantity the confidence classes of the paper (Sec. 5.2)
  *    are defined on.
- *  - UnsignedSatCounter: the classic [0, 2^bits - 1] counter used by the
- *    bimodal base table and by the JRS confidence estimator baseline.
+ *  - UnsignedSatCounter: the classic [0, 2^bits - 1] counter.
+ *
+ * Both classes delegate to the packed:: ops, so every consumer —
+ * packed tables and counter objects alike — shares one transition
+ * function.
  */
 
 #ifndef TAGECON_UTIL_SATURATING_COUNTER_HPP
@@ -20,6 +28,150 @@
 #include "util/logging.hpp"
 
 namespace tagecon {
+
+/**
+ * Static saturating-counter operations over raw packed values.
+ *
+ * Signed counters live in [-2^(bits-1), 2^(bits-1) - 1] and are stored
+ * as plain int8_t (bits <= 8); unsigned counters live in
+ * [0, 2^bits - 1] and are stored as plain uint8_t (bits <= 8) or wider
+ * integers when the caller needs them (bits <= 16 for the counter
+ * class). The width is passed per call so a table can hold it once.
+ */
+namespace packed {
+
+/** Smallest representable signed value (e.g. -4 for 3 bits). */
+constexpr int
+signedMin(int bits)
+{
+    return -(1 << (bits - 1));
+}
+
+/** Largest representable signed value (e.g. +3 for 3 bits). */
+constexpr int
+signedMax(int bits)
+{
+    return (1 << (bits - 1)) - 1;
+}
+
+/** Clamp @p v into the signed range of @p bits. */
+constexpr int
+signedClamp(int v, int bits)
+{
+    const int lo = signedMin(bits);
+    const int hi = signedMax(bits);
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Signed counter predicts taken when the sign bit is clear. */
+constexpr bool
+signedTaken(int v)
+{
+    return v >= 0;
+}
+
+/** Prediction strength |2*ctr + 1| (1 = weak, 2^bits - 1 = saturated). */
+constexpr int
+signedStrength(int v)
+{
+    const int s = 2 * v + 1;
+    return s < 0 ? -s : s;
+}
+
+/** True when the signed counter is weak (strength 1). */
+constexpr bool
+signedWeak(int v)
+{
+    return v == 0 || v == -1;
+}
+
+/** True when the signed counter sits at either rail. */
+constexpr bool
+signedSaturated(int v, int bits)
+{
+    return v == signedMin(bits) || v == signedMax(bits);
+}
+
+/** Saturating update toward an outcome; returns the new value. */
+constexpr int
+signedUpdate(int v, int bits, bool outcome_taken)
+{
+    if (outcome_taken)
+        return v < signedMax(bits) ? v + 1 : v;
+    return v > signedMin(bits) ? v - 1 : v;
+}
+
+/**
+ * True iff signedUpdate(v, bits, outcome_taken) would move the counter
+ * into a saturated state from a non-saturated one (the transition the
+ * Sec. 6 probabilistic automaton gates).
+ */
+constexpr bool
+signedUpdateWouldSaturate(int v, int bits, bool outcome_taken)
+{
+    if (outcome_taken)
+        return v == signedMax(bits) - 1;
+    return v == signedMin(bits) + 1;
+}
+
+/** Largest representable unsigned value. */
+constexpr unsigned
+unsignedMax(int bits)
+{
+    return (1u << bits) - 1;
+}
+
+/** Clamp @p v into the unsigned range of @p bits. */
+constexpr unsigned
+unsignedClamp(unsigned v, int bits)
+{
+    return v > unsignedMax(bits) ? unsignedMax(bits) : v;
+}
+
+/** Unsigned counter predicts taken in the upper half of its range. */
+constexpr bool
+unsignedTaken(unsigned v, int bits)
+{
+    return v >= (1u << (bits - 1));
+}
+
+/** True at either of the two middle values (e.g. 1 or 2 for 2 bits). */
+constexpr bool
+unsignedWeak(unsigned v, int bits)
+{
+    const unsigned mid = 1u << (bits - 1);
+    return v == mid || v == mid - 1;
+}
+
+/** True at either rail. */
+constexpr bool
+unsignedSaturated(unsigned v, int bits)
+{
+    return v == 0 || v == unsignedMax(bits);
+}
+
+/** Saturating increment; returns the new value. */
+constexpr unsigned
+unsignedInc(unsigned v, int bits)
+{
+    return v < unsignedMax(bits) ? v + 1 : v;
+}
+
+/** Saturating decrement; returns the new value. */
+constexpr unsigned
+unsignedDec(unsigned v)
+{
+    return v > 0 ? v - 1 : v;
+}
+
+/** Saturating update toward an outcome; returns the new value. */
+constexpr unsigned
+unsignedUpdate(unsigned v, int bits, bool outcome_taken)
+{
+    return outcome_taken ? unsignedInc(v, bits) : unsignedDec(v);
+}
+
+} // namespace packed
 
 /**
  * Width-parameterized signed saturating counter.
@@ -45,10 +197,10 @@ class SignedSatCounter
     }
 
     /** Smallest representable value (e.g. -4 for 3 bits). */
-    int min() const { return -(1 << (bits_ - 1)); }
+    int min() const { return packed::signedMin(bits_); }
 
     /** Largest representable value (e.g. +3 for 3 bits). */
-    int max() const { return (1 << (bits_ - 1)) - 1; }
+    int max() const { return packed::signedMax(bits_); }
 
     /** Current value. */
     int value() const { return value_; }
@@ -60,12 +212,11 @@ class SignedSatCounter
     void
     set(int v)
     {
-        value_ = static_cast<int16_t>(v < min() ? min()
-                                                : (v > max() ? max() : v));
+        value_ = static_cast<int16_t>(packed::signedClamp(v, bits_));
     }
 
     /** True when the counter predicts taken (value >= 0). */
-    bool taken() const { return value_ >= 0; }
+    bool taken() const { return packed::signedTaken(value_); }
 
     /**
      * Prediction strength |2*ctr + 1|: 1 for a weak counter, up to
@@ -73,18 +224,13 @@ class SignedSatCounter
      * classes Wtag/NWtag/NStag/Stag correspond to strengths 1/3/5/7 of a
      * 3-bit counter.
      */
-    int
-    strength() const
-    {
-        const int s = 2 * value_ + 1;
-        return s < 0 ? -s : s;
-    }
+    int strength() const { return packed::signedStrength(value_); }
 
     /** True when the counter is weak, i.e. strength() == 1. */
-    bool weak() const { return value_ == 0 || value_ == -1; }
+    bool weak() const { return packed::signedWeak(value_); }
 
     /** True when the counter is saturated at either rail. */
-    bool saturated() const { return value_ == min() || value_ == max(); }
+    bool saturated() const { return packed::signedSaturated(value_, bits_); }
 
     /**
      * Standard saturating update toward an outcome: increments on taken,
@@ -93,13 +239,8 @@ class SignedSatCounter
     void
     update(bool outcome_taken)
     {
-        if (outcome_taken) {
-            if (value_ < max())
-                ++value_;
-        } else {
-            if (value_ > min())
-                --value_;
-        }
+        value_ = static_cast<int16_t>(
+            packed::signedUpdate(value_, bits_, outcome_taken));
     }
 
     /**
@@ -110,9 +251,8 @@ class SignedSatCounter
     bool
     updateWouldSaturate(bool outcome_taken) const
     {
-        if (outcome_taken)
-            return value_ == max() - 1;
-        return value_ == min() + 1;
+        return packed::signedUpdateWouldSaturate(value_, bits_,
+                                                 outcome_taken);
     }
 
     bool operator==(const SignedSatCounter& o) const = default;
@@ -142,7 +282,7 @@ class UnsignedSatCounter
     }
 
     /** Largest representable value. */
-    unsigned max() const { return (1u << bits_) - 1; }
+    unsigned max() const { return packed::unsignedMax(bits_); }
 
     /** Current value. */
     unsigned value() const { return value_; }
@@ -154,51 +294,46 @@ class UnsignedSatCounter
     void
     set(unsigned v)
     {
-        value_ = static_cast<uint16_t>(v > max() ? max() : v);
+        value_ = static_cast<uint16_t>(packed::unsignedClamp(v, bits_));
     }
 
     /** True when the counter predicts taken (upper half of the range). */
-    bool taken() const { return value_ >= (1u << (bits_ - 1)); }
+    bool taken() const { return packed::unsignedTaken(value_, bits_); }
 
     /**
      * True when the counter is weak: at either of the two middle values
      * (e.g. 1 or 2 for a 2-bit counter). The paper's low-conf-bim class
      * is exactly "bimodal provider and weak 2-bit counter".
      */
-    bool
-    weak() const
-    {
-        const unsigned mid = 1u << (bits_ - 1);
-        return value_ == mid || value_ == mid - 1;
-    }
+    bool weak() const { return packed::unsignedWeak(value_, bits_); }
 
     /** True when saturated at either rail. */
-    bool saturated() const { return value_ == 0 || value_ == max(); }
+    bool
+    saturated() const
+    {
+        return packed::unsignedSaturated(value_, bits_);
+    }
 
     /** Saturating increment. */
     void
     increment()
     {
-        if (value_ < max())
-            ++value_;
+        value_ = static_cast<uint16_t>(packed::unsignedInc(value_, bits_));
     }
 
     /** Saturating decrement. */
     void
     decrement()
     {
-        if (value_ > 0)
-            --value_;
+        value_ = static_cast<uint16_t>(packed::unsignedDec(value_));
     }
 
     /** Saturating update toward an outcome. */
     void
     update(bool outcome_taken)
     {
-        if (outcome_taken)
-            increment();
-        else
-            decrement();
+        value_ = static_cast<uint16_t>(
+            packed::unsignedUpdate(value_, bits_, outcome_taken));
     }
 
     /** Reset to zero (used by JRS on a misprediction). */
