@@ -63,7 +63,11 @@ parseOptions(int argc, char** argv)
     opt.branchesPerTrace = args.getUint("branches", opt.branchesPerTrace);
     opt.seedSalt = args.getUint("seed", 0);
     opt.csv = args.getBool("csv", false);
-    opt.jobs = static_cast<unsigned>(args.getUint("jobs", opt.jobs));
+    // 0 keeps its documented "hardware concurrency" meaning here, but
+    // the range check stops 2^32-wrapping values from silently
+    // becoming 0 through the narrowing cast.
+    opt.jobs = static_cast<unsigned>(
+        args.getUintInRange("jobs", opt.jobs, 0, 1024));
     // Rejoin parameterized specs the comma-split cut apart.
     opt.predictors = regroupSpecList(args.getList("predictors"));
     return opt;

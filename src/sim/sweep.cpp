@@ -2,26 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cctype>
 #include <thread>
 
 #include "sim/registry.hpp"
-#include "trace/profiles.hpp"
+#include "sim/trace_registry.hpp"
 #include "util/logging.hpp"
-#include "util/text.hpp"
 
 namespace tagecon {
-
-namespace {
-
-bool
-isKnownTrace(const std::string& name)
-{
-    const auto names = allTraceNames();
-    return std::find(names.begin(), names.end(), name) != names.end();
-}
-
-} // namespace
 
 SweepPlan
 SweepPlan::over(std::vector<std::string> specs,
@@ -41,31 +28,7 @@ SweepPlan::resolveTraceArgs(const std::vector<std::string>& args,
                             std::vector<std::string>& out,
                             std::string& error)
 {
-    out.clear();
-    for (const auto& arg : args) {
-        const std::string key = toLower(arg);
-        if (key == "all") {
-            const auto names = allTraceNames();
-            out.insert(out.end(), names.begin(), names.end());
-        } else if (key == "cbp1") {
-            const auto& names = traceNames(BenchmarkSet::Cbp1);
-            out.insert(out.end(), names.begin(), names.end());
-        } else if (key == "cbp2") {
-            const auto& names = traceNames(BenchmarkSet::Cbp2);
-            out.insert(out.end(), names.begin(), names.end());
-        } else if (isKnownTrace(arg)) {
-            out.push_back(arg);
-        } else {
-            error = "unknown trace '" + arg +
-                    "' (use a trace name, cbp1, cbp2 or all)";
-            return false;
-        }
-    }
-    if (out.empty()) {
-        error = "no traces named";
-        return false;
-    }
-    return true;
+    return resolveTraceSpecs(args, out, error);
 }
 
 bool
@@ -95,8 +58,13 @@ SweepPlan::validate(std::string* error)
     for (const auto& trace : traces) {
         if (!err.empty())
             break;
-        if (!isKnownTrace(trace))
-            err = "unknown trace '" + trace + "'";
+        TraceSpec spec;
+        // Probe files up front so workers can't hit a missing or
+        // corrupt trace mid-sweep.
+        if (!parseTraceSpec(trace, spec, &err))
+            break;
+        if (!validateTraceSpec(spec, &err))
+            break;
     }
 
     if (!err.empty()) {
@@ -124,10 +92,13 @@ SweepPlan::cells() const
 RunResult
 runSweepCell(const SweepCell& cell)
 {
-    SyntheticTrace trace =
-        makeTrace(cell.trace, cell.branches, cell.seedSalt);
+    // Every cell streams through its own independent source (own file
+    // handle for file-backed traces), so no materialization and no
+    // shared reader state across worker threads.
+    auto trace =
+        makeTraceSource(cell.trace, cell.branches, cell.seedSalt);
     auto predictor = makePredictor(cell.spec);
-    return runTrace(trace, *predictor);
+    return runTrace(*trace, *predictor);
 }
 
 std::vector<RunResult>

@@ -16,9 +16,10 @@
  *   auto rows = runSweepRows(plan, {.jobs = 8});   // one row per spec
  *
  * Determinism: cells share no state (fresh predictor and trace per
- * cell, no globals), each cell's trace derives its seed purely from
- * (profile seed XOR plan.seedSalt), and results land in a
- * preallocated slot indexed by cell position — thread count and
+ * cell, no globals), each cell's synthetic trace derives its seed
+ * purely from (profile seed XOR plan.seedSalt) while file-backed
+ * cells each stream through their own reader handle, and results land
+ * in a preallocated slot indexed by cell position — thread count and
  * scheduling cannot change any output bit.
  */
 
@@ -38,13 +39,18 @@ struct SweepCell {
     /** Canonical registry spec to construct. */
     std::string spec;
 
-    /** Synthetic trace name (see trace/profiles.hpp). */
+    /**
+     * Trace spec: a synthetic profile name or "file:PATH"
+     * (see sim/trace_registry.hpp). Each cell opens its own
+     * independent source, so file-backed cells stream from their own
+     * handle and never share reader state across workers.
+     */
     std::string trace;
 
-    /** Branches to generate. */
+    /** Branches to generate (synthetic) or replay at most (file). */
     uint64_t branches = 0;
 
-    /** Seed salt applied to the trace's profile seed. */
+    /** Seed salt applied to the trace's profile seed (synthetic only). */
     uint64_t seedSalt = 0;
 };
 
@@ -53,10 +59,10 @@ struct SweepPlan {
     /** Registry specs, one row per spec. */
     std::vector<std::string> specs;
 
-    /** Trace names, the columns of every row. */
+    /** Trace specs (profile names / "file:PATH"), the columns. */
     std::vector<std::string> traces;
 
-    /** Branches generated per cell. */
+    /** Branches per cell (generated, or the replay cap for files). */
     uint64_t branchesPerTrace = 1000000;
 
     /** Seed salt applied to every cell's trace generation. */
@@ -69,10 +75,12 @@ struct SweepPlan {
                           uint64_t seed_salt = 0);
 
     /**
-     * Expand user trace arguments into trace names: each item is a
-     * trace name, or one of the set aliases "cbp1" / "cbp2" / "all"
-     * (case-insensitive). Returns false on an unknown item with the
-     * reason in @p error.
+     * Expand user trace arguments into trace specs: each item is a
+     * trace spec (profile name or "file:PATH"), or a set alias —
+     * "cbp1" / "cbp2" / "all" / registerTraceSet() names
+     * (case-insensitive). Thin shim over resolveTraceSpecs()
+     * (sim/trace_registry.hpp). Returns false on an unknown item with
+     * the reason in @p error.
      */
     static bool resolveTraceArgs(const std::vector<std::string>& args,
                                  std::vector<std::string>& out,

@@ -1,0 +1,255 @@
+#include "sim/trace_registry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "trace/cbp_ascii.hpp"
+#include "trace/profiles.hpp"
+#include "trace/trace_io.hpp"
+#include "util/logging.hpp"
+#include "util/text.hpp"
+
+namespace tagecon {
+
+namespace {
+
+constexpr const char* kFilePrefix = "file:";
+
+/** On-disk formats a "file:" spec can point at. */
+enum class TraceFileFormat {
+    Tcbt,  ///< binary trace_io format (magic "TCBT")
+    Ascii, ///< CBP-style ASCII, plain or gzipped
+};
+
+/**
+ * Sniff the format from the file's leading bytes: "TCBT" is the
+ * binary format, anything else (including the gzip magic) is handed
+ * to the ASCII reader, which deals with compression itself.
+ */
+bool
+detectTraceFileFormat(const std::string& path, TraceFileFormat& out,
+                      std::string& error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open trace file '" + path + "'";
+        return false;
+    }
+    char magic[4] = {0, 0, 0, 0};
+    in.read(magic, 4);
+    out = (in.gcount() == 4 && magic[0] == 'T' && magic[1] == 'C' &&
+           magic[2] == 'B' && magic[3] == 'T')
+              ? TraceFileFormat::Tcbt
+              : TraceFileFormat::Ascii;
+    return true;
+}
+
+bool
+isKnownProfile(const std::string& name)
+{
+    const auto names = allTraceNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::map<std::string, std::vector<std::string>>&
+traceSetRegistry()
+{
+    static std::map<std::string, std::vector<std::string>> registry;
+    return registry;
+}
+
+} // namespace
+
+std::string
+TraceSpec::spec() const
+{
+    return kind == Kind::File ? kFilePrefix + key : key;
+}
+
+bool
+parseTraceSpec(const std::string& text, TraceSpec& out,
+               std::string* error)
+{
+    if (toLower(text).rfind(kFilePrefix, 0) == 0) {
+        out.kind = TraceSpec::Kind::File;
+        out.key = text.substr(std::string(kFilePrefix).size());
+        if (out.key.empty()) {
+            if (error)
+                *error = "trace spec '" + text + "' names no file path";
+            return false;
+        }
+        return true;
+    }
+    if (text.empty()) {
+        if (error)
+            *error = "empty trace spec";
+        return false;
+    }
+    out.kind = TraceSpec::Kind::Synthetic;
+    out.key = text;
+    return true;
+}
+
+bool
+validateTraceSpec(const TraceSpec& spec, std::string* error)
+{
+    std::string err;
+    if (spec.kind == TraceSpec::Kind::Synthetic) {
+        if (!isKnownProfile(spec.key)) {
+            if (error)
+                *error = "unknown trace '" + spec.key +
+                         "' (use a profile name, file:PATH, cbp1, "
+                         "cbp2 or all)";
+            return false;
+        }
+        return true;
+    }
+    TraceFileFormat format;
+    if (!detectTraceFileFormat(spec.key, format, err)) {
+        if (error)
+            *error = err;
+        return false;
+    }
+    const bool ok = format == TraceFileFormat::Tcbt
+                        ? probeTraceFile(spec.key, nullptr, &err)
+                        : probeCbpAsciiFile(spec.key, &err);
+    if (!ok && error)
+        *error = err;
+    return ok;
+}
+
+void
+registerTraceSet(const std::string& name,
+                 std::vector<std::string> specs)
+{
+    const std::string key = toLower(name);
+    if (key == "all" || key == "cbp1" || key == "cbp2")
+        fatal("trace set name '" + name +
+              "' collides with a built-in alias");
+    if (key.empty() || specs.empty())
+        fatal("registerTraceSet() needs a name and at least one spec");
+    traceSetRegistry()[key] = std::move(specs);
+}
+
+std::vector<std::string>
+registeredTraceSets()
+{
+    std::vector<std::string> names;
+    for (const auto& [name, specs] : traceSetRegistry())
+        names.push_back(name);
+    return names;
+}
+
+bool
+resolveTraceSpecs(const std::vector<std::string>& args,
+                  std::vector<std::string>& out, std::string& error)
+{
+    out.clear();
+    std::vector<std::string> expanded;
+    for (const auto& arg : args) {
+        const std::string key = toLower(arg);
+        if (key == "all") {
+            const auto names = allTraceNames();
+            expanded.insert(expanded.end(), names.begin(), names.end());
+        } else if (key == "cbp1") {
+            const auto& names = traceNames(BenchmarkSet::Cbp1);
+            expanded.insert(expanded.end(), names.begin(), names.end());
+        } else if (key == "cbp2") {
+            const auto& names = traceNames(BenchmarkSet::Cbp2);
+            expanded.insert(expanded.end(), names.begin(), names.end());
+        } else if (auto it = traceSetRegistry().find(key);
+                   it != traceSetRegistry().end()) {
+            expanded.insert(expanded.end(), it->second.begin(),
+                            it->second.end());
+        } else {
+            expanded.push_back(arg);
+        }
+    }
+    for (const auto& item : expanded) {
+        TraceSpec spec;
+        if (!parseTraceSpec(item, spec, &error) ||
+            !validateTraceSpec(spec, &error))
+            return false;
+        out.push_back(spec.spec());
+    }
+    if (out.empty()) {
+        error = "no traces named";
+        return false;
+    }
+    return true;
+}
+
+std::unique_ptr<TraceSource>
+tryMakeTraceSource(const TraceSpec& spec, uint64_t branches,
+                   uint64_t seed_salt, std::string* error)
+{
+    std::string err;
+    if (spec.kind == TraceSpec::Kind::Synthetic) {
+        if (!validateTraceSpec(spec, error))
+            return nullptr;
+        if (branches == 0) {
+            if (error)
+                *error = "synthetic trace '" + spec.key +
+                         "' needs a nonzero branch count";
+            return nullptr;
+        }
+        return std::make_unique<SyntheticTrace>(
+            makeTrace(spec.key, branches, seed_salt));
+    }
+
+    // Recorded streams: seed_salt does not apply; branches caps the
+    // replay (0 = the whole file). Each call opens its own handle so
+    // parallel sweep cells never share reader state. Sniff and probe
+    // exactly once — the probe doubles as the non-fatal validation the
+    // reader constructors (which fatal()) can't provide.
+    TraceFileFormat format;
+    if (!detectTraceFileFormat(spec.key, format, err)) {
+        if (error)
+            *error = err;
+        return nullptr;
+    }
+    const bool ok = format == TraceFileFormat::Tcbt
+                        ? probeTraceFile(spec.key, nullptr, &err)
+                        : probeCbpAsciiFile(spec.key, &err);
+    if (!ok) {
+        if (error)
+            *error = err;
+        return nullptr;
+    }
+    if (format == TraceFileFormat::Tcbt) {
+        auto reader = std::make_unique<TraceReader>(spec.key);
+        if (branches != 0 && reader->totalRecords() > branches)
+            return std::make_unique<LimitedTrace>(std::move(reader),
+                                                  branches);
+        return reader;
+    }
+    std::unique_ptr<TraceSource> src =
+        std::make_unique<CbpAsciiReader>(spec.key);
+    if (branches != 0)
+        src = std::make_unique<LimitedTrace>(std::move(src), branches);
+    return src;
+}
+
+std::unique_ptr<TraceSource>
+tryMakeTraceSource(const std::string& spec, uint64_t branches,
+                   uint64_t seed_salt, std::string* error)
+{
+    TraceSpec parsed;
+    if (!parseTraceSpec(spec, parsed, error))
+        return nullptr;
+    return tryMakeTraceSource(parsed, branches, seed_salt, error);
+}
+
+std::unique_ptr<TraceSource>
+makeTraceSource(const std::string& spec, uint64_t branches,
+                uint64_t seed_salt)
+{
+    std::string error;
+    auto src = tryMakeTraceSource(spec, branches, seed_salt, &error);
+    if (!src)
+        fatal("makeTraceSource: " + error);
+    return src;
+}
+
+} // namespace tagecon

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * String-keyed factory for trace sources, mirroring the predictor
+ * registry (sim/registry.hpp): one spec string names where a sweep
+ * cell's branches come from, so drivers, benches and the CLI can point
+ * any grid at synthetic profiles and real trace files alike without
+ * bespoke wiring:
+ *
+ *   auto t = makeTraceSource("164.gzip", 1000000);      // synthetic
+ *   auto u = makeTraceSource("file:traces/gcc.tcbt", 0); // recorded
+ *
+ * Trace spec grammar:
+ *
+ *   spec := "file:" PATH   a trace file: binary .tcbt (trace_io.hpp)
+ *                          or CBP-style ASCII, optionally
+ *                          gzip-compressed (cbp_ascii.hpp); the format
+ *                          is sniffed from the file contents
+ *         | NAME           a named synthetic profile ("FP-1",
+ *                          "300.twolf"; see trace/profiles.hpp)
+ *
+ * Set aliases, expanded by resolveTraceSpecs(): "cbp1", "cbp2", "all"
+ * (case-insensitive) and any set registered via registerTraceSet() —
+ * e.g. a materialized suite of trace files under one name.
+ *
+ * Semantics shared by every consumer (runSweep, tagecon_sweep,
+ * benches):
+ *  - synthetic specs generate exactly @c branches records, salted by
+ *    @c seed_salt;
+ *  - file specs replay the recorded stream, capped at @c branches
+ *    records (files shorter than the cap replay fully); @c seed_salt
+ *    does not apply — a recorded stream has no seed;
+ *  - every makeTraceSource() call returns an independent source with
+ *    its own file handle, so parallel sweep cells never share reader
+ *    state and grids stay bit-identical to serial runs.
+ */
+
+#ifndef TAGECON_SIM_TRACE_REGISTRY_HPP
+#define TAGECON_SIM_TRACE_REGISTRY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hpp"
+
+namespace tagecon {
+
+/** Parsed form of one trace spec string. */
+struct TraceSpec {
+    /** Where the records come from. */
+    enum class Kind {
+        Synthetic, ///< named profile, generated on the fly
+        File,      ///< recorded trace file (.tcbt or ASCII[.gz])
+    };
+
+    Kind kind = Kind::Synthetic;
+
+    /** Profile name (Synthetic) or file path (File). */
+    std::string key;
+
+    /** The canonical spec string ("file:PATH" or the profile name). */
+    std::string spec() const;
+};
+
+/**
+ * Parse @p text into @p out. Purely syntactic — existence of the
+ * profile or file is checked by validateTraceSpec(). Returns false
+ * with the reason in @p error (when non-null) on e.g. "file:" with an
+ * empty path.
+ */
+bool parseTraceSpec(const std::string& text, TraceSpec& out,
+                    std::string* error = nullptr);
+
+/**
+ * Check that @p spec is usable: a Synthetic spec must name a known
+ * profile; a File spec must open and carry a well-formed header /
+ * first record (probed without reading the whole file). Returns false
+ * with the reason in @p error (when non-null). This is what
+ * SweepPlan::validate() calls so workers can't hit a bad trace
+ * mid-sweep.
+ */
+bool validateTraceSpec(const TraceSpec& spec,
+                       std::string* error = nullptr);
+
+/**
+ * Register (or replace) the named trace set @p name (case-insensitive)
+ * as an alias expanding to @p specs — the way "cbp1" expands to the 20
+ * CBP-1 profile names. Lets a materialized suite of trace files be
+ * addressed as one word in --traces lists. The name must not collide
+ * with the built-in aliases (all/cbp1/cbp2); entries are themselves
+ * trace specs (not aliases).
+ */
+void registerTraceSet(const std::string& name,
+                      std::vector<std::string> specs);
+
+/** Names of the registered trace sets (user sets only), sorted. */
+std::vector<std::string> registeredTraceSets();
+
+/**
+ * Expand user trace arguments into individual trace specs: each item
+ * is a trace spec, or a set alias ("cbp1" / "cbp2" / "all" /
+ * registerTraceSet() names, case-insensitive). Every resulting spec is
+ * validated. Returns false with the reason in @p error.
+ */
+bool resolveTraceSpecs(const std::vector<std::string>& args,
+                       std::vector<std::string>& out,
+                       std::string& error);
+
+/**
+ * Construct an independent TraceSource for @p spec (string or parsed
+ * form) — the trace-side mirror of tryMakePredictor(). @p branches
+ * caps the stream (generated length for synthetic specs, replay cap
+ * for files; files shorter than the cap replay fully). @p seed_salt
+ * perturbs synthetic generation and is ignored by file specs. Returns
+ * nullptr with the reason in @p error (when non-null) on a bad spec.
+ */
+std::unique_ptr<TraceSource>
+tryMakeTraceSource(const std::string& spec, uint64_t branches,
+                   uint64_t seed_salt = 0, std::string* error = nullptr);
+
+/** Overload taking an already-parsed spec. */
+std::unique_ptr<TraceSource>
+tryMakeTraceSource(const TraceSpec& spec, uint64_t branches,
+                   uint64_t seed_salt = 0, std::string* error = nullptr);
+
+/** Like tryMakeTraceSource() but fatal()s on a bad spec. */
+std::unique_ptr<TraceSource>
+makeTraceSource(const std::string& spec, uint64_t branches,
+                uint64_t seed_salt = 0);
+
+} // namespace tagecon
+
+#endif // TAGECON_SIM_TRACE_REGISTRY_HPP

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstring>
+#include <filesystem>
 
 #include "util/logging.hpp"
 
@@ -26,11 +27,93 @@ readRaw(std::ifstream& in, T& v)
     return in.good();
 }
 
+/**
+ * Parse and validate the header of an already-open stream. Returns
+ * false with the reason (prefixed with the path) in @p error.
+ */
+bool
+readHeader(std::ifstream& in, const std::string& path,
+           TraceFileInfo& info, std::string& error)
+{
+    std::array<char, 4> magic{};
+    in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+    if (!in || magic != kMagic) {
+        error = "'" + path + "' is not a tagecon trace file";
+        return false;
+    }
+    uint32_t version = 0;
+    if (!readRaw(in, version) || version != kTraceFormatVersion) {
+        error = "'" + path + "' has unsupported trace format version " +
+                (in ? std::to_string(version) : std::string("(unreadable)")) +
+                " (expected " + std::to_string(kTraceFormatVersion) + ")";
+        return false;
+    }
+    uint32_t name_len = 0;
+    if (!readRaw(in, name_len) || name_len > 4096) {
+        error = "'" + path + "' has a malformed header";
+        return false;
+    }
+    info.name.resize(name_len);
+    in.read(info.name.data(), static_cast<std::streamsize>(name_len));
+    if (!in || !readRaw(in, info.records)) {
+        error = "'" + path + "' has a truncated header";
+        return false;
+    }
+    info.dataStart = static_cast<uint64_t>(in.tellg());
+
+    // Fail fast on truncation: the header's record count must fit in
+    // the bytes the file actually has, or next() would fatal() deep
+    // into a simulation instead of at open time.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    info.fileBytes = ec ? 0 : static_cast<uint64_t>(size);
+    if (!ec) {
+        // Divide rather than multiply: records * kTraceRecordBytes can
+        // wrap for a corrupt header, which would sneak a bogus record
+        // count past this check.
+        const uint64_t payload = info.fileBytes >= info.dataStart
+                                     ? info.fileBytes - info.dataStart
+                                     : 0;
+        if (info.records > payload / kTraceRecordBytes) {
+            error = "'" + path + "' is truncated: header promises " +
+                    std::to_string(info.records) +
+                    " records but the file (" +
+                    std::to_string(info.fileBytes) +
+                    " bytes) has room for only " +
+                    std::to_string(payload / kTraceRecordBytes);
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace
+
+bool
+probeTraceFile(const std::string& path, TraceFileInfo* info,
+               std::string* error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open trace file '" + path + "'";
+        return false;
+    }
+    TraceFileInfo parsed;
+    std::string err;
+    if (!readHeader(in, path, parsed, err)) {
+        if (error)
+            *error = err;
+        return false;
+    }
+    if (info)
+        *info = parsed;
+    return true;
+}
 
 TraceWriter::TraceWriter(const std::string& path,
                          const std::string& trace_name)
-    : out_(path, std::ios::binary | std::ios::trunc)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc)
 {
     if (!out_)
         fatal("cannot create trace file '" + path + "'");
@@ -42,6 +125,8 @@ TraceWriter::TraceWriter(const std::string& path,
     countPos_ = out_.tellp();
     const uint64_t placeholder = 0;
     writeRaw(out_, placeholder);
+    if (!out_)
+        fatal("failed writing trace header to '" + path + "'");
     open_ = true;
 }
 
@@ -59,6 +144,9 @@ TraceWriter::write(const BranchRecord& rec)
     writeRaw(out_, rec.instructionsBefore);
     const uint8_t taken = rec.taken ? 1 : 0;
     writeRaw(out_, taken);
+    if (!out_)
+        fatal("failed writing record " + std::to_string(count_) +
+              " to trace file '" + path_ + "' (disk full?)");
     ++count_;
 }
 
@@ -67,10 +155,18 @@ TraceWriter::close()
 {
     if (!open_)
         return;
+    // Mark closed first so a fatal() below can't re-enter from the
+    // destructor.
+    open_ = false;
     out_.seekp(countPos_);
     writeRaw(out_, count_);
+    out_.flush();
+    if (!out_)
+        fatal("failed back-patching record count into trace file '" +
+              path_ + "' (disk full?)");
     out_.close();
-    open_ = false;
+    if (out_.fail())
+        fatal("failed closing trace file '" + path_ + "'");
 }
 
 TraceReader::TraceReader(const std::string& path)
@@ -78,21 +174,13 @@ TraceReader::TraceReader(const std::string& path)
 {
     if (!in_)
         fatal("cannot open trace file '" + path + "'");
-    std::array<char, 4> magic{};
-    in_.read(magic.data(), static_cast<std::streamsize>(magic.size()));
-    if (!in_ || magic != kMagic)
-        fatal("'" + path + "' is not a tagecon trace file");
-    uint32_t version = 0;
-    if (!readRaw(in_, version) || version != kTraceFormatVersion)
-        fatal("'" + path + "' has unsupported trace format version");
-    uint32_t name_len = 0;
-    if (!readRaw(in_, name_len) || name_len > 4096)
-        fatal("'" + path + "' has a malformed header");
-    name_.resize(name_len);
-    in_.read(name_.data(), static_cast<std::streamsize>(name_len));
-    if (!in_ || !readRaw(in_, total_))
-        fatal("'" + path + "' has a truncated header");
-    dataStart_ = in_.tellg();
+    TraceFileInfo info;
+    std::string error;
+    if (!readHeader(in_, path, info, error))
+        fatal(error);
+    name_ = std::move(info.name);
+    total_ = info.records;
+    dataStart_ = static_cast<std::streampos>(info.dataStart);
 }
 
 bool

@@ -1,6 +1,6 @@
 /**
  * @file
- * Compact binary on-disk trace format, so synthetic workloads can be
+ * Compact binary on-disk trace format (".tcbt"), so workloads can be
  * materialized once and replayed exactly (the CBP traces played this
  * role in the paper).
  *
@@ -24,17 +24,50 @@ namespace tagecon {
 /** Current on-disk format version. */
 inline constexpr uint32_t kTraceFormatVersion = 1;
 
+/** On-disk size of one record: pc u64 + instructionsBefore u32 + taken u8. */
+inline constexpr uint64_t kTraceRecordBytes = 13;
+
+/**
+ * Parsed header of a trace file, as returned by probeTraceFile().
+ */
+struct TraceFileInfo {
+    /** Display name embedded in the header. */
+    std::string name;
+
+    /** Record count the header promises. */
+    uint64_t records = 0;
+
+    /** Byte offset of the first record. */
+    uint64_t dataStart = 0;
+
+    /** On-disk file size in bytes. */
+    uint64_t fileBytes = 0;
+};
+
+/**
+ * Validate @p path as a binary trace file without fatal()ing: checks
+ * that the file opens, the magic/version/name header parses, and the
+ * file size covers the promised record count. Returns true and fills
+ * @p info (when non-null) on success; returns false with the reason in
+ * @p error (when non-null) otherwise. This is the probe the trace
+ * registry uses to reject bad specs before a sweep starts.
+ */
+bool probeTraceFile(const std::string& path, TraceFileInfo* info,
+                    std::string* error);
+
 /**
  * Streaming writer for the binary trace format. The record count is
  * back-patched on close(), so traces can be written without knowing
- * their length up front.
+ * their length up front. Every write is checked: a failed record
+ * write, back-patch or flush is fatal() (naming the path) rather than
+ * silently producing a truncated file that still reports success.
  */
 class TraceWriter
 {
   public:
     /**
      * Open @p path for writing and emit the header.
-     * fatal() when the file cannot be created.
+     * fatal() when the file cannot be created or the header write fails.
      */
     TraceWriter(const std::string& path, const std::string& trace_name);
 
@@ -44,16 +77,21 @@ class TraceWriter
     TraceWriter(const TraceWriter&) = delete;
     TraceWriter& operator=(const TraceWriter&) = delete;
 
-    /** Append one record. */
+    /** Append one record; fatal() when the stream write fails. */
     void write(const BranchRecord& rec);
 
-    /** Finish: back-patch the record count and close the file. */
+    /**
+     * Finish: back-patch the record count, flush and close the file.
+     * fatal() when any of those steps fails — a trace file either
+     * closes clean or the process dies telling you which file is bad.
+     */
     void close();
 
     /** Records written so far. */
     uint64_t written() const { return count_; }
 
   private:
+    std::string path_;
     std::ofstream out_;
     std::streampos countPos_;
     uint64_t count_ = 0;
@@ -62,7 +100,9 @@ class TraceWriter
 
 /**
  * Reader for the binary trace format; implements TraceSource so a file
- * trace is a drop-in replacement for a synthetic one.
+ * trace is a drop-in replacement for a synthetic one. The header's
+ * record count is validated against the actual file size at open time,
+ * so a truncated file fails fast instead of mid-simulation.
  */
 class TraceReader : public TraceSource
 {

@@ -1,12 +1,18 @@
 #include "trace/trace_source.hpp"
 
+#include <algorithm>
+
 namespace tagecon {
 
 VectorTrace
 materialize(TraceSource& src, size_t max_records)
 {
     std::vector<BranchRecord> records;
-    records.reserve(max_records);
+    // max_records is a cap, not a promise: reserving the caller's raw
+    // value would bad_alloc on e.g. SIZE_MAX before reading a single
+    // record. Pre-reserve a bounded amount and let push_back grow.
+    constexpr size_t kMaxReserve = size_t{1} << 20;
+    records.reserve(std::min(max_records, kMaxReserve));
     BranchRecord rec;
     while (records.size() < max_records && src.next(rec))
         records.push_back(rec);

@@ -9,6 +9,8 @@
 #ifndef TAGECON_TRACE_TRACE_SOURCE_HPP
 #define TAGECON_TRACE_TRACE_SOURCE_HPP
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -78,8 +80,50 @@ class VectorTrace : public TraceSource
 };
 
 /**
+ * Replays at most @p limit records of a wrapped source, then reports
+ * exhaustion. reset() rewinds the inner source too, so the truncated
+ * replay is repeatable. Used by the trace registry to cap file-backed
+ * traces at a sweep's branches-per-cell without materializing them.
+ */
+class LimitedTrace : public TraceSource
+{
+  public:
+    /** Own @p inner and replay at most @p limit of its records. */
+    LimitedTrace(std::unique_ptr<TraceSource> inner, uint64_t limit)
+        : inner_(std::move(inner)), limit_(limit)
+    {
+    }
+
+    bool
+    next(BranchRecord& out) override
+    {
+        if (emitted_ >= limit_ || !inner_->next(out))
+            return false;
+        ++emitted_;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        inner_->reset();
+        emitted_ = 0;
+    }
+
+    std::string name() const override { return inner_->name(); }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    uint64_t limit_;
+    uint64_t emitted_ = 0;
+};
+
+/**
  * Drain up to @p max_records records of @p src into a VectorTrace.
  * Does not reset @p src first; drains from its current position.
+ * @p max_records is a cap, not a size hint: arbitrarily large values
+ * (e.g. SIZE_MAX for "everything") are safe and allocate only what the
+ * source actually produces.
  */
 VectorTrace materialize(TraceSource& src, size_t max_records);
 

@@ -71,6 +71,18 @@ CliArgs::getUint(const std::string& name, uint64_t def) const
     return v;
 }
 
+uint64_t
+CliArgs::getUintInRange(const std::string& name, uint64_t def,
+                        uint64_t min, uint64_t max) const
+{
+    const uint64_t v = getUint(name, def);
+    if (v < min || v > max)
+        fatal("flag --" + name + " expects a value between " +
+              std::to_string(min) + " and " + std::to_string(max) +
+              ", got " + std::to_string(v));
+    return v;
+}
+
 double
 CliArgs::getDouble(const std::string& name, double def) const
 {

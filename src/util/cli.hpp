@@ -37,6 +37,16 @@ class CliArgs
     /** Unsigned value of --name, or @p def when absent. */
     uint64_t getUint(const std::string& name, uint64_t def) const;
 
+    /**
+     * Like getUint() but additionally fatal()s — naming the flag and
+     * the accepted range — when the value falls outside
+     * [@p min, @p max]. The range check runs on the full 64-bit value
+     * before any caller-side narrowing, so e.g. "--jobs=4294967296"
+     * can't silently wrap to 0 through a cast to unsigned.
+     */
+    uint64_t getUintInRange(const std::string& name, uint64_t def,
+                            uint64_t min, uint64_t max) const;
+
     /** Double value of --name, or @p def when absent; fatal() on junk. */
     double getDouble(const std::string& name, double def) const;
 

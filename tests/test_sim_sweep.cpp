@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "sim/registry.hpp"
 #include "sim/sweep.hpp"
+#include "sim/trace_registry.hpp"
 #include "trace/profiles.hpp"
+#include "trace/trace_io.hpp"
 
 namespace tagecon {
 namespace {
@@ -166,6 +170,86 @@ TEST(SweepRunner, JobsZeroMeansHardwareConcurrency)
     ASSERT_EQ(rows.size(), 1u);
     EXPECT_EQ(rows[0].perTrace.size(), 2u);
     EXPECT_EQ(rows[0].aggregate.totalPredictions(), 10000u);
+}
+
+/** Temp trace file shared by the file-trace sweep tests. */
+class SweepFileTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("tagecon_sweep_trace_" +
+                  std::to_string(::testing::UnitTest::GetInstance()
+                                     ->random_seed()) +
+                  "_" + std::to_string(counter_++) + ".tcbt"))
+                    .string();
+        SyntheticTrace src = makeTrace("MM-3", kRecords);
+        writeTraceFile(path_, src);
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    static constexpr uint64_t kRecords = 15000;
+    std::string path_;
+    static int counter_;
+};
+
+int SweepFileTraceTest::counter_ = 0;
+
+// The PR's acceptance property: sweeping over file:PATH is
+// bit-identical to running the same records through an in-memory
+// VectorTrace, at any job count.
+TEST_F(SweepFileTraceTest, FileCellsMatchInMemoryReplayAtAnyJobCount)
+{
+    const std::vector<std::string> specs = {"tage64k+sfc",
+                                            "tage64k+jrs"};
+    SweepPlan plan =
+        SweepPlan::over(specs, {"file:" + path_}, kRecords);
+
+    const auto serial = runSweep(plan, SweepOptions{1});
+    const auto parallel = runSweep(plan, SweepOptions{4});
+    ASSERT_EQ(serial.size(), specs.size());
+    ASSERT_EQ(parallel.size(), specs.size());
+
+    for (size_t s = 0; s < specs.size(); ++s) {
+        expectIdentical(serial[s], parallel[s]);
+
+        TraceReader reader(path_);
+        VectorTrace in_memory = materialize(reader, kRecords);
+        auto predictor = makePredictor(specs[s]);
+        const RunResult direct = runTrace(in_memory, *predictor);
+        expectIdentical(serial[s], direct);
+    }
+}
+
+TEST_F(SweepFileTraceTest, MixedFileAndSyntheticGridsStayDeterministic)
+{
+    // File columns stream per-cell readers while synthetic columns
+    // regenerate — neither may perturb the other across threads.
+    SweepPlan plan = SweepPlan::over(
+        {"tage16k+sfc", "gshare+jrs"}, {"file:" + path_, "MM-3"},
+        kRecords);
+    const auto serial = runSweep(plan, SweepOptions{1});
+    const auto parallel = runSweep(plan, SweepOptions{4});
+    ASSERT_EQ(serial.size(), 4u);
+    for (size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+
+    // The file was recorded from MM-3 with the same record count and
+    // no salt, so file and synthetic columns agree cell for cell.
+    EXPECT_EQ(serial[0].traceName, serial[1].traceName);
+    expectIdentical(serial[0], serial[1]);
+}
+
+TEST(SweepPlanFileTraces, ValidateRejectsMissingAndCorruptFiles)
+{
+    SweepPlan plan = SweepPlan::over(
+        {"bimodal"}, {"file:/nonexistent/nope.tcbt"}, 1000);
+    std::string error;
+    EXPECT_FALSE(plan.validate(&error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
 }
 
 } // namespace

@@ -121,7 +121,7 @@ TEST_F(TraceIoTest, GarbageFileIsFatal)
                 ::testing::ExitedWithCode(1), "not a tagecon trace");
 }
 
-TEST_F(TraceIoTest, TruncatedFileIsFatal)
+TEST_F(TraceIoTest, TruncatedFileFailsFastAtOpen)
 {
     {
         TraceWriter w(path_.string(), "t");
@@ -129,17 +129,108 @@ TEST_F(TraceIoTest, TruncatedFileIsFatal)
             w.write({static_cast<uint64_t>(i), true, 1});
         w.close();
     }
-    // Chop off the last few bytes.
+    // Chop off the last few bytes. The reader must reject the file at
+    // open time — a truncated file used to be discovered only via
+    // fatal() mid-simulation.
     const auto size = std::filesystem::file_size(path_);
     std::filesystem::resize_file(path_, size - 5);
 
-    TraceReader r(path_.string());
-    BranchRecord rec;
-    auto read_all = [&] {
-        while (r.next(rec)) {
-        }
+    EXPECT_EXIT(TraceReader(path_.string()),
+                ::testing::ExitedWithCode(1), "truncated");
+
+    std::string error;
+    EXPECT_FALSE(probeTraceFile(path_.string(), nullptr, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, OverflowingRecordCountIsRejected)
+{
+    {
+        TraceWriter w(path_.string(), "t");
+        w.write({0x100, true, 1});
+        w.close();
+    }
+    // Patch the header's record count (right after magic + version +
+    // name length + 1-byte name) to a value whose byte size wraps
+    // uint64 — the open-time size check must not be fooled by the
+    // overflow.
+    {
+        std::fstream f(path_, std::ios::in | std::ios::out |
+                                  std::ios::binary);
+        f.seekp(4 + 4 + 4 + 1);
+        const uint64_t huge = UINT64_MAX / 2;
+        f.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+    }
+    std::string error;
+    EXPECT_FALSE(probeTraceFile(path_.string(), nullptr, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+    EXPECT_EXIT(TraceReader(path_.string()),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST_F(TraceIoTest, BadVersionIsRejected)
+{
+    {
+        TraceWriter w(path_.string(), "t");
+        w.write({0x100, true, 1});
+        w.close();
+    }
+    // The version field sits right after the 4-byte magic.
+    {
+        std::fstream f(path_, std::ios::in | std::ios::out |
+                                  std::ios::binary);
+        f.seekp(4);
+        const uint32_t bogus = kTraceFormatVersion + 41;
+        f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+    }
+    EXPECT_EXIT(TraceReader(path_.string()),
+                ::testing::ExitedWithCode(1), "version");
+
+    std::string error;
+    EXPECT_FALSE(probeTraceFile(path_.string(), nullptr, &error));
+    EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, ProbeReportsHeaderOnGoodFile)
+{
+    {
+        TraceWriter w(path_.string(), "probe-me");
+        w.write({0x100, true, 5});
+        w.write({0x104, false, 2});
+        w.close();
+    }
+    TraceFileInfo info;
+    std::string error;
+    ASSERT_TRUE(probeTraceFile(path_.string(), &info, &error)) << error;
+    EXPECT_EQ(info.name, "probe-me");
+    EXPECT_EQ(info.records, 2u);
+    EXPECT_EQ(info.fileBytes,
+              info.dataStart + info.records * kTraceRecordBytes);
+
+    std::string bad_err;
+    EXPECT_FALSE(probeTraceFile("/nonexistent/x.tcbt", nullptr,
+                                &bad_err));
+    EXPECT_NE(bad_err.find("cannot open"), std::string::npos);
+}
+
+TEST_F(TraceIoTest, WriterFailureIsFatalNotSilentTruncation)
+{
+    // /dev/full accepts the open but fails every flushed write with
+    // ENOSPC — exactly the silent-truncation scenario the writer must
+    // turn into a hard error naming the file.
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available";
+
+    auto write_many = [] {
+        TraceWriter w("/dev/full", "t");
+        // Enough records to overflow any stdio buffer so the failure
+        // surfaces in write() or, at the latest, in close()'s flush.
+        for (int i = 0; i < 200000; ++i)
+            w.write({static_cast<uint64_t>(i), true, 1});
+        w.close();
     };
-    EXPECT_EXIT(read_all(), ::testing::ExitedWithCode(1), "truncated");
+    EXPECT_EXIT(write_many(), ::testing::ExitedWithCode(1),
+                "/dev/full");
 }
 
 } // namespace

@@ -139,5 +139,33 @@ TEST(Cli, WhitespaceWrappedNumbersAreFatal)
                 "whitespace");
 }
 
+TEST(Cli, UintInRangeAcceptsBoundsAndDefaults)
+{
+    const CliArgs a = parse({"--jobs=1024"});
+    EXPECT_EQ(a.getUintInRange("jobs", 1, 1, 1024), 1024u);
+    // Absent flag falls back to the default (still range-checked).
+    EXPECT_EQ(a.getUintInRange("other", 7, 1, 1024), 7u);
+}
+
+TEST(Cli, UintInRangeRejectsZeroNamingTheFlag)
+{
+    // The tagecon_sweep --jobs=0 regression: 0 used to flow straight
+    // into the thread-pool size.
+    const CliArgs a = parse({"--jobs=0"});
+    EXPECT_EXIT(a.getUintInRange("jobs", 1, 1, 1024),
+                ::testing::ExitedWithCode(1),
+                "flag --jobs expects a value between 1 and 1024");
+}
+
+TEST(Cli, UintInRangeStopsNarrowingWraparound)
+{
+    // 2^32 would wrap to 0 through a static_cast<unsigned>; the range
+    // check runs on the full 64-bit value first.
+    const CliArgs a = parse({"--jobs=4294967296"});
+    EXPECT_EXIT(a.getUintInRange("jobs", 1, 1, 1024),
+                ::testing::ExitedWithCode(1),
+                "between 1 and 1024");
+}
+
 } // namespace
 } // namespace tagecon

@@ -10,12 +10,17 @@
  * Flags:
  *   --predictors=a,b,c   registry specs, one row each (required;
  *                        see --list-predictors)
- *   --traces=...         trace names and/or cbp1 / cbp2 / all
- *                        (default all)
- *   --branches=N         branches per cell (default 1000000)
+ *   --traces=...         trace specs — synthetic profile names,
+ *                        file:PATH trace files (.tcbt binary or
+ *                        CBP-style ASCII[.gz]) — and/or the set
+ *                        aliases cbp1 / cbp2 / all (default all)
+ *   --branches=N         branches per cell: generated for synthetic
+ *                        traces, a replay cap for file traces
+ *                        (default 1000000)
  *   --seed=N             seed salt for synthetic trace generation
- *   --jobs=N             worker threads; 0 = hardware concurrency.
- *                        Results are bit-identical at any value.
+ *                        (file traces replay as recorded)
+ *   --jobs=N             worker threads, 1-1024. Results are
+ *                        bit-identical at any value.
  *   --per-trace          one output row per (spec, trace) cell
  *                        instead of one pooled row per spec
  *   --csv                CSV instead of aligned text
@@ -119,7 +124,11 @@ main(int argc, char** argv)
         fatal(error);
 
     SweepOptions sweep_opt;
-    sweep_opt.jobs = static_cast<unsigned>(args.getUint("jobs", 1));
+    // Range-checked before narrowing: --jobs=0 (which SweepOptions
+    // would reinterpret as "hardware concurrency") and 2^32-wrapping
+    // values are rejected up front with the flag named.
+    sweep_opt.jobs =
+        static_cast<unsigned>(args.getUintInRange("jobs", 1, 1, 1024));
     const bool per_trace = args.getBool("per-trace", false);
     const bool csv = args.getBool("csv", false);
 
