@@ -24,7 +24,7 @@ using namespace tagecon;
 int
 main(int argc, char** argv)
 {
-    const auto opt = bench::parseOptions(argc, argv);
+    const auto opt = bench::parseOptions(argc, argv, /*structured_output=*/false);
     bench::printHeader("Ablation: tagged counter width (64Kbit)",
                        "Seznec, RR-7371 / HPCA 2011, Sec. 6 discussion",
                        opt, /*show_jobs=*/true);

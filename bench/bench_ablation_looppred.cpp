@@ -21,7 +21,7 @@ using namespace tagecon;
 int
 main(int argc, char** argv)
 {
-    const auto opt = bench::parseOptions(argc, argv);
+    const auto opt = bench::parseOptions(argc, argv, /*structured_output=*/false);
     bench::printHeader("Ablation: TAGE vs L-TAGE (loop predictor)",
                        "Seznec, JILP 2007 (paper reference [12])", opt,
                        /*show_jobs=*/true);

@@ -19,7 +19,7 @@ using namespace tagecon;
 int
 main(int argc, char** argv)
 {
-    const auto opt = bench::parseOptions(argc, argv);
+    const auto opt = bench::parseOptions(argc, argv, /*structured_output=*/false);
     bench::printHeader("Ablation: USE_ALT_ON_NA on/off (64Kbit)",
                        "Seznec, RR-7371 / HPCA 2011, Sec. 3.1", opt,
                        /*show_jobs=*/true);

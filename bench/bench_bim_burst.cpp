@@ -70,7 +70,7 @@ collect(BurstHistogram& h, BenchmarkSet set, const TageConfig& cfg,
 int
 main(int argc, char** argv)
 {
-    const auto opt = bench::parseOptions(argc, argv);
+    const auto opt = bench::parseOptions(argc, argv, /*structured_output=*/false);
     bench::printHeader("BIM misprediction bursts (basis of "
                        "medium-conf-bim)",
                        "Seznec, RR-7371 / HPCA 2011, Sec. 5.1.2", opt);

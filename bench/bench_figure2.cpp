@@ -5,13 +5,15 @@
  * 7 confidence classes (left panels, printed as coverage %) and the
  * distribution of mispredictions (right panels, printed as per-class
  * misp/KI contributions). Baseline (unmodified) update automaton.
+ *
+ * Declarative: one SweepPlan (3 sizes x CBP-1), rendered through the
+ * structured report emitters (--report=text|csv|json), with optional
+ * run-analysis observers (--analysis=...).
  */
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "sim/experiment.hpp"
-#include "sim/reporting.hpp"
+#include "bench_figures.hpp"
 
 using namespace tagecon;
 
@@ -19,40 +21,31 @@ int
 main(int argc, char** argv)
 {
     const auto opt = bench::parseOptions(argc, argv);
-    bench::printHeader("Figure 2: prediction/misprediction distribution, "
-                       "CBP-1",
-                       "Seznec, RR-7371 / HPCA 2011, Figure 2", opt);
+    Report r = bench::makeReport(
+        "figure2",
+        "Figure 2: prediction/misprediction distribution, CBP-1",
+        "Seznec, RR-7371 / HPCA 2011, Figure 2", opt);
 
-    for (const TageConfig& cfg : TageConfig::paperConfigs()) {
-        RunConfig rc;
-        rc.predictor = cfg;
-        const SetResult result = runBenchmarkSet(BenchmarkSet::Cbp1, rc,
-                                                 opt.branchesPerTrace,
-                                                 opt.seedSalt);
+    const auto sizes = bench::paperSizes();
+    const auto rows =
+        bench::runSetGrid(bench::specsOf(sizes), BenchmarkSet::Cbp1,
+                          opt);
 
-        std::cout << "--- " << cfg.name
-                  << " predictor: prediction coverage per class (%) "
-                     "[Fig. 2 left] ---\n";
-        auto cov = coverageTable(result);
-        if (opt.csv)
-            cov.renderCsv(std::cout);
-        else
-            cov.render(std::cout);
-
-        std::cout << "\n--- " << cfg.name
-                  << " predictor: misprediction contribution (misp/KI) "
-                     "[Fig. 2 right] ---\n";
-        auto mpki = mpkiBreakdownTable(result);
-        if (opt.csv)
-            mpki.renderCsv(std::cout);
-        else
-            mpki.render(std::cout);
-        std::cout << "\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const std::string& label = sizes[i].label;
+        bench::addDistributionPanels(
+            r, rows[i], toLower(label),
+            label + " predictor: prediction coverage per class (%) "
+                    "[Fig. 2 left]",
+            label + " predictor: misprediction contribution (misp/KI) "
+                    "[Fig. 2 right]",
+            opt);
     }
 
-    std::cout << "expected shape: SERV traces are BIM-heavy with large "
-                 "medium-conf-bim coverage on the 16K predictor;\n"
-                 "low/medium-conf-bim nearly vanish on the 256K "
-                 "predictor; Stag covers roughly half the predictions.\n";
+    r.addText("expected shape: SERV traces are BIM-heavy with large "
+              "medium-conf-bim coverage on the 16K predictor;\n"
+              "low/medium-conf-bim nearly vanish on the 256K "
+              "predictor; Stag covers roughly half the predictions.");
+    r.emit(opt.format, std::cout);
     return 0;
 }

@@ -2,14 +2,13 @@
  * @file
  * Reproduces Figure 3 of the paper: the Figure 2 panels for the CBP-2
  * trace set (prediction coverage and per-class misp/KI contributions
- * for the three predictor sizes, baseline automaton).
+ * for the three predictor sizes, baseline automaton). Declarative:
+ * one SweepPlan (3 sizes x CBP-2) + report emitters.
  */
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "sim/experiment.hpp"
-#include "sim/reporting.hpp"
+#include "bench_figures.hpp"
 
 using namespace tagecon;
 
@@ -17,39 +16,30 @@ int
 main(int argc, char** argv)
 {
     const auto opt = bench::parseOptions(argc, argv);
-    bench::printHeader("Figure 3: prediction/misprediction distribution, "
-                       "CBP-2",
-                       "Seznec, RR-7371 / HPCA 2011, Figure 3", opt);
+    Report r = bench::makeReport(
+        "figure3",
+        "Figure 3: prediction/misprediction distribution, CBP-2",
+        "Seznec, RR-7371 / HPCA 2011, Figure 3", opt);
 
-    for (const TageConfig& cfg : TageConfig::paperConfigs()) {
-        RunConfig rc;
-        rc.predictor = cfg;
-        const SetResult result = runBenchmarkSet(BenchmarkSet::Cbp2, rc,
-                                                 opt.branchesPerTrace,
-                                                 opt.seedSalt);
+    const auto sizes = bench::paperSizes();
+    const auto rows =
+        bench::runSetGrid(bench::specsOf(sizes), BenchmarkSet::Cbp2,
+                          opt);
 
-        std::cout << "--- " << cfg.name
-                  << " predictor: prediction coverage per class (%) "
-                     "[Fig. 3 left] ---\n";
-        auto cov = coverageTable(result);
-        if (opt.csv)
-            cov.renderCsv(std::cout);
-        else
-            cov.render(std::cout);
-
-        std::cout << "\n--- " << cfg.name
-                  << " predictor: misprediction contribution (misp/KI) "
-                     "[Fig. 3 right] ---\n";
-        auto mpki = mpkiBreakdownTable(result);
-        if (opt.csv)
-            mpki.renderCsv(std::cout);
-        else
-            mpki.render(std::cout);
-        std::cout << "\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const std::string& label = sizes[i].label;
+        bench::addDistributionPanels(
+            r, rows[i], toLower(label),
+            label + " predictor: prediction coverage per class (%) "
+                    "[Fig. 3 left]",
+            label + " predictor: misprediction contribution (misp/KI) "
+                    "[Fig. 3 right]",
+            opt);
     }
 
-    std::cout << "expected shape: twolf/gzip/vpr carry large tagged-class "
-                 "misprediction shares; mpegaudio/eon/raytrace are almost "
-                 "entirely high-conf-bim + Stag.\n";
+    r.addText("expected shape: twolf/gzip/vpr carry large tagged-class "
+              "misprediction shares; mpegaudio/eon/raytrace are almost "
+              "entirely high-conf-bim + Stag.");
+    r.emit(opt.format, std::cout);
     return 0;
 }

@@ -3,14 +3,13 @@
  * Reproduces Figure 4 of the paper: misprediction rate (in
  * mispredictions per kilo-prediction, MKP) of each of the 7 confidence
  * classes on the first CBP-2 traces (164.gzip .. 197.parser), 64Kbit
- * predictor, baseline automaton.
+ * predictor, baseline automaton. Declarative: a one-spec SweepPlan
+ * over CBP-2 + report emitters.
  */
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "sim/experiment.hpp"
-#include "sim/reporting.hpp"
+#include "bench_figures.hpp"
 
 using namespace tagecon;
 
@@ -18,38 +17,33 @@ int
 main(int argc, char** argv)
 {
     const auto opt = bench::parseOptions(argc, argv);
-    bench::printHeader("Figure 4: per-class misprediction rates (MKP), "
-                       "64Kbit, CBP-2",
-                       "Seznec, RR-7371 / HPCA 2011, Figure 4", opt);
+    Report r = bench::makeReport(
+        "figure4",
+        "Figure 4: per-class misprediction rates (MKP), 64Kbit, CBP-2",
+        "Seznec, RR-7371 / HPCA 2011, Figure 4", opt);
 
-    RunConfig rc;
-    rc.predictor = TageConfig::medium64K();
-    const SetResult result = runBenchmarkSet(BenchmarkSet::Cbp2, rc,
-                                             opt.branchesPerTrace,
-                                             opt.seedSalt);
+    const auto rows =
+        bench::runSetGrid({"tage64k"}, BenchmarkSet::Cbp2, opt);
+    const SweepRow& row = rows.front();
 
     const std::vector<std::string> figure_traces = {
         "164.gzip", "175.vpr", "176.gcc", "181.mcf", "186.crafty",
         "197.parser",
     };
-    auto t = mprateTable(result, figure_traces);
-    if (opt.csv)
-        t.renderCsv(std::cout);
-    else
-        t.render(std::cout);
-
-    std::cout << "\nset-wide per-class rates (MKP):\n";
-    TextTable avg;
-    avg.addColumn("class", TextTable::Align::Left);
-    avg.addColumn("MPrate (MKP)");
-    for (const auto c : kAllPredictionClasses) {
-        avg.addRow({predictionClassName(c),
-                    TextTable::num(result.aggregate.mprateMkp(c), 0)});
+    r.addTable(ReportTable{"mprate", "",
+                           mprateTable(row.perTrace, figure_traces)});
+    r.addBlank();
+    r.addText("set-wide per-class rates (MKP):");
+    r.addTable(
+        ReportTable{"class-rates", "", classRateTable(row.aggregate)});
+    r.addBlank();
+    if (opt.analysis.enabled()) {
+        for (const auto& rr : row.perTrace)
+            addAnalysisSections(r, rr, toLower(rr.traceName));
     }
-    avg.addRow({"average", TextTable::num(result.aggregate.totalMkp(), 0)});
-    avg.render(std::cout);
 
-    std::cout << "\nexpected shape: Wtag > NWtag > NStag >> Stag ~ "
-                 "average; low-conf-bim ~300+ MKP; high-conf-bim lowest.\n";
+    r.addText("expected shape: Wtag > NWtag > NStag >> Stag ~ "
+              "average; low-conf-bim ~300+ MKP; high-conf-bim lowest.");
+    r.emit(opt.format, std::cout);
     return 0;
 }

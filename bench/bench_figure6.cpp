@@ -2,14 +2,13 @@
  * @file
  * Reproduces Figure 6 of the paper: per-class misprediction rates
  * (MKP) on the first CBP-2 traces, 64Kbit predictor, with the
- * modified 3-bit counter automaton (p = 1/128).
+ * modified 3-bit counter automaton (p = 1/128). Declarative: a
+ * one-spec SweepPlan over CBP-2 + report emitters.
  */
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "sim/experiment.hpp"
-#include "sim/reporting.hpp"
+#include "bench_figures.hpp"
 
 using namespace tagecon;
 
@@ -17,39 +16,35 @@ int
 main(int argc, char** argv)
 {
     const auto opt = bench::parseOptions(argc, argv);
-    bench::printHeader("Figure 6: per-class MKP with modified automaton, "
-                       "64Kbit, CBP-2",
-                       "Seznec, RR-7371 / HPCA 2011, Figure 6", opt);
+    Report r = bench::makeReport(
+        "figure6",
+        "Figure 6: per-class MKP with modified automaton, 64Kbit, "
+        "CBP-2",
+        "Seznec, RR-7371 / HPCA 2011, Figure 6", opt);
 
-    RunConfig rc;
-    rc.predictor = TageConfig::medium64K().withProbabilisticSaturation(7);
-    const SetResult result = runBenchmarkSet(BenchmarkSet::Cbp2, rc,
-                                             opt.branchesPerTrace,
-                                             opt.seedSalt);
+    const auto rows =
+        bench::runSetGrid({"tage64k+prob7"}, BenchmarkSet::Cbp2, opt);
+    const SweepRow& row = rows.front();
 
     const std::vector<std::string> figure_traces = {
         "164.gzip", "175.vpr", "176.gcc", "181.mcf", "186.crafty",
         "197.parser",
     };
-    auto t = mprateTable(result, figure_traces);
-    if (opt.csv)
-        t.renderCsv(std::cout);
-    else
-        t.render(std::cout);
-
-    std::cout << "\nset-wide per-class rates (MKP):\n";
-    TextTable avg;
-    avg.addColumn("class", TextTable::Align::Left);
-    avg.addColumn("MPrate (MKP)");
-    for (const auto c : kAllPredictionClasses) {
-        avg.addRow({predictionClassName(c),
-                    TextTable::num(result.aggregate.mprateMkp(c), 0)});
+    r.addTable(ReportTable{"mprate", "",
+                           mprateTable(row.perTrace, figure_traces)});
+    r.addBlank();
+    r.addText("set-wide per-class rates (MKP):");
+    r.addTable(
+        ReportTable{"class-rates", "", classRateTable(row.aggregate)});
+    r.addBlank();
+    if (opt.analysis.enabled()) {
+        for (const auto& rr : row.perTrace)
+            addAnalysisSections(r, rr, toLower(rr.traceName));
     }
-    avg.addRow({"average", TextTable::num(result.aggregate.totalMkp(), 0)});
-    avg.render(std::cout);
 
-    std::cout << "\nexpected shape vs Figure 4: MPrate(Stag) collapses "
-                 "to the 1-5 MKP range; NStag drops toward the 50-100 "
-                 "MKP range.\n";
+    r.addText("expected shape vs Figure 4: MPrate(Stag) collapses "
+              "to the 1-5 MKP range; NStag drops toward the 50-100 "
+              "MKP range.");
+    r.emit(opt.format, std::cout);
     return 0;
 }

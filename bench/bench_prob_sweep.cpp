@@ -27,7 +27,7 @@ using namespace tagecon;
 int
 main(int argc, char** argv)
 {
-    const auto opt = bench::parseOptions(argc, argv);
+    const auto opt = bench::parseOptions(argc, argv, /*structured_output=*/false);
     bench::printHeader("Sec. 6.2: saturation probability sweep "
                        "(16Kbit, CBP-1)",
                        "Seznec, RR-7371 / HPCA 2011, Sec. 6.2", opt,

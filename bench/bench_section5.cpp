@@ -8,76 +8,58 @@
  *    predictions, share of BIM mispredictions, MPrate);
  *  - per-class MPrate of the tagged classes Wtag/NWtag/NStag/Stag and
  *    coverage of the non-saturated tagged classes.
+ * Declarative: one SweepPlan (16K + 256K x CBP-1) + report emitters,
+ * every ratio through the shared cell formatters.
  */
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "sim/experiment.hpp"
-#include "util/table_printer.hpp"
+#include "bench_figures.hpp"
 
 using namespace tagecon;
 
 namespace {
 
-double
-safePct(uint64_t num, uint64_t den)
-{
-    return den == 0 ? 0.0
-                    : 100.0 * static_cast<double>(num) /
-                          static_cast<double>(den);
-}
-
 void
-report(const TageConfig& cfg, const tagecon::bench::BenchOptions& opt)
+addAggregateSections(Report& r, const std::string& label,
+                     const SweepRow& row,
+                     const tagecon::bench::BenchOptions& opt)
 {
-    RunConfig rc;
-    rc.predictor = cfg;
-    const SetResult r = runBenchmarkSet(BenchmarkSet::Cbp1, rc,
-                                        opt.branchesPerTrace,
-                                        opt.seedSalt);
-    const ClassStats& s = r.aggregate;
+    const ClassStats& s = row.aggregate;
 
     const auto bim_classes = {PredictionClass::HighConfBim,
                               PredictionClass::MediumConfBim,
                               PredictionClass::LowConfBim};
-    uint64_t bim_pred = 0;
-    uint64_t bim_miss = 0;
+    const BimSplit bim = bimSplit(s);
+
+    r.addText("=== " + label + " predictor, CBP-1 aggregate ===");
+    r.addText("overall misprediction rate: " +
+              TextTable::num(s.totalMkp(), 0) + " MKP");
+    r.addText("BIM class: " +
+              pctCell(bim.predictions, s.totalPredictions(), 0) +
+              " % of predictions, " +
+              pctCell(bim.mispredictions, s.totalMispredictions(), 0) +
+              " % of mispredictions, " +
+              ratePerKiloCell(bim.mispredictions, bim.predictions, 0) +
+              " MKP");
+    r.addBlank();
+
+    TextTable bim_table;
+    bim_table.addColumn("BIM subclass", TextTable::Align::Left);
+    bim_table.addColumn("% of BIM preds");
+    bim_table.addColumn("% of BIM misses");
+    bim_table.addColumn("MPrate (MKP)");
     for (const auto c : bim_classes) {
-        bim_pred += s.predictions(c);
-        bim_miss += s.mispredictions(c);
+        bim_table.addRow({predictionClassName(c),
+                          pctCell(s.predictions(c), bim.predictions, 1),
+                          pctCell(s.mispredictions(c),
+                                  bim.mispredictions, 1),
+                          TextTable::num(s.mprateMkp(c), 0)});
     }
+    r.addTable(ReportTable{"bim-split-" + toLower(label), "",
+                           std::move(bim_table)});
+    r.addBlank();
 
-    std::cout << "=== " << cfg.name << " predictor, CBP-1 aggregate ===\n";
-    std::cout << "overall misprediction rate: "
-              << TextTable::num(s.totalMkp(), 0) << " MKP\n";
-    std::cout << "BIM class: " << TextTable::num(
-                     safePct(bim_pred, s.totalPredictions()), 0)
-              << " % of predictions, "
-              << TextTable::num(safePct(bim_miss,
-                                        s.totalMispredictions()), 0)
-              << " % of mispredictions, "
-              << TextTable::num(bim_pred ? 1000.0 *
-                                    static_cast<double>(bim_miss) /
-                                    static_cast<double>(bim_pred)
-                                         : 0.0, 0)
-              << " MKP\n\n";
-
-    TextTable bim;
-    bim.addColumn("BIM subclass", TextTable::Align::Left);
-    bim.addColumn("% of BIM preds");
-    bim.addColumn("% of BIM misses");
-    bim.addColumn("MPrate (MKP)");
-    for (const auto c : bim_classes) {
-        bim.addRow({predictionClassName(c),
-                    TextTable::num(safePct(s.predictions(c), bim_pred), 1),
-                    TextTable::num(safePct(s.mispredictions(c), bim_miss),
-                                   1),
-                    TextTable::num(s.mprateMkp(c), 0)});
-    }
-    bim.render(std::cout);
-
-    std::cout << "\n";
     TextTable tag;
     tag.addColumn("tagged class", TextTable::Align::Left);
     tag.addColumn("Pcov %");
@@ -90,8 +72,15 @@ report(const TageConfig& cfg, const tagecon::bench::BenchOptions& opt)
                     TextTable::num(s.mpcov(c) * 100.0, 1),
                     TextTable::num(s.mprateMkp(c), 0)});
     }
-    tag.render(std::cout);
-    std::cout << "\n";
+    r.addTable(ReportTable{"tagged-split-" + toLower(label), "",
+                           std::move(tag)});
+    r.addBlank();
+
+    if (opt.analysis.enabled()) {
+        for (const auto& rr : row.perTrace)
+            addAnalysisSections(
+                r, rr, toLower(label) + "-" + toLower(rr.traceName));
+    }
 }
 
 } // namespace
@@ -100,19 +89,25 @@ int
 main(int argc, char** argv)
 {
     const auto opt = bench::parseOptions(argc, argv);
-    bench::printHeader("Section 5 text numbers (CBP-1, 16K & 256K)",
-                       "Seznec, RR-7371 / HPCA 2011, Sec. 5.1-5.2", opt);
+    Report r = bench::makeReport(
+        "section5", "Section 5 text numbers (CBP-1, 16K & 256K)",
+        "Seznec, RR-7371 / HPCA 2011, Sec. 5.1-5.2", opt);
 
-    report(TageConfig::small16K(), opt);
-    report(TageConfig::large256K(), opt);
+    const std::vector<bench::SizeSpec> sizes = {{"16K", "tage16k"},
+                                                {"256K", "tage256k"}};
+    const auto rows = bench::runSetGrid(bench::specsOf(sizes),
+                                        BenchmarkSet::Cbp1, opt);
+    for (size_t i = 0; i < rows.size(); ++i)
+        addAggregateSections(r, sizes[i].label, rows[i], opt);
 
-    std::cout
-        << "paper reference (CBP-1): 16K BIM = 50% preds / 35% misses / "
-           "29 MKP; 256K BIM = 45% / 7% / 3 MKP.\n"
-           "16K within-BIM: low-conf-bim 3% preds, 32% misses, 317 MKP; "
-           "medium-conf-bim 12%, 39%, 87 MKP; high-conf-bim 85%, 29%, "
-           "9 MKP.\n"
-           "tagged rates 16K: Wtag 340, NWtag 313, NStag 213, Stag 29 "
-           "MKP (256K: 325/312/225/17).\n";
+    r.addText(
+        "paper reference (CBP-1): 16K BIM = 50% preds / 35% misses / "
+        "29 MKP; 256K BIM = 45% / 7% / 3 MKP.\n"
+        "16K within-BIM: low-conf-bim 3% preds, 32% misses, 317 MKP; "
+        "medium-conf-bim 12%, 39%, 87 MKP; high-conf-bim 85%, 29%, "
+        "9 MKP.\n"
+        "tagged rates 16K: Wtag 340, NWtag 313, NStag 213, Stag 29 "
+        "MKP (256K: 325/312/225/17).");
+    r.emit(opt.format, std::cout);
     return 0;
 }

@@ -3,14 +3,15 @@
  * Reproduces Table 1 of the paper: the three simulated TAGE
  * configurations and their misprediction rates (misp/KI) on the CBP-1
  * and CBP-2 benchmark sets, with the baseline (unmodified) update
- * automaton.
+ * automaton. Declarative: one SweepPlan (3 sizes x both sets) +
+ * report emitters; the configuration rows come straight from the
+ * TageConfig geometry.
  */
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "sim/experiment.hpp"
-#include "util/table_printer.hpp"
+#include "bench_figures.hpp"
+#include "tage/tage_config.hpp"
 
 using namespace tagecon;
 
@@ -18,8 +19,10 @@ int
 main(int argc, char** argv)
 {
     const auto opt = bench::parseOptions(argc, argv);
-    bench::printHeader("Table 1: simulated configurations",
-                       "Seznec, RR-7371 / HPCA 2011, Table 1", opt);
+    Report r = bench::makeReport("table1",
+                                 "Table 1: simulated configurations",
+                                 "Seznec, RR-7371 / HPCA 2011, Table 1",
+                                 opt);
 
     TextTable t;
     t.addColumn("", TextTable::Align::Left);
@@ -27,7 +30,7 @@ main(int argc, char** argv)
     t.addColumn("Medium");
     t.addColumn("Large");
 
-    std::vector<TageConfig> configs = TageConfig::paperConfigs();
+    const std::vector<TageConfig> configs = TageConfig::paperConfigs();
 
     std::vector<std::string> storage{"Storage budget (Kbits)"};
     std::vector<std::string> tables{"Number of tables"};
@@ -45,32 +48,31 @@ main(int argc, char** argv)
     t.addRow(minh);
     t.addRow(maxh);
 
+    const auto rows =
+        bench::runTwoSetGrid(bench::specsOf(bench::paperSizes()),
+                             BenchmarkSet::Cbp1, BenchmarkSet::Cbp2,
+                             opt);
+    const size_t cbp1_traces = traceNames(BenchmarkSet::Cbp1).size();
+
     std::vector<std::string> cbp1_row{"CBP-1 misp/KI"};
     std::vector<std::string> cbp2_row{"CBP-2 misp/KI"};
-    for (const auto& cfg : configs) {
-        RunConfig rc;
-        rc.predictor = cfg;
-        const SetResult r1 = runBenchmarkSet(BenchmarkSet::Cbp1, rc,
-                                             opt.branchesPerTrace,
-                                             opt.seedSalt);
-        const SetResult r2 = runBenchmarkSet(BenchmarkSet::Cbp2, rc,
-                                             opt.branchesPerTrace,
-                                             opt.seedSalt);
-        cbp1_row.push_back(TextTable::num(r1.meanMpki, 2));
-        cbp2_row.push_back(TextTable::num(r2.meanMpki, 2));
+    for (const auto& row : rows) {
+        cbp1_row.push_back(TextTable::num(
+            bench::sliceSet(row, cbp1_traces, true).meanMpki, 2));
+        cbp2_row.push_back(TextTable::num(
+            bench::sliceSet(row, cbp1_traces, false).meanMpki, 2));
     }
     t.addSeparator();
     t.addRow(cbp1_row);
     t.addRow(cbp2_row);
 
-    if (opt.csv)
-        t.renderCsv(std::cout);
-    else
-        t.render(std::cout);
+    r.addTable(ReportTable{"table1", "", std::move(t)});
 
-    std::cout << "\npaper reference (Table 1): CBP-1 4.21 / 2.54 / 2.18,"
-              << " CBP-2 4.61 / 3.87 / 3.47 misp/KI\n"
-              << "expected shape: misp/KI decreases with size; CBP-2 is"
-              << " the harder set on the medium/large predictors\n";
+    r.addBlank();
+    r.addText("paper reference (Table 1): CBP-1 4.21 / 2.54 / 2.18,"
+              " CBP-2 4.61 / 3.87 / 3.47 misp/KI\n"
+              "expected shape: misp/KI decreases with size; CBP-2 is"
+              " the harder set on the medium/large predictors");
+    r.emit(opt.format, std::cout);
     return 0;
 }

@@ -4,14 +4,13 @@
  * when the saturation probability is driven at run time by the
  * adaptive controller of Sec. 6.2 (p in {1/1024 .. 1}, x/÷2 steps),
  * which maximizes high-confidence coverage while holding the measured
- * high-confidence misprediction rate under 10 MKP.
+ * high-confidence misprediction rate under 10 MKP. Declarative: one
+ * SweepPlan (3 prob7+adaptive sizes x both sets) + report emitters.
  */
 
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "sim/experiment.hpp"
-#include "sim/reporting.hpp"
+#include "bench_figures.hpp"
 
 using namespace tagecon;
 
@@ -19,45 +18,47 @@ int
 main(int argc, char** argv)
 {
     const auto opt = bench::parseOptions(argc, argv);
-    bench::printHeader("Table 3: three-level split, adaptive probability",
-                       "Seznec, RR-7371 / HPCA 2011, Table 3", opt);
+    Report r = bench::makeReport(
+        "table3", "Table 3: three-level split, adaptive probability",
+        "Seznec, RR-7371 / HPCA 2011, Table 3", opt);
+
+    const auto sizes =
+        bench::paperSizes(/*prob7=*/true, /*adaptive=*/true);
+    const auto rows =
+        bench::runTwoSetGrid(bench::specsOf(sizes), BenchmarkSet::Cbp1,
+                             BenchmarkSet::Cbp2, opt);
+    const size_t cbp1_traces = traceNames(BenchmarkSet::Cbp1).size();
 
     TextTable t = threeClassTable();
-    for (const TageConfig& cfg : TageConfig::paperConfigs()) {
+    for (size_t i = 0; i < rows.size(); ++i) {
         for (const BenchmarkSet set :
              {BenchmarkSet::Cbp1, BenchmarkSet::Cbp2}) {
-            RunConfig rc;
-            rc.predictor = cfg.withProbabilisticSaturation(7);
-            rc.adaptive = true;
-            rc.adaptiveConfig.targetMkp = 10.0;
-            rc.adaptiveConfig.minLog2 = 0;   // p = 1
-            rc.adaptiveConfig.maxLog2 = 10;  // p = 1/1024
-            const SetResult r =
-                runBenchmarkSet(set, rc, opt.branchesPerTrace,
-                                opt.seedSalt);
-            t.addRow(threeClassRow(cfg.name + " " + benchmarkSetName(set),
-                                   r.aggregate));
+            const auto slice =
+                bench::sliceSet(rows[i], cbp1_traces,
+                                set == BenchmarkSet::Cbp1);
+            t.addRow(threeClassRow(sizes[i].label + " " +
+                                       benchmarkSetName(set),
+                                   slice.aggregate));
         }
     }
-    if (opt.csv)
-        t.renderCsv(std::cout);
-    else
-        t.render(std::cout);
+    r.addTable(ReportTable{"table3", "", std::move(t)});
 
-    std::cout << "\npaper reference (Pcov-MPcov (MPrate)):\n"
-                 "16K  CBP1 0.758-0.167 (8)   0.187-0.423 (92)   "
-                 "0.053-0.409 (311)\n"
-                 "16K  CBP2 0.816-0.112 (5)   0.139-0.452 (109)  "
-                 "0.044-0.436 (332)\n"
-                 "64K  CBP1 0.855-0.156 (5)   0.109-0.387 (88)   "
-                 "0.036-0.456 (309)\n"
-                 "64K  CBP2 0.848-0.100 (3)   0.112-0.432 (110)  "
-                 "0.040-0.468 (331)\n"
-                 "256K CBP1 0.882-0.140 (3)   0.085-0.381 (93)   "
-                 "0.033-0.479 (306)\n"
-                 "256K CBP2 0.870-0.105 (3)   0.092-0.419 (115)  "
-                 "0.037-0.476 (331)\n"
-                 "expected shape: vs Table 2, high-confidence coverage "
-                 "grows while its MPrate stays at or under ~10 MKP.\n";
+    r.addBlank();
+    r.addText("paper reference (Pcov-MPcov (MPrate)):\n"
+              "16K  CBP1 0.758-0.167 (8)   0.187-0.423 (92)   "
+              "0.053-0.409 (311)\n"
+              "16K  CBP2 0.816-0.112 (5)   0.139-0.452 (109)  "
+              "0.044-0.436 (332)\n"
+              "64K  CBP1 0.855-0.156 (5)   0.109-0.387 (88)   "
+              "0.036-0.456 (309)\n"
+              "64K  CBP2 0.848-0.100 (3)   0.112-0.432 (110)  "
+              "0.040-0.468 (331)\n"
+              "256K CBP1 0.882-0.140 (3)   0.085-0.381 (93)   "
+              "0.033-0.479 (306)\n"
+              "256K CBP2 0.870-0.105 (3)   0.092-0.419 (115)  "
+              "0.037-0.476 (331)\n"
+              "expected shape: vs Table 2, high-confidence coverage "
+              "grows while its MPrate stays at or under ~10 MKP.");
+    r.emit(opt.format, std::cout);
     return 0;
 }

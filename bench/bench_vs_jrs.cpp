@@ -26,7 +26,7 @@ using namespace tagecon;
 int
 main(int argc, char** argv)
 {
-    const auto opt = bench::parseOptions(argc, argv);
+    const auto opt = bench::parseOptions(argc, argv, /*structured_output=*/false);
     bench::printHeader("Storage-free vs JRS confidence (64Kbit TAGE, "
                        "both benchmark sets)",
                        "Seznec, RR-7371 / HPCA 2011, Sec. 2.2 context",

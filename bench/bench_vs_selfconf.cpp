@@ -29,7 +29,7 @@ using namespace tagecon;
 int
 main(int argc, char** argv)
 {
-    const auto opt = bench::parseOptions(argc, argv);
+    const auto opt = bench::parseOptions(argc, argv, /*structured_output=*/false);
     bench::printHeader("Self-confidence comparison: TAGE storage-free "
                        "vs O-GEHL vs perceptron",
                        "Seznec, RR-7371 / HPCA 2011, Sec. 2.2", opt,

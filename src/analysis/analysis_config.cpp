@@ -1,0 +1,198 @@
+#include "analysis/analysis_config.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/observers.hpp"
+#include "util/logging.hpp"
+#include "util/text.hpp"
+
+namespace tagecon {
+
+namespace {
+
+const char* const kBuiltinNames[] = {"histogram", "intervals",
+                                     "perbranch", "warmup"};
+
+bool
+isBuiltin(const std::string& name)
+{
+    for (const char* b : kBuiltinNames) {
+        if (name == b)
+            return true;
+    }
+    return false;
+}
+
+std::map<std::string, RunObserverFactory>&
+observerRegistry()
+{
+    static std::map<std::string, RunObserverFactory> registry;
+    return registry;
+}
+
+/** Split "name[:params]" and parse the parameter list. */
+bool
+splitObserverSpec(const std::string& item, std::string& name,
+                  SpecParams& params, std::string& error)
+{
+    const std::string lowered = toLower(item);
+    const size_t colon = lowered.find(':');
+    name = lowered.substr(0, colon);
+    if (name.empty()) {
+        error = "malformed analysis spec '" + item + "': empty name";
+        return false;
+    }
+    if (colon == std::string::npos)
+        return true;
+    const std::string param_text = lowered.substr(colon + 1);
+    if (!SpecParams::parse(param_text, params, error)) {
+        error = "analysis spec '" + item + "': " + error;
+        return false;
+    }
+    return true;
+}
+
+/** Reject unread keys / malformed values after a factory consumed @p p. */
+bool
+checkConsumed(const std::string& item, const SpecParams& p,
+              std::string& error)
+{
+    if (!p.error().empty()) {
+        error = "analysis spec '" + item + "': " + p.error();
+        return false;
+    }
+    const auto unknown = p.unrecognizedKeys();
+    if (!unknown.empty()) {
+        error = "analysis spec '" + item + "': unknown parameter '" +
+                unknown.front() + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseAnalysisSpecs(const std::vector<std::string>& items,
+                   AnalysisConfig& out, std::string& error)
+{
+    for (const auto& item : items) {
+        std::string name;
+        SpecParams params;
+        if (!splitObserverSpec(item, name, params, error))
+            return false;
+
+        if (name == "intervals") {
+            out.intervals = true;
+            out.intervalLength = static_cast<uint64_t>(params.getInt(
+                "len", static_cast<int64_t>(out.intervalLength), 1,
+                int64_t{1} << 40));
+        } else if (name == "histogram") {
+            out.histogram = true;
+        } else if (name == "perbranch") {
+            out.perBranch = true;
+            out.perBranchTopN = static_cast<uint64_t>(params.getInt(
+                "top", static_cast<int64_t>(out.perBranchTopN), 1,
+                1 << 20));
+        } else if (name == "warmup") {
+            out.warmup = true;
+            out.warmupIntervalLength = static_cast<uint64_t>(
+                params.getInt(
+                    "len",
+                    static_cast<int64_t>(out.warmupIntervalLength), 1,
+                    int64_t{1} << 40));
+            out.warmupThresholdMkp = static_cast<double>(params.getInt(
+                "mkp",
+                static_cast<int64_t>(out.warmupThresholdMkp), 1,
+                1000));
+        } else {
+            const auto it = observerRegistry().find(name);
+            if (it == observerRegistry().end()) {
+                error = "unknown analysis observer '" + name +
+                        "' (known: ";
+                bool first = true;
+                for (const auto& known : registeredRunObservers()) {
+                    error += (first ? "" : ", ") + known;
+                    first = false;
+                }
+                error += ")";
+                return false;
+            }
+            // Probe-construct so a sweep worker can't hit a bad
+            // observer spec mid-grid (mirrors predictor validation).
+            std::string factory_error;
+            auto probe = it->second(params, factory_error);
+            if (!probe) {
+                error = "analysis spec '" + item + "': " +
+                        (factory_error.empty() ? "observer construction failed"
+                                               : factory_error);
+                return false;
+            }
+            if (!checkConsumed(item, params, error))
+                return false;
+            out.custom.push_back(toLower(item));
+            continue;
+        }
+        if (!checkConsumed(item, params, error))
+            return false;
+    }
+    return true;
+}
+
+ObserverList
+buildObservers(const AnalysisConfig& config)
+{
+    ObserverList observers;
+    if (config.intervals)
+        observers.push_back(
+            std::make_unique<IntervalObserver>(config.intervalLength));
+    if (config.histogram)
+        observers.push_back(
+            std::make_unique<ConfidenceHistogramObserver>());
+    if (config.perBranch)
+        observers.push_back(
+            std::make_unique<PerBranchObserver>(config.perBranchTopN));
+    if (config.warmup)
+        observers.push_back(std::make_unique<WarmupObserver>(
+            config.warmupIntervalLength, config.warmupThresholdMkp));
+
+    for (const auto& item : config.custom) {
+        std::string name;
+        SpecParams params;
+        std::string error;
+        if (!splitObserverSpec(item, name, params, error))
+            fatal("buildObservers: " + error);
+        const auto it = observerRegistry().find(name);
+        if (it == observerRegistry().end())
+            fatal("buildObservers: observer '" + name +
+                  "' is no longer registered");
+        auto observer = it->second(params, error);
+        if (!observer)
+            fatal("buildObservers: " + error);
+        observers.push_back(std::move(observer));
+    }
+    return observers;
+}
+
+void
+registerRunObserver(const std::string& name, RunObserverFactory factory)
+{
+    const std::string key = toLower(name);
+    TAGECON_ASSERT(!isBuiltin(key),
+                   "cannot replace a built-in observer");
+    observerRegistry()[key] = std::move(factory);
+}
+
+std::vector<std::string>
+registeredRunObservers()
+{
+    std::vector<std::string> names(std::begin(kBuiltinNames),
+                                   std::end(kBuiltinNames));
+    for (const auto& [name, factory] : observerRegistry())
+        names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace tagecon

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Declarative selection of run-analysis observers, mirroring the
+ * predictor and trace registries: a comma-separated list of observer
+ * specs — "intervals:len=100000,histogram,perbranch:top=32,
+ * warmup:len=10000,mkp=20" — parses into a plain-data AnalysisConfig,
+ * and buildObservers() constructs a fresh pipeline from it per run.
+ *
+ * Because the config is pure data (no live observer state), a
+ * SweepPlan can carry it into every cell and each worker builds its
+ * own independent observers — parallel sweeps with analysis attached
+ * stay bit-identical to serial ones.
+ *
+ * Out-of-tree observers plug in through registerRunObserver(): a
+ * registered name becomes a valid spec token whose factory receives
+ * the token's "key=value" parameters.
+ */
+
+#ifndef TAGECON_ANALYSIS_ANALYSIS_CONFIG_HPP
+#define TAGECON_ANALYSIS_ANALYSIS_CONFIG_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/run_observer.hpp"
+#include "sim/spec_params.hpp"
+
+namespace tagecon {
+
+/** Which observers a run attaches, with their parameters. */
+struct AnalysisConfig {
+    /** IntervalObserver ("intervals", param len). */
+    bool intervals = false;
+    uint64_t intervalLength = 100000;
+
+    /** ConfidenceHistogramObserver ("histogram"). */
+    bool histogram = false;
+
+    /** PerBranchObserver ("perbranch", param top). */
+    bool perBranch = false;
+    uint64_t perBranchTopN = 16;
+
+    /** WarmupObserver ("warmup", params len and mkp). */
+    bool warmup = false;
+    uint64_t warmupIntervalLength = 10000;
+    double warmupThresholdMkp = 20.0;
+
+    /** Registered out-of-tree observer specs, in attach order. */
+    std::vector<std::string> custom;
+
+    /** True when any observer is selected. */
+    bool
+    enabled() const
+    {
+        return intervals || histogram || perBranch || warmup ||
+               !custom.empty();
+    }
+};
+
+/**
+ * Parse observer spec items (each "name[:key=value,...]") into
+ * @p out, accumulating built-in selections and registered custom
+ * names. Returns false on an unknown observer, malformed parameter
+ * list, unknown key or out-of-range value, with the reason in
+ * @p error. Items typically come from a comma-split --analysis flag
+ * run through regroupSpecList() so parameterized tokens survive.
+ */
+bool parseAnalysisSpecs(const std::vector<std::string>& items,
+                        AnalysisConfig& out, std::string& error);
+
+/** Construct a fresh observer pipeline described by @p config. */
+ObserverList buildObservers(const AnalysisConfig& config);
+
+/**
+ * Factory for a registered observer. @p params is the spec token's
+ * "key=value" list (read supported keys through the typed getters;
+ * unread keys reject the spec). Return nullptr with @p error set to
+ * reject construction.
+ */
+using RunObserverFactory = std::function<std::unique_ptr<RunObserver>(
+    const SpecParams& params, std::string& error)>;
+
+/**
+ * Register (or replace) an observer under @p name, making it valid in
+ * analysis spec lists. The built-in names (intervals, histogram,
+ * perbranch, warmup) cannot be replaced.
+ */
+void registerRunObserver(const std::string& name,
+                         RunObserverFactory factory);
+
+/** All selectable observer names (built-ins + registered), sorted. */
+std::vector<std::string> registeredRunObservers();
+
+} // namespace tagecon
+
+#endif // TAGECON_ANALYSIS_ANALYSIS_CONFIG_HPP

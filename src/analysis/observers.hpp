@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The built-in run-analysis observers:
+ *
+ *  - IntervalObserver            windowed per-class statistics (wraps
+ *                                sim's IntervalRecorder) — the
+ *                                time-local view of Sec. 5.1
+ *  - ConfidenceHistogramObserver per-class / per-level counter and
+ *                                taken-direction distributions
+ *  - PerBranchObserver           per-PC accuracy profiles with a
+ *                                bounded hard-to-predict top-N table
+ *  - WarmupObserver              first-interval-below-threshold
+ *                                warming-phase detection
+ *
+ * Construct them directly, or declaratively through AnalysisConfig /
+ * buildObservers() (analysis/analysis_config.hpp).
+ */
+
+#ifndef TAGECON_ANALYSIS_OBSERVERS_HPP
+#define TAGECON_ANALYSIS_OBSERVERS_HPP
+
+#include <unordered_map>
+
+#include "analysis/run_observer.hpp"
+#include "sim/interval_stats.hpp"
+
+namespace tagecon {
+
+/**
+ * Splits the stream into fixed-length windows and keeps a ClassStats
+ * per window (IntervalRecorder behind the observer interface). The
+ * partial tail window, when any, is appended after the complete ones.
+ */
+class IntervalObserver : public RunObserver
+{
+  public:
+    /** @param interval_length Predictions per interval; must be > 0. */
+    explicit IntervalObserver(uint64_t interval_length)
+        : recorder_(interval_length)
+    {
+    }
+
+    std::string name() const override { return "intervals"; }
+
+    void
+    onPrediction(const ObservedPrediction& o) override
+    {
+        recorder_.record(o.prediction.cls, o.mispredicted,
+                         o.instructions);
+    }
+
+    void finish(RunAnalysis& out) override;
+
+    /** The wrapped recorder (read-only, for incremental inspection). */
+    const IntervalRecorder& recorder() const { return recorder_; }
+
+  private:
+    IntervalRecorder recorder_;
+};
+
+/**
+ * Per-class and per-level prediction / misprediction counters with the
+ * predicted-taken split. Class and level totals are the run's
+ * ClassStats totals by construction.
+ */
+class ConfidenceHistogramObserver : public RunObserver
+{
+  public:
+    std::string name() const override { return "histogram"; }
+
+    void
+    onPrediction(const ObservedPrediction& o) override
+    {
+        const size_t ci = classIndex(o.prediction.cls);
+        const size_t li = levelIndex(o.prediction.confidence);
+        ++histogram_.predictions[ci];
+        ++histogram_.levelPredictions[li];
+        if (o.prediction.taken)
+            ++histogram_.takenPredictions[ci];
+        if (o.mispredicted) {
+            ++histogram_.mispredictions[ci];
+            ++histogram_.levelMispredictions[li];
+            if (o.prediction.taken)
+                ++histogram_.takenMispredictions[ci];
+        }
+    }
+
+    void finish(RunAnalysis& out) override;
+
+    /** The histogram accumulated so far. */
+    const ConfidenceHistogram& histogram() const { return histogram_; }
+
+  private:
+    ConfidenceHistogram histogram_;
+};
+
+/**
+ * Per-static-branch accuracy profiles. The full per-PC map is kept
+ * during the run; finish() distills it into the bounded top-N
+ * hard-to-predict table ordered by (mispredictions desc, predictions
+ * asc, pc asc) — a total order, so output is deterministic whatever
+ * the hash-map iteration order.
+ */
+class PerBranchObserver : public RunObserver
+{
+  public:
+    /** @param top_n Rows kept in the hard-to-predict table. */
+    explicit PerBranchObserver(uint64_t top_n = 16) : topN_(top_n) {}
+
+    std::string name() const override { return "perbranch"; }
+
+    void
+    onPrediction(const ObservedPrediction& o) override
+    {
+        Counts& c = branches_[o.pc];
+        ++c.predictions;
+        if (o.mispredicted)
+            ++c.mispredictions;
+    }
+
+    void finish(RunAnalysis& out) override;
+
+    /** Distinct PCs seen so far. */
+    uint64_t distinctBranches() const { return branches_.size(); }
+
+  private:
+    struct Counts {
+        uint64_t predictions = 0;
+        uint64_t mispredictions = 0;
+    };
+
+    uint64_t topN_;
+    std::unordered_map<uint64_t, Counts> branches_;
+};
+
+/**
+ * Warming-phase detector: watches the misprediction rate of
+ * fixed-length intervals and reports the first complete interval whose
+ * rate falls below the threshold — the storage-free proxy for "the
+ * predictor has warmed" that Sec. 5.1 attributes the early BIM-class
+ * mispredictions to.
+ */
+class WarmupObserver : public RunObserver
+{
+  public:
+    /**
+     * @param interval_length Predictions per detection interval (> 0).
+     * @param threshold_mkp   Warm threshold in misp/kilo-prediction.
+     */
+    WarmupObserver(uint64_t interval_length, double threshold_mkp);
+
+    std::string name() const override { return "warmup"; }
+
+    void onPrediction(const ObservedPrediction& o) override;
+
+    void finish(RunAnalysis& out) override;
+
+  private:
+    void closeInterval();
+
+    uint64_t length_;
+    double thresholdMkp_;
+
+    uint64_t inCurrent_ = 0;
+    uint64_t currentMisses_ = 0;
+    uint64_t completed_ = 0;
+
+    bool converged_ = false;
+    uint64_t warmupIntervals_ = 0;
+    double firstIntervalMkp_ = 0.0;
+    double convergedIntervalMkp_ = 0.0;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_ANALYSIS_OBSERVERS_HPP

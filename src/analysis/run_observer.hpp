@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The run-analysis observer interface. runTrace() feeds every graded,
+ * resolved prediction to the observers attached to the run; each
+ * observer accumulates its own view and writes it into the run's
+ * RunAnalysis bag when the trace ends.
+ *
+ * Observers see the stream *after* grading but *before* the
+ * predictor's update for that branch — the same point the run's
+ * ClassStats are recorded at — so every observer total is consistent
+ * with the whole-trace statistics by construction.
+ *
+ * Built-in observers live in analysis/observers.hpp; selection and
+ * construction go through AnalysisConfig (analysis/analysis_config.hpp)
+ * so a sweep cell can build a fresh, independent pipeline per run —
+ * the property that keeps parallel sweeps bit-identical to serial.
+ */
+
+#ifndef TAGECON_ANALYSIS_RUN_OBSERVER_HPP
+#define TAGECON_ANALYSIS_RUN_OBSERVER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/run_analysis.hpp"
+#include "core/graded_predictor.hpp"
+
+namespace tagecon {
+
+/** One graded, resolved prediction as delivered to observers. */
+struct ObservedPrediction {
+    /** Branch address. */
+    uint64_t pc = 0;
+
+    /** The grade the predictor produced at predict time. */
+    Prediction prediction;
+
+    /** Resolved direction. */
+    bool taken = false;
+
+    /** prediction.taken != taken. */
+    bool mispredicted = false;
+
+    /** Instructions retired by this record (non-branch preds + 1). */
+    uint64_t instructions = 0;
+
+    /** 0-based position in the branch stream. */
+    uint64_t index = 0;
+};
+
+/**
+ * A pluggable consumer of the graded prediction stream. Implementations
+ * must be deterministic functions of the stream alone (no clocks, no
+ * global state): one observer instance observes exactly one run.
+ */
+class RunObserver
+{
+  public:
+    virtual ~RunObserver() = default;
+
+    /** Observer name (the token it is selected by). */
+    virtual std::string name() const = 0;
+
+    /** Observe one graded, resolved prediction, in stream order. */
+    virtual void onPrediction(const ObservedPrediction& o) = 0;
+
+    /**
+     * The trace ended: write this observer's results into @p out.
+     * Called exactly once, after the last onPrediction().
+     */
+    virtual void finish(RunAnalysis& out) = 0;
+};
+
+/** An observer pipeline: fed in order, finished in order. */
+using ObserverList = std::vector<std::unique_ptr<RunObserver>>;
+
+} // namespace tagecon
+
+#endif // TAGECON_ANALYSIS_RUN_OBSERVER_HPP

@@ -54,6 +54,59 @@ runTrace(TraceSource& trace, GradedPredictor& predictor)
     return result;
 }
 
+RunResult
+runTrace(TraceSource& trace, GradedPredictor& predictor,
+         ObserverList& observers)
+{
+    // Zero-cost when absent: the plain loop carries no observer
+    // dispatch at all, and the micro-bench gate holds trivially.
+    if (observers.empty())
+        return runTrace(trace, predictor);
+
+    RunResult result;
+    result.traceName = trace.name();
+    result.configName = predictor.name();
+
+    BranchRecord rec;
+    uint64_t index = 0;
+    while (trace.next(rec)) {
+        const Prediction p = predictor.predict(rec.pc);
+        const bool mispredicted = p.taken != rec.taken;
+        const uint64_t instructions =
+            uint64_t{rec.instructionsBefore} + 1;
+
+        result.stats.record(p.cls, mispredicted, instructions);
+        result.confusion.record(
+            p.confidence == ConfidenceLevel::High, !mispredicted);
+
+        const ObservedPrediction observed{
+            rec.pc, p, rec.taken, mispredicted, instructions, index};
+        for (auto& observer : observers)
+            observer->onPrediction(observed);
+
+        predictor.update(rec.pc, p, rec.taken);
+        ++index;
+    }
+
+    for (auto& observer : observers)
+        observer->finish(result.analysis);
+
+    result.finalLog2Prob = predictor.satLog2Prob();
+    result.allocations = predictor.allocations();
+    result.storageBits = predictor.storageBits();
+    return result;
+}
+
+RunResult
+runTrace(TraceSource& trace, GradedPredictor& predictor,
+         const AnalysisConfig& analysis)
+{
+    if (!analysis.enabled())
+        return runTrace(trace, predictor);
+    ObserverList observers = buildObservers(analysis);
+    return runTrace(trace, predictor, observers);
+}
+
 SetResult
 runBenchmarkSet(BenchmarkSet set, const std::string& spec,
                 uint64_t branches_per_trace, uint64_t seed_salt)

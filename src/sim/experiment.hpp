@@ -17,6 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis_config.hpp"
+#include "analysis/run_analysis.hpp"
+#include "analysis/run_observer.hpp"
 #include "core/adaptive_probability.hpp"
 #include "core/binary_metrics.hpp"
 #include "core/class_stats.hpp"
@@ -69,6 +72,12 @@ struct RunResult {
 
     /** Predictor storage in bits, including any attached estimator. */
     uint64_t storageBits = 0;
+
+    /**
+     * Results of the run-analysis observers attached to the run
+     * (empty for plain runs, which stay on the zero-overhead loop).
+     */
+    RunAnalysis analysis;
 };
 
 /** Outcome of simulating a whole benchmark set. */
@@ -95,6 +104,24 @@ struct SetResult {
  * single generic loop every experiment goes through.
  */
 RunResult runTrace(TraceSource& trace, GradedPredictor& predictor);
+
+/**
+ * Like runTrace() but with a run-analysis pipeline attached: every
+ * graded, resolved prediction is fed to @p observers (in list order,
+ * after the run statistics are recorded, before the predictor's
+ * update), and each observer's results land in RunResult::analysis.
+ * An empty list delegates to the plain zero-overhead loop.
+ */
+RunResult runTrace(TraceSource& trace, GradedPredictor& predictor,
+                   ObserverList& observers);
+
+/**
+ * Like runTrace() but building the observer pipeline described by
+ * @p analysis fresh for this run. A disabled config delegates to the
+ * plain zero-overhead loop.
+ */
+RunResult runTrace(TraceSource& trace, GradedPredictor& predictor,
+                   const AnalysisConfig& analysis);
 
 /**
  * Simulate every trace of @p set on a fresh registry-built @p spec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 #include "sim/registry.hpp"
@@ -43,6 +44,10 @@ SweepPlan::validate(std::string* error)
         err = "sweep plan names no traces";
     else if (branchesPerTrace == 0)
         err = "sweep plan generates zero branches per trace";
+    else if (analysis.intervals && analysis.intervalLength == 0)
+        err = "analysis interval length must be positive";
+    else if (analysis.warmup && analysis.warmupIntervalLength == 0)
+        err = "warmup interval length must be positive";
 
     for (auto& spec : specs) {
         if (!err.empty())
@@ -66,6 +71,12 @@ SweepPlan::validate(std::string* error)
         if (!validateTraceSpec(spec, &err))
             break;
     }
+    if (err.empty() && !analysis.custom.empty()) {
+        // Probe registered observers so workers can't hit an
+        // unconstructible one mid-sweep.
+        AnalysisConfig probe;
+        parseAnalysisSpecs(analysis.custom, probe, err);
+    }
 
     if (!err.empty()) {
         if (error)
@@ -83,8 +94,8 @@ SweepPlan::cells() const
     cells.reserve(cellCount());
     for (const auto& spec : specs) {
         for (const auto& trace : traces)
-            cells.push_back(
-                SweepCell{spec, trace, branchesPerTrace, seedSalt});
+            cells.push_back(SweepCell{spec, trace, branchesPerTrace,
+                                      seedSalt, analysis});
     }
     return cells;
 }
@@ -98,7 +109,9 @@ runSweepCell(const SweepCell& cell)
     auto trace =
         makeTraceSource(cell.trace, cell.branches, cell.seedSalt);
     auto predictor = makePredictor(cell.spec);
-    return runTrace(*trace, *predictor);
+    // A fresh observer pipeline per cell: analysis output is a pure
+    // function of the cell, whatever thread runs it.
+    return runTrace(*trace, *predictor, cell.analysis);
 }
 
 std::vector<RunResult>
@@ -116,9 +129,26 @@ runSweep(SweepPlan plan, const SweepOptions& opt)
                       : std::max(1u, std::thread::hardware_concurrency());
     jobs = std::min(jobs, cells.size());
 
+    // Progress callbacks are serialized under one mutex so a consumer
+    // printing lines never interleaves; the completed count is owned
+    // by the same mutex. No-op (and cost-free) when unset.
+    std::mutex progress_mutex;
+    size_t completed = 0;
+    auto report_progress = [&](size_t i) {
+        if (!opt.onProgress)
+            return;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        ++completed;
+        const SweepProgress progress{completed, cells.size(),
+                                     &cells[i], &results[i]};
+        opt.onProgress(progress);
+    };
+
     if (jobs <= 1) {
-        for (size_t i = 0; i < cells.size(); ++i)
+        for (size_t i = 0; i < cells.size(); ++i) {
             results[i] = runSweepCell(cells[i]);
+            report_progress(i);
+        }
         return results;
     }
 
@@ -127,8 +157,10 @@ runSweep(SweepPlan plan, const SweepOptions& opt)
     std::atomic<size_t> next{0};
     auto worker = [&] {
         for (size_t i = next.fetch_add(1); i < cells.size();
-             i = next.fetch_add(1))
+             i = next.fetch_add(1)) {
             results[i] = runSweepCell(cells[i]);
+            report_progress(i);
+        }
     };
     std::vector<std::thread> pool;
     pool.reserve(jobs);

@@ -27,6 +27,7 @@
 #define TAGECON_SIM_SWEEP_HPP
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,13 @@ struct SweepCell {
 
     /** Seed salt applied to the trace's profile seed (synthetic only). */
     uint64_t seedSalt = 0;
+
+    /**
+     * Run-analysis observers to attach. Pure data: the worker builds a
+     * fresh pipeline from it per cell, so observer state is never
+     * shared and analysis output stays bit-identical at any --jobs.
+     */
+    AnalysisConfig analysis;
 };
 
 /** A (specs x traces) grid with shared branch count and seed salt. */
@@ -67,6 +75,9 @@ struct SweepPlan {
 
     /** Seed salt applied to every cell's trace generation. */
     uint64_t seedSalt = 0;
+
+    /** Run-analysis observers attached to every cell. */
+    AnalysisConfig analysis;
 
     /** Convenience builder for the common literal case. */
     static SweepPlan over(std::vector<std::string> specs,
@@ -110,10 +121,35 @@ struct SweepPlan {
     std::vector<SweepCell> cells() const;
 };
 
+/** Progress of a running sweep, as delivered to onProgress. */
+struct SweepProgress {
+    /** Cells finished so far (including this one). */
+    size_t completed = 0;
+
+    /** Total cells in the plan. */
+    size_t total = 0;
+
+    /** The cell that just finished. */
+    const SweepCell* cell = nullptr;
+
+    /** Its result (valid for the duration of the callback). */
+    const RunResult* result = nullptr;
+};
+
 /** Execution knobs of a sweep. */
 struct SweepOptions {
     /** Worker threads; 0 means hardware concurrency. */
     unsigned jobs = 1;
+
+    /**
+     * Per-cell completion callback for long grids. Invoked under an
+     * internal mutex (never concurrently) after each cell finishes,
+     * from whichever worker ran the cell; completion order is
+     * scheduling-dependent, so treat it as progress reporting only —
+     * results themselves are returned in canonical plan order.
+     * Leave empty (the default) for zero overhead.
+     */
+    std::function<void(const SweepProgress&)> onProgress;
 };
 
 /** Run one cell: fresh trace + fresh predictor through runTrace(). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <locale>
 #include <ostream>
 #include <sstream>
 
@@ -126,10 +127,23 @@ TextTable::toString() const
     return os.str();
 }
 
+std::vector<std::vector<std::string>>
+TextTable::dataRows() const
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(rows_.size());
+    for (const auto& r : rows_) {
+        if (!r.separator)
+            rows.push_back(r.cells);
+    }
+    return rows;
+}
+
 std::string
 TextTable::num(double v, int decimals)
 {
     std::ostringstream os;
+    os.imbue(std::locale::classic());
     os << std::fixed << std::setprecision(decimals) << v;
     return os.str();
 }

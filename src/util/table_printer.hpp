@@ -39,6 +39,15 @@ class TextTable
     /** Number of data rows (separators excluded). */
     size_t rows() const;
 
+    /** Declared column headers, in order. */
+    const std::vector<std::string>& headers() const { return headers_; }
+
+    /**
+     * The data rows (separators excluded), each padded to the column
+     * count — the structured view the report emitters serialize.
+     */
+    std::vector<std::vector<std::string>> dataRows() const;
+
     /** Render with aligned columns into @p os. */
     void render(std::ostream& os) const;
 
@@ -48,7 +57,12 @@ class TextTable
     /** Convenience: render() into a string. */
     std::string toString() const;
 
-    /** Format a double with @p decimals fractional digits. */
+    /**
+     * Format a double with @p decimals fractional digits. The single
+     * low-level float formatter of the repository: always the classic
+     * "C" locale ('.' decimal point, no grouping), whatever the global
+     * locale — table and report output never drifts with the host.
+     */
     static std::string num(double v, int decimals = 2);
 
     /** Format a fraction (e.g. coverage) as 0.xxx with 3 digits. */

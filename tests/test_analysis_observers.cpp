@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the run-analysis observer subsystem: interval boundary
+ * handling, histogram/ClassStats consistency, per-branch top-N
+ * tie-breaking determinism, warmup detection, the analysis spec
+ * grammar and the custom-observer registry, and the zero-observer
+ * equivalence of the observer-enabled runTrace loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/analysis_config.hpp"
+#include "analysis/observers.hpp"
+#include "sim/experiment.hpp"
+#include "sim/registry.hpp"
+#include "trace/profiles.hpp"
+
+namespace tagecon {
+namespace {
+
+/** Feed a synthetic ObservedPrediction directly to an observer. */
+ObservedPrediction
+observed(uint64_t pc, PredictionClass cls, bool mispredicted,
+         uint64_t index = 0, bool taken = true)
+{
+    ObservedPrediction o;
+    o.pc = pc;
+    o.prediction.taken = taken;
+    o.prediction.cls = cls;
+    o.prediction.confidence = confidenceLevel(cls);
+    o.taken = mispredicted ? !taken : taken;
+    o.mispredicted = mispredicted;
+    o.instructions = 1;
+    o.index = index;
+    return o;
+}
+
+TEST(IntervalObserver, SplitsStreamAtExactBoundaries)
+{
+    IntervalObserver obs(10);
+    for (uint64_t i = 0; i < 30; ++i)
+        obs.onPrediction(observed(0x100 + i % 4,
+                                  PredictionClass::HighConfBim,
+                                  i % 5 == 0, i));
+    RunAnalysis bag;
+    obs.finish(bag);
+    ASSERT_TRUE(bag.intervals.has_value());
+    const IntervalAnalysis& ia = *bag.intervals;
+    EXPECT_EQ(ia.intervalLength, 10u);
+    EXPECT_EQ(ia.completeIntervals, 3u);
+    EXPECT_FALSE(ia.hasPartialTail());
+    ASSERT_EQ(ia.intervals.size(), 3u);
+    for (const ClassStats& s : ia.intervals)
+        EXPECT_EQ(s.totalPredictions(), 10u);
+    // 30 records, every 5th mispredicted: 6 in total, 2 per interval.
+    for (const ClassStats& s : ia.intervals)
+        EXPECT_EQ(s.totalMispredictions(), 2u);
+}
+
+TEST(IntervalObserver, AppendsPartialTailAfterCompleteIntervals)
+{
+    IntervalObserver obs(8);
+    for (uint64_t i = 0; i < 21; ++i)
+        obs.onPrediction(
+            observed(0x40, PredictionClass::Stag, false, i));
+    RunAnalysis bag;
+    obs.finish(bag);
+    const IntervalAnalysis& ia = *bag.intervals;
+    EXPECT_EQ(ia.completeIntervals, 2u);
+    ASSERT_EQ(ia.intervals.size(), 3u);
+    EXPECT_TRUE(ia.hasPartialTail());
+    EXPECT_EQ(ia.intervals.back().totalPredictions(), 5u);
+}
+
+TEST(IntervalObserver, LengthOneMakesEveryPredictionAnInterval)
+{
+    IntervalObserver obs(1);
+    for (uint64_t i = 0; i < 4; ++i)
+        obs.onPrediction(
+            observed(0x40, PredictionClass::Wtag, i == 2, i));
+    RunAnalysis bag;
+    obs.finish(bag);
+    ASSERT_EQ(bag.intervals->intervals.size(), 4u);
+    EXPECT_EQ(bag.intervals->completeIntervals, 4u);
+    EXPECT_EQ(bag.intervals->intervals[2].totalMispredictions(), 1u);
+}
+
+// The acceptance property of the histogram: totals must equal the
+// run's ClassStats, class by class and level by level, on a real run.
+TEST(ConfidenceHistogramObserver, TotalsMatchClassStatsOnRealRun)
+{
+    SyntheticTrace trace = makeTrace("SERV-1", 20000);
+    auto predictor = makePredictor("tage16k+sfc");
+    AnalysisConfig cfg;
+    cfg.histogram = true;
+    const RunResult rr = runTrace(trace, *predictor, cfg);
+
+    ASSERT_TRUE(rr.analysis.histogram.has_value());
+    const ConfidenceHistogram& h = *rr.analysis.histogram;
+    EXPECT_EQ(h.totalPredictions(), rr.stats.totalPredictions());
+    EXPECT_EQ(h.totalMispredictions(), rr.stats.totalMispredictions());
+    for (const auto c : kAllPredictionClasses) {
+        EXPECT_EQ(h.predictions[classIndex(c)], rr.stats.predictions(c));
+        EXPECT_EQ(h.mispredictions[classIndex(c)],
+                  rr.stats.mispredictions(c));
+        // The taken split partitions each class's counts.
+        EXPECT_LE(h.takenPredictions[classIndex(c)],
+                  h.predictions[classIndex(c)]);
+        EXPECT_LE(h.takenMispredictions[classIndex(c)],
+                  h.mispredictions[classIndex(c)]);
+    }
+    for (const auto l : kAllConfidenceLevels) {
+        EXPECT_EQ(h.levelPredictions[levelIndex(l)],
+                  rr.stats.predictions(l));
+        EXPECT_EQ(h.levelMispredictions[levelIndex(l)],
+                  rr.stats.mispredictions(l));
+    }
+}
+
+TEST(PerBranchObserver, TopTableOrderedAndBounded)
+{
+    PerBranchObserver obs(2);
+    // pc 0xA: 4 predictions, 3 misses; 0xB: 2/2; 0xC: 10/1.
+    for (int i = 0; i < 4; ++i)
+        obs.onPrediction(
+            observed(0xA, PredictionClass::Wtag, i < 3));
+    for (int i = 0; i < 2; ++i)
+        obs.onPrediction(observed(0xB, PredictionClass::Wtag, true));
+    for (int i = 0; i < 10; ++i)
+        obs.onPrediction(
+            observed(0xC, PredictionClass::Wtag, i == 0));
+    RunAnalysis bag;
+    obs.finish(bag);
+    ASSERT_TRUE(bag.perBranch.has_value());
+    const PerBranchAnalysis& pa = *bag.perBranch;
+    EXPECT_EQ(pa.distinctBranches, 3u);
+    EXPECT_EQ(pa.requestedTopN, 2u);
+    ASSERT_EQ(pa.top.size(), 2u);
+    EXPECT_EQ(pa.top[0].pc, 0xAu); // 3 misses beats 2 and 1
+    EXPECT_EQ(pa.top[1].pc, 0xBu);
+    EXPECT_DOUBLE_EQ(pa.top[0].mprateMkp(), 750.0);
+}
+
+TEST(PerBranchObserver, TieBreaksDeterministically)
+{
+    // Same misprediction count everywhere: fewer predictions (higher
+    // rate) wins; identical profiles fall back to ascending pc.
+    PerBranchObserver obs(3);
+    for (const uint64_t pc : {0x30, 0x10, 0x20}) {
+        obs.onPrediction(observed(pc, PredictionClass::Wtag, true));
+        obs.onPrediction(observed(pc, PredictionClass::Wtag, false));
+    }
+    obs.onPrediction(observed(0x40, PredictionClass::Wtag, true));
+    RunAnalysis bag;
+    obs.finish(bag);
+    const auto& top = bag.perBranch->top;
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].pc, 0x40u); // 1 miss / 1 pred: highest rate
+    EXPECT_EQ(top[1].pc, 0x10u); // then ascending pc among equals
+    EXPECT_EQ(top[2].pc, 0x20u);
+}
+
+TEST(WarmupObserver, DetectsFirstIntervalBelowThreshold)
+{
+    // Interval length 10, threshold 150 MKP: intervals with 3, 2 and
+    // 1 misses run at 300, 200 and 100 MKP — converges at interval 2.
+    WarmupObserver obs(10, 150.0);
+    uint64_t index = 0;
+    for (const int misses : {3, 2, 1, 0}) {
+        for (int i = 0; i < 10; ++i)
+            obs.onPrediction(observed(0x100,
+                                      PredictionClass::HighConfBim,
+                                      i < misses, index++));
+    }
+    RunAnalysis bag;
+    obs.finish(bag);
+    ASSERT_TRUE(bag.warmup.has_value());
+    const WarmupAnalysis& wa = *bag.warmup;
+    EXPECT_TRUE(wa.converged);
+    EXPECT_EQ(wa.warmupIntervals, 2u);
+    EXPECT_EQ(wa.warmupBranches, 20u);
+    EXPECT_DOUBLE_EQ(wa.firstIntervalMkp, 300.0);
+    EXPECT_DOUBLE_EQ(wa.convergedIntervalMkp, 100.0);
+}
+
+TEST(WarmupObserver, ReportsNonConvergenceAndIgnoresPartialTail)
+{
+    WarmupObserver obs(10, 50.0);
+    // One complete interval at 100 MKP, then a hot partial tail.
+    for (uint64_t i = 0; i < 14; ++i)
+        obs.onPrediction(observed(0x100,
+                                  PredictionClass::HighConfBim,
+                                  i % 10 == 0, i));
+    RunAnalysis bag;
+    obs.finish(bag);
+    EXPECT_FALSE(bag.warmup->converged);
+    EXPECT_EQ(bag.warmup->warmupIntervals, 0u);
+    EXPECT_DOUBLE_EQ(bag.warmup->firstIntervalMkp, 100.0);
+}
+
+TEST(AnalysisConfig, ParsesSpecListWithParameters)
+{
+    AnalysisConfig cfg;
+    std::string error;
+    ASSERT_TRUE(parseAnalysisSpecs(
+        {"Intervals:len=5000", "histogram", "perbranch:top=8",
+         "warmup:len=2000,mkp=30"},
+        cfg, error))
+        << error;
+    EXPECT_TRUE(cfg.intervals);
+    EXPECT_EQ(cfg.intervalLength, 5000u);
+    EXPECT_TRUE(cfg.histogram);
+    EXPECT_TRUE(cfg.perBranch);
+    EXPECT_EQ(cfg.perBranchTopN, 8u);
+    EXPECT_TRUE(cfg.warmup);
+    EXPECT_EQ(cfg.warmupIntervalLength, 2000u);
+    EXPECT_DOUBLE_EQ(cfg.warmupThresholdMkp, 30.0);
+
+    const ObserverList observers = buildObservers(cfg);
+    EXPECT_EQ(observers.size(), 4u);
+}
+
+TEST(AnalysisConfig, RejectsUnknownObserversKeysAndBadValues)
+{
+    AnalysisConfig cfg;
+    std::string error;
+    EXPECT_FALSE(parseAnalysisSpecs({"nope"}, cfg, error));
+    EXPECT_NE(error.find("unknown analysis observer"),
+              std::string::npos);
+
+    EXPECT_FALSE(parseAnalysisSpecs({"intervals:nope=3"}, cfg, error));
+    EXPECT_NE(error.find("unknown parameter"), std::string::npos);
+
+    EXPECT_FALSE(parseAnalysisSpecs({"intervals:len=0"}, cfg, error));
+    EXPECT_FALSE(
+        parseAnalysisSpecs({"perbranch:top=banana"}, cfg, error));
+    EXPECT_FALSE(parseAnalysisSpecs({"warmup:mkp=0"}, cfg, error));
+}
+
+/** Toy registered observer: counts predictions into the custom bag. */
+class CountingObserver : public RunObserver
+{
+  public:
+    explicit CountingObserver(int64_t scale) : scale_(scale) {}
+    std::string name() const override { return "counting"; }
+
+    void
+    onPrediction(const ObservedPrediction&) override
+    {
+        ++count_;
+    }
+
+    void
+    finish(RunAnalysis& out) override
+    {
+        out.custom["counting/scaled"] =
+            static_cast<double>(count_ * scale_);
+    }
+
+  private:
+    int64_t scale_;
+    uint64_t count_ = 0;
+};
+
+TEST(AnalysisConfig, RegisteredObserverFlowsThroughPipeline)
+{
+    registerRunObserver(
+        "counting",
+        [](const SpecParams& params,
+           std::string& error) -> std::unique_ptr<RunObserver> {
+            const int64_t scale = params.getInt("scale", 1, 1, 100);
+            if (!params.error().empty()) {
+                error = params.error();
+                return nullptr;
+            }
+            return std::make_unique<CountingObserver>(scale);
+        });
+
+    AnalysisConfig cfg;
+    std::string error;
+    ASSERT_TRUE(
+        parseAnalysisSpecs({"counting:scale=3"}, cfg, error))
+        << error;
+    ASSERT_EQ(cfg.custom.size(), 1u);
+
+    SyntheticTrace trace = makeTrace("FP-1", 5000);
+    auto predictor = makePredictor("bimodal");
+    const RunResult rr = runTrace(trace, *predictor, cfg);
+    ASSERT_EQ(rr.analysis.custom.count("counting/scaled"), 1u);
+    EXPECT_DOUBLE_EQ(rr.analysis.custom.at("counting/scaled"),
+                     15000.0);
+
+    // A bad parameter for the registered observer is caught at parse.
+    AnalysisConfig bad;
+    EXPECT_FALSE(
+        parseAnalysisSpecs({"counting:scale=0"}, bad, error));
+}
+
+TEST(RunTraceObservers, EmptyPipelineMatchesPlainLoopExactly)
+{
+    SyntheticTrace t1 = makeTrace("MM-2", 15000);
+    auto p1 = makePredictor("tage16k+sfc");
+    const RunResult plain = runTrace(t1, *p1);
+
+    SyntheticTrace t2 = makeTrace("MM-2", 15000);
+    auto p2 = makePredictor("tage16k+sfc");
+    const RunResult empty_cfg = runTrace(t2, *p2, AnalysisConfig{});
+
+    EXPECT_TRUE(empty_cfg.analysis.empty());
+    EXPECT_EQ(plain.stats.totalPredictions(),
+              empty_cfg.stats.totalPredictions());
+    EXPECT_EQ(plain.stats.totalMispredictions(),
+              empty_cfg.stats.totalMispredictions());
+    EXPECT_EQ(plain.allocations, empty_cfg.allocations);
+}
+
+TEST(RunTraceObservers, AttachedObserversDoNotPerturbTheRun)
+{
+    SyntheticTrace t1 = makeTrace("SERV-3", 15000);
+    auto p1 = makePredictor("tage64k+prob7+sfc");
+    const RunResult plain = runTrace(t1, *p1);
+
+    AnalysisConfig cfg;
+    cfg.intervals = true;
+    cfg.intervalLength = 3000;
+    cfg.histogram = true;
+    cfg.perBranch = true;
+    cfg.warmup = true;
+    cfg.warmupIntervalLength = 1000;
+    SyntheticTrace t2 = makeTrace("SERV-3", 15000);
+    auto p2 = makePredictor("tage64k+prob7+sfc");
+    const RunResult with = runTrace(t2, *p2, cfg);
+
+    EXPECT_EQ(plain.stats.totalPredictions(),
+              with.stats.totalPredictions());
+    EXPECT_EQ(plain.stats.totalMispredictions(),
+              with.stats.totalMispredictions());
+    EXPECT_EQ(plain.stats.instructions(), with.stats.instructions());
+    EXPECT_EQ(plain.allocations, with.allocations);
+    EXPECT_EQ(plain.finalLog2Prob, with.finalLog2Prob);
+
+    // And all four slots were filled, consistently with the stats.
+    ASSERT_TRUE(with.analysis.intervals.has_value());
+    EXPECT_EQ(with.analysis.intervals->completeIntervals, 5u);
+    ClassStats pooled;
+    for (const auto& s : with.analysis.intervals->intervals)
+        pooled.merge(s);
+    EXPECT_EQ(pooled.totalPredictions(),
+              with.stats.totalPredictions());
+    EXPECT_EQ(pooled.totalMispredictions(),
+              with.stats.totalMispredictions());
+    ASSERT_TRUE(with.analysis.histogram.has_value());
+    ASSERT_TRUE(with.analysis.perBranch.has_value());
+    EXPECT_GT(with.analysis.perBranch->distinctBranches, 0u);
+    ASSERT_TRUE(with.analysis.warmup.has_value());
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the structured report layer (sim/report.hpp): format
+ * parsing, text/CSV/JSON emission, JSON well-formedness (checked with
+ * a tiny recursive-descent validator), string escaping, and the
+ * cross-format consistency of table cells that the CI report smoke
+ * step relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+
+#include "sim/report.hpp"
+#include "sim/reporting.hpp"
+
+namespace tagecon {
+namespace {
+
+// --------------------------------------- minimal JSON validity check
+
+struct JsonCursor {
+    const std::string& s;
+    size_t i = 0;
+
+    void
+    ws()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\n' ||
+                                s[i] == '\t' || s[i] == '\r'))
+            ++i;
+    }
+
+    bool
+    eat(char c)
+    {
+        ws();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+};
+
+bool parseJsonValue(JsonCursor& c);
+
+bool
+parseJsonString(JsonCursor& c)
+{
+    if (!c.eat('"'))
+        return false;
+    while (c.i < c.s.size() && c.s[c.i] != '"') {
+        if (c.s[c.i] == '\\') {
+            ++c.i;
+            if (c.i >= c.s.size())
+                return false;
+        }
+        ++c.i;
+    }
+    return c.eat('"');
+}
+
+bool
+parseJsonObject(JsonCursor& c)
+{
+    if (!c.eat('{'))
+        return false;
+    if (c.eat('}'))
+        return true;
+    do {
+        if (!parseJsonString(c))
+            return false;
+        if (!c.eat(':'))
+            return false;
+        if (!parseJsonValue(c))
+            return false;
+    } while (c.eat(','));
+    return c.eat('}');
+}
+
+bool
+parseJsonArray(JsonCursor& c)
+{
+    if (!c.eat('['))
+        return false;
+    if (c.eat(']'))
+        return true;
+    do {
+        if (!parseJsonValue(c))
+            return false;
+    } while (c.eat(','));
+    return c.eat(']');
+}
+
+bool
+parseJsonValue(JsonCursor& c)
+{
+    c.ws();
+    if (c.i >= c.s.size())
+        return false;
+    const char ch = c.s[c.i];
+    if (ch == '{')
+        return parseJsonObject(c);
+    if (ch == '[')
+        return parseJsonArray(c);
+    if (ch == '"')
+        return parseJsonString(c);
+    // numbers / true / false / null
+    const size_t start = c.i;
+    while (c.i < c.s.size() &&
+           (std::isalnum(static_cast<unsigned char>(c.s[c.i])) ||
+            c.s[c.i] == '-' || c.s[c.i] == '+' || c.s[c.i] == '.'))
+        ++c.i;
+    return c.i > start;
+}
+
+bool
+isValidJson(const std::string& text)
+{
+    JsonCursor c{text};
+    if (!parseJsonValue(c))
+        return false;
+    c.ws();
+    return c.i == text.size();
+}
+
+// ------------------------------------------------------------- tests
+
+Report
+sampleReport()
+{
+    Report r("sample", "Sample report", "Unit test, Figure 0");
+    r.addMeta("branches/trace", "1000");
+    r.addMeta("seed-salt", "7");
+    ReportTable t;
+    t.id = "grid";
+    t.heading = "the grid";
+    t.table.addColumn("name", TextTable::Align::Left);
+    t.table.addColumn("value");
+    t.table.addRow({"alpha", TextTable::num(1.25, 2)});
+    t.table.addRow({"beta, \"quoted\"", TextTable::num(-0.5, 2)});
+    r.addTable(std::move(t));
+    r.addBlank();
+    r.addText("closing note");
+    return r;
+}
+
+std::string
+emitted(const Report& r, ReportFormat f)
+{
+    std::ostringstream os;
+    r.emit(f, os);
+    return os.str();
+}
+
+TEST(ReportFormatParse, AcceptsKnownNamesCaseInsensitive)
+{
+    ReportFormat f = ReportFormat::Text;
+    std::string error;
+    EXPECT_TRUE(parseReportFormat("JSON", f, error));
+    EXPECT_EQ(f, ReportFormat::Json);
+    EXPECT_TRUE(parseReportFormat("csv", f, error));
+    EXPECT_EQ(f, ReportFormat::Csv);
+    EXPECT_TRUE(parseReportFormat("Text", f, error));
+    EXPECT_EQ(f, ReportFormat::Text);
+    EXPECT_FALSE(parseReportFormat("xml", f, error));
+    EXPECT_NE(error.find("unknown report format"), std::string::npos);
+}
+
+TEST(Report, TextEmissionHasBannerHeadingAndAlignedTable)
+{
+    const std::string text =
+        emitted(sampleReport(), ReportFormat::Text);
+    EXPECT_NE(text.find("=== Sample report ===\n"), std::string::npos);
+    EXPECT_NE(text.find("reproduces: Unit test, Figure 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("branches/trace: 1000  seed-salt: 7\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("--- the grid ---\n"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("closing note\n"), std::string::npos);
+}
+
+TEST(Report, CsvEmissionQuotesCellsAndKeepsBanner)
+{
+    const std::string csv = emitted(sampleReport(), ReportFormat::Csv);
+    EXPECT_NE(csv.find("=== Sample report ==="), std::string::npos);
+    EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("alpha,1.25\n"), std::string::npos);
+    // RFC 4180: comma and quotes force quoting with doubled quotes.
+    EXPECT_NE(csv.find("\"beta, \"\"quoted\"\"\",-0.50\n"),
+              std::string::npos);
+}
+
+TEST(Report, BannerCanBeSuppressedInFlatFormats)
+{
+    Report r = sampleReport();
+    r.setShowBanner(false);
+    const std::string text = emitted(r, ReportFormat::Text);
+    EXPECT_EQ(text.find("==="), std::string::npos);
+    EXPECT_NE(text.find("--- the grid ---"), std::string::npos);
+}
+
+TEST(Report, JsonEmissionIsWellFormedAndCarriesCells)
+{
+    const std::string json =
+        emitted(sampleReport(), ReportFormat::Json);
+    ASSERT_TRUE(isValidJson(json)) << json;
+    EXPECT_NE(json.find("\"schema\": \"tagecon-report-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"id\": \"sample\""), std::string::npos);
+    EXPECT_NE(json.find("\"columns\": [\"name\", \"value\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"beta, \\\"quoted\\\"\""),
+              std::string::npos);
+    // The blank layout line is dropped; the note survives.
+    EXPECT_NE(json.find("\"closing note\""), std::string::npos);
+}
+
+TEST(Report, JsonOfEmptyReportIsValid)
+{
+    const Report empty;
+    const std::string json = emitted(empty, ReportFormat::Json);
+    EXPECT_TRUE(isValidJson(json)) << json;
+}
+
+TEST(Report, TablesAccessorReturnsDocumentOrder)
+{
+    Report r("r", "t", "");
+    ReportTable a;
+    a.id = "first";
+    a.table.addColumn("x");
+    ReportTable b;
+    b.id = "second";
+    b.table.addColumn("y");
+    r.addTable(std::move(a));
+    r.addText("between");
+    r.addTable(std::move(b));
+    const auto tables = r.tables();
+    ASSERT_EQ(tables.size(), 2u);
+    EXPECT_EQ(tables[0]->id, "first");
+    EXPECT_EQ(tables[1]->id, "second");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// Cross-format consistency: the same cells appear in text, CSV and
+// JSON — the property the CI report smoke step checks end to end.
+TEST(Report, CellValuesIdenticalAcrossFormats)
+{
+    ClassStats s;
+    for (int i = 0; i < 900; ++i)
+        s.record(PredictionClass::HighConfBim, i < 9, 1);
+    for (int i = 0; i < 100; ++i)
+        s.record(PredictionClass::Wtag, i < 33, 1);
+
+    Report r("consistency", "Consistency", "");
+    r.addTable(ReportTable{"rates", "", classRateTable(s)});
+
+    const std::string mkp_high = TextTable::num(s.mprateMkp(
+        PredictionClass::HighConfBim), 0);
+    const std::string mkp_wtag =
+        TextTable::num(s.mprateMkp(PredictionClass::Wtag), 0);
+    for (const auto f : {ReportFormat::Text, ReportFormat::Csv,
+                         ReportFormat::Json}) {
+        const std::string out = emitted(r, f);
+        EXPECT_NE(out.find(mkp_high), std::string::npos);
+        EXPECT_NE(out.find(mkp_wtag), std::string::npos);
+    }
+}
+
+TEST(ReportingFormatters, SharedCellFormattersAreSafeOnZeroDenominator)
+{
+    EXPECT_EQ(pctCell(1, 4, 1), "25.0");
+    EXPECT_EQ(pctCell(3, 0, 1), "0.0");
+    EXPECT_EQ(ratePerKiloCell(5, 1000), "5");
+    EXPECT_EQ(ratePerKiloCell(5, 0), "0");
+    EXPECT_EQ(ratePerKiloCell(1, 3, 1), "333.3");
+}
+
+} // namespace
+} // namespace tagecon

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <mutex>
 
 #include "sim/registry.hpp"
 #include "sim/sweep.hpp"
@@ -35,6 +37,74 @@ expectIdentical(const RunResult& a, const RunResult& b)
     EXPECT_EQ(a.finalLog2Prob, b.finalLog2Prob);
     EXPECT_EQ(a.allocations, b.allocations);
     EXPECT_EQ(a.storageBits, b.storageBits);
+}
+
+/** Exact equality of two ClassStats accumulators. */
+void
+expectStatsIdentical(const ClassStats& a, const ClassStats& b)
+{
+    for (const auto c : kAllPredictionClasses) {
+        EXPECT_EQ(a.predictions(c), b.predictions(c));
+        EXPECT_EQ(a.mispredictions(c), b.mispredictions(c));
+    }
+    EXPECT_EQ(a.instructions(), b.instructions());
+}
+
+/** Exact equality of two analysis bags, slot by slot. */
+void
+expectAnalysisIdentical(const RunAnalysis& a, const RunAnalysis& b)
+{
+    ASSERT_EQ(a.intervals.has_value(), b.intervals.has_value());
+    if (a.intervals) {
+        EXPECT_EQ(a.intervals->intervalLength,
+                  b.intervals->intervalLength);
+        EXPECT_EQ(a.intervals->completeIntervals,
+                  b.intervals->completeIntervals);
+        ASSERT_EQ(a.intervals->intervals.size(),
+                  b.intervals->intervals.size());
+        for (size_t i = 0; i < a.intervals->intervals.size(); ++i)
+            expectStatsIdentical(a.intervals->intervals[i],
+                                 b.intervals->intervals[i]);
+    }
+    ASSERT_EQ(a.histogram.has_value(), b.histogram.has_value());
+    if (a.histogram) {
+        EXPECT_EQ(a.histogram->predictions, b.histogram->predictions);
+        EXPECT_EQ(a.histogram->mispredictions,
+                  b.histogram->mispredictions);
+        EXPECT_EQ(a.histogram->takenPredictions,
+                  b.histogram->takenPredictions);
+        EXPECT_EQ(a.histogram->takenMispredictions,
+                  b.histogram->takenMispredictions);
+        EXPECT_EQ(a.histogram->levelPredictions,
+                  b.histogram->levelPredictions);
+        EXPECT_EQ(a.histogram->levelMispredictions,
+                  b.histogram->levelMispredictions);
+    }
+    ASSERT_EQ(a.perBranch.has_value(), b.perBranch.has_value());
+    if (a.perBranch) {
+        EXPECT_EQ(a.perBranch->distinctBranches,
+                  b.perBranch->distinctBranches);
+        ASSERT_EQ(a.perBranch->top.size(), b.perBranch->top.size());
+        for (size_t i = 0; i < a.perBranch->top.size(); ++i) {
+            EXPECT_EQ(a.perBranch->top[i].pc, b.perBranch->top[i].pc);
+            EXPECT_EQ(a.perBranch->top[i].predictions,
+                      b.perBranch->top[i].predictions);
+            EXPECT_EQ(a.perBranch->top[i].mispredictions,
+                      b.perBranch->top[i].mispredictions);
+        }
+    }
+    ASSERT_EQ(a.warmup.has_value(), b.warmup.has_value());
+    if (a.warmup) {
+        EXPECT_EQ(a.warmup->converged, b.warmup->converged);
+        EXPECT_EQ(a.warmup->warmupIntervals,
+                  b.warmup->warmupIntervals);
+        EXPECT_EQ(a.warmup->warmupBranches, b.warmup->warmupBranches);
+        EXPECT_EQ(a.warmup->firstIntervalMkp,
+                  b.warmup->firstIntervalMkp);
+        EXPECT_EQ(a.warmup->convergedIntervalMkp,
+                  b.warmup->convergedIntervalMkp);
+    }
+    EXPECT_EQ(a.custom, b.custom);
 }
 
 TEST(SweepPlan, CellsAreSpecMajorInPlanOrder)
@@ -115,6 +185,67 @@ TEST(SweepRunner, ParallelResultsIdenticalToSerial)
     ASSERT_EQ(serial.size(), plan.cellCount());
     for (size_t i = 0; i < serial.size(); ++i)
         expectIdentical(serial[i], parallel[i]);
+}
+
+// The PR's acceptance property: observer output pooled through the
+// sweep is bit-identical at any job count, cell by cell, slot by slot.
+TEST(SweepRunner, ObserverResultsIdenticalAcrossJobCounts)
+{
+    SweepPlan plan = SweepPlan::over(
+        {"tage16k+sfc", "gshare+jrs"}, {"FP-1", "SERV-1", "INT-3"},
+        20000);
+    plan.analysis.intervals = true;
+    plan.analysis.intervalLength = 5000;
+    plan.analysis.histogram = true;
+    plan.analysis.perBranch = true;
+    plan.analysis.perBranchTopN = 8;
+    plan.analysis.warmup = true;
+    plan.analysis.warmupIntervalLength = 2000;
+    plan.analysis.warmupThresholdMkp = 100.0;
+
+    const auto serial = runSweep(plan, SweepOptions{1, {}});
+    const auto parallel = runSweep(plan, SweepOptions{4, {}});
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), 6u);
+    for (size_t i = 0; i < serial.size(); ++i) {
+        expectIdentical(serial[i], parallel[i]);
+        EXPECT_FALSE(serial[i].analysis.empty());
+        expectAnalysisIdentical(serial[i].analysis,
+                                parallel[i].analysis);
+        // Histogram totals stay consistent with the cell's ClassStats
+        // even when the cell ran on a worker thread.
+        EXPECT_EQ(serial[i].analysis.histogram->totalPredictions(),
+                  serial[i].stats.totalPredictions());
+    }
+}
+
+TEST(SweepRunner, ProgressCallbackSeesEveryCellExactlyOnce)
+{
+    SweepPlan plan = SweepPlan::over({"bimodal", "gshare"},
+                                     {"FP-1", "FP-2"}, 2000);
+    std::mutex seen_mutex;
+    std::vector<std::string> seen;
+    size_t max_completed = 0;
+    SweepOptions opt;
+    opt.jobs = 4;
+    opt.onProgress = [&](const SweepProgress& p) {
+        // The runner already serializes callbacks; the local mutex
+        // just keeps the test helgrind-clean.
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        seen.push_back(p.cell->spec + "/" + p.cell->trace);
+        max_completed = std::max(max_completed, p.completed);
+        EXPECT_EQ(p.total, 4u);
+        EXPECT_NE(p.result, nullptr);
+        EXPECT_GT(p.result->stats.totalPredictions(), 0u);
+    };
+    const auto results = runSweep(plan, opt);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_EQ(max_completed, 4u);
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, (std::vector<std::string>{
+                        "bimodal/FP-1", "bimodal/FP-2",
+                        "gshare/FP-1", "gshare/FP-2"}));
 }
 
 TEST(SweepRunner, SeedSaltChangesTheGeneratedStreams)

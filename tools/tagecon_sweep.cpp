@@ -21,16 +21,30 @@
  *                        (file traces replay as recorded)
  *   --jobs=N             worker threads, 1-1024. Results are
  *                        bit-identical at any value.
+ *   --baseline=SPEC      add a delta view vs the named spec
+ *                        (d-misp/KI and d-MKP columns per row; the
+ *                        baseline is added to the grid if absent)
+ *   --analysis=a,b,c     run-analysis observers per cell
+ *                        (--list-observers; e.g. histogram,
+ *                        "perbranch:top=8", "warmup:len=10000,mkp=20");
+ *                        per-cell tables follow the main table
+ *   --report=FMT         text (default), csv, or json — one shared
+ *                        schema with the bench reports
+ *   --progress           per-cell progress lines on stderr as the
+ *                        grid runs (thread-safe; stdout unchanged)
  *   --per-trace          one output row per (spec, trace) cell
  *                        instead of one pooled row per spec
- *   --csv                CSV instead of aligned text
+ *   --csv                legacy alias for --report=csv
  *   --list-predictors    print bases / estimators / examples and exit
+ *   --list-observers     print selectable analysis observers and exit
  */
 
 #include <algorithm>
 #include <iostream>
 
+#include "analysis/analysis_config.hpp"
 #include "sim/registry.hpp"
+#include "sim/reporting.hpp"
 #include "sim/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
@@ -55,10 +69,24 @@ listPredictors()
 }
 
 void
-addMetricColumns(TextTable& t)
+listObservers()
+{
+    std::cout << "selectable analysis observers:\n";
+    for (const auto& name : registeredRunObservers())
+        std::cout << "  " << name << "\n";
+    std::cout << "parameters: intervals:len=N  perbranch:top=N  "
+                 "warmup:len=N,mkp=N\n";
+}
+
+void
+addMetricColumns(TextTable& t, bool with_baseline)
 {
     t.addColumn("misp/KI");
     t.addColumn("misp rate (MKP)");
+    if (with_baseline) {
+        t.addColumn("d-misp/KI");
+        t.addColumn("d-MKP");
+    }
     t.addColumn("high cov");
     t.addColumn("SENS");
     t.addColumn("PVP");
@@ -70,17 +98,25 @@ addMetricColumns(TextTable& t)
 std::vector<std::string>
 metricCells(const ClassStats& stats,
             const BinaryConfidenceMetrics& confusion, double mpki,
-            uint64_t storage_bits)
+            uint64_t storage_bits, const double* base_mpki,
+            const double* base_mkp)
 {
-    return {TextTable::num(mpki, 3),
-            TextTable::num(stats.totalMkp(), 1),
-            TextTable::frac(confusion.highCoverage()),
-            TextTable::frac(confusion.sens()),
-            TextTable::frac(confusion.pvp()),
-            TextTable::frac(confusion.spec()),
-            TextTable::frac(confusion.pvn()),
-            TextTable::num(static_cast<double>(storage_bits) / 1024.0,
-                           1)};
+    std::vector<std::string> cells = {
+        TextTable::num(mpki, 3), TextTable::num(stats.totalMkp(), 1)};
+    if (base_mpki != nullptr) {
+        cells.push_back(TextTable::num(mpki - *base_mpki, 3));
+        cells.push_back(
+            TextTable::num(stats.totalMkp() - *base_mkp, 1));
+    }
+    const std::vector<std::string> rest = {
+        TextTable::frac(confusion.highCoverage()),
+        TextTable::frac(confusion.sens()),
+        TextTable::frac(confusion.pvp()),
+        TextTable::frac(confusion.spec()),
+        TextTable::frac(confusion.pvn()),
+        TextTable::num(static_cast<double>(storage_bits) / 1024.0, 1)};
+    cells.insert(cells.end(), rest.begin(), rest.end());
+    return cells;
 }
 
 } // namespace
@@ -93,24 +129,53 @@ main(int argc, char** argv)
         listPredictors();
         return 0;
     }
+    if (args.has("list-observers")) {
+        listObservers();
+        return 0;
+    }
 
     const std::vector<std::string> known_flags = {
-        "predictors", "traces",     "branches", "seed",
-        "jobs",       "per-trace",  "csv",      "list-predictors"};
+        "predictors", "traces",   "branches",        "seed",
+        "jobs",       "baseline", "analysis",        "report",
+        "progress",   "per-trace", "csv",            "list-predictors",
+        "list-observers"};
     for (const auto& flag : args.flagNames()) {
         if (std::find(known_flags.begin(), known_flags.end(), flag) ==
             known_flags.end())
             fatal("unknown flag --" + flag +
                   " (known: --predictors --traces --branches --seed "
-                  "--jobs --per-trace --csv --list-predictors)");
+                  "--jobs --baseline --analysis --report --progress "
+                  "--per-trace --csv --list-predictors "
+                  "--list-observers)");
     }
 
     // Rejoin parameterized specs the comma-split cut apart, so
     // canonical names print back into --predictors verbatim.
-    const auto specs = regroupSpecList(args.getList("predictors"));
+    auto specs = regroupSpecList(args.getList("predictors"));
     if (specs.empty())
         fatal("--predictors=spec1,spec2,... is required "
               "(see --list-predictors)");
+
+    // The baseline spec joins the grid (front row) when not already
+    // listed, so its cells are simulated exactly once.
+    std::string baseline;
+    size_t baseline_row = 0;
+    if (args.has("baseline")) {
+        std::string error;
+        baseline = canonicalizeSpec(args.getString("baseline", ""),
+                                    &error);
+        if (baseline.empty())
+            fatal("--baseline: " + error);
+        const auto found = std::find_if(
+            specs.begin(), specs.end(), [&](const std::string& s) {
+                return canonicalizeSpec(s) == baseline;
+            });
+        if (found == specs.end())
+            specs.insert(specs.begin(), baseline);
+        else
+            baseline_row =
+                static_cast<size_t>(found - specs.begin());
+    }
 
     SweepPlan plan;
     plan.specs = specs;
@@ -120,6 +185,9 @@ main(int argc, char** argv)
         fatal(error);
     plan.branchesPerTrace = args.getUint("branches", 1000000);
     plan.seedSalt = args.getUint("seed", 0);
+    if (!parseAnalysisSpecs(regroupSpecList(args.getList("analysis")),
+                            plan.analysis, error))
+        fatal(error);
     if (!plan.validate(&error))
         fatal(error);
 
@@ -129,49 +197,117 @@ main(int argc, char** argv)
     // values are rejected up front with the flag named.
     sweep_opt.jobs =
         static_cast<unsigned>(args.getUintInRange("jobs", 1, 1, 1024));
-    const bool per_trace = args.getBool("per-trace", false);
-    const bool csv = args.getBool("csv", false);
-
-    if (!csv) {
-        std::cout << "=== tagecon_sweep: " << plan.specs.size()
-                  << " spec(s) x " << plan.traces.size()
-                  << " trace(s) ===\n"
-                  << "branches/trace: " << plan.branchesPerTrace
-                  << "  seed-salt: " << plan.seedSalt
-                  << "  jobs: " << sweep_opt.jobs << "\n\n";
+    if (args.getBool("progress", false)) {
+        // Progress goes to stderr so CI stdout diffs stay byte-stable;
+        // the sweep runner serializes invocations under its mutex.
+        sweep_opt.onProgress = [](const SweepProgress& p) {
+            std::cerr << "progress: " << p.completed << "/" << p.total
+                      << "  " << p.cell->spec << " x " << p.cell->trace
+                      << "\n";
+        };
     }
+    const bool per_trace = args.getBool("per-trace", false);
+
+    ReportFormat format = ReportFormat::Text;
+    if (args.getBool("csv", false))
+        format = ReportFormat::Csv;
+    if (args.has("report") &&
+        !parseReportFormat(args.getString("report", "text"), format,
+                           error))
+        fatal(error);
+
+    Report report("sweep",
+                  "tagecon_sweep: " +
+                      std::to_string(plan.specs.size()) + " spec(s) x " +
+                      std::to_string(plan.traces.size()) + " trace(s)",
+                  "");
+    report.addMeta("branches/trace",
+                   std::to_string(plan.branchesPerTrace));
+    report.addMeta("seed-salt", std::to_string(plan.seedSalt));
+    report.addMeta("jobs", std::to_string(sweep_opt.jobs));
+    if (!baseline.empty())
+        report.addMeta("baseline", baseline);
+    // The CSV view historically prints the bare table.
+    report.setShowBanner(format != ReportFormat::Csv);
 
     TextTable t;
     t.addColumn("predictor", TextTable::Align::Left);
     t.addColumn("trace", TextTable::Align::Left);
-    addMetricColumns(t);
+    addMetricColumns(t, !baseline.empty());
+
+    const bool analysis_on = plan.analysis.enabled();
+    // Labels + pointers into the (outliving) result vectors — the
+    // analysis payload is never copied just to be re-headed.
+    std::vector<std::pair<std::string, const RunResult*>> analysis_cells;
+    std::vector<RunResult> cells;
+    std::vector<SweepRow> rows;
 
     if (per_trace) {
-        const auto cells = runSweep(plan, sweep_opt);
-        for (const auto& r : cells) {
+        cells = runSweep(plan, sweep_opt);
+        const size_t per_row = plan.traces.size();
+        for (size_t i = 0; i < cells.size(); ++i) {
+            const RunResult& r = cells[i];
+            const double* base_mpki = nullptr;
+            const double* base_mkp = nullptr;
+            double bm = 0.0;
+            double bk = 0.0;
+            if (!baseline.empty()) {
+                // Delta vs the baseline's cell for the same trace.
+                const RunResult& b =
+                    cells[baseline_row * per_row + i % per_row];
+                bm = b.stats.mpki();
+                bk = b.stats.totalMkp();
+                base_mpki = &bm;
+                base_mkp = &bk;
+            }
             std::vector<std::string> row = {r.configName, r.traceName};
-            const auto metrics = metricCells(r.stats, r.confusion,
-                                             r.stats.mpki(),
-                                             r.storageBits);
+            const auto metrics =
+                metricCells(r.stats, r.confusion, r.stats.mpki(),
+                            r.storageBits, base_mpki, base_mkp);
             row.insert(row.end(), metrics.begin(), metrics.end());
             t.addRow(row);
+            if (analysis_on)
+                analysis_cells.emplace_back(
+                    r.configName + " x " + r.traceName, &r);
         }
     } else {
-        const auto rows = runSweepRows(plan, sweep_opt);
+        rows = runSweepRows(plan, sweep_opt);
         for (const auto& r : rows) {
+            const double* base_mpki = nullptr;
+            const double* base_mkp = nullptr;
+            double bm = 0.0;
+            double bk = 0.0;
+            if (!baseline.empty()) {
+                const SweepRow& b = rows[baseline_row];
+                bm = b.meanMpki;
+                bk = b.aggregate.totalMkp();
+                base_mpki = &bm;
+                base_mkp = &bk;
+            }
             std::vector<std::string> row = {
                 r.spec, std::to_string(r.perTrace.size()) + " traces"};
-            const auto metrics = metricCells(r.aggregate, r.confusion,
-                                             r.meanMpki,
-                                             r.storageBits);
+            const auto metrics =
+                metricCells(r.aggregate, r.confusion, r.meanMpki,
+                            r.storageBits, base_mpki, base_mkp);
             row.insert(row.end(), metrics.begin(), metrics.end());
             t.addRow(row);
+            if (analysis_on) {
+                for (const auto& rr : r.perTrace)
+                    analysis_cells.emplace_back(
+                        r.spec + " x " + rr.traceName, &rr);
+            }
         }
     }
 
-    if (csv)
-        t.renderCsv(std::cout);
-    else
-        t.render(std::cout);
+    report.addTable(ReportTable{"grid", "", std::move(t)});
+    size_t cell_idx = 0;
+    for (const auto& [label, rr] : analysis_cells) {
+        report.addBlank();
+        addAnalysisSections(report, *rr,
+                            "cell" + std::to_string(cell_idx), label);
+        ++cell_idx;
+    }
+
+    report.emit(format, std::cout);
     return 0;
 }
