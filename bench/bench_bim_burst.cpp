@@ -7,128 +7,77 @@
  * mispredicted (in the range of 80-150 MKP for the 16Kbits predictor
  * for CBP1)".
  *
- * This bench measures, for each distance d (in BIM-provided
- * predictions) from the most recent BIM-provided misprediction, the
- * misprediction rate of BIM predictions at that distance — the decay
- * curve that justifies the paper's window of 8.
+ * The measurement itself is the BurstObserver (--analysis=burst:...):
+ * for each distance d in BIM-provided predictions from the most recent
+ * BIM-provided misprediction, the misprediction rate of BIM
+ * predictions at that distance — the decay curve that justifies the
+ * paper's window of 8. This bench drives it through a (spec x CBP-1)
+ * SweepPlan and prints each spec's cross-trace pooled curve, so the
+ * numbers are bit-identical at any --jobs.
  */
 
-#include <array>
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/confidence_observer.hpp"
-#include "sim/experiment.hpp"
-#include "tage/tage_predictor.hpp"
-#include "util/table_printer.hpp"
+#include "sim/reporting.hpp"
+#include "sim/sweep.hpp"
 
 using namespace tagecon;
 
 namespace {
 
-constexpr int kMaxDistance = 16;
-
-struct BurstHistogram {
-    // [distance]: BIM predictions and mispredictions at that distance
-    // from the last BIM misprediction; the last bucket aggregates
-    // everything at distance >= kMaxDistance.
-    std::array<uint64_t, kMaxDistance + 1> predictions{};
-    std::array<uint64_t, kMaxDistance + 1> mispredictions{};
-};
-
-void
-collect(BurstHistogram& h, BenchmarkSet set, const TageConfig& cfg,
-        uint64_t branches, uint64_t seed_salt)
-{
-    for (const auto& name : traceNames(set)) {
-        SyntheticTrace trace = makeTrace(name, branches, seed_salt);
-        TagePredictor predictor(cfg);
-        int distance = kMaxDistance; // start "far" from any miss
-
-        BranchRecord rec;
-        while (trace.next(rec)) {
-            const TagePrediction p = predictor.predict(rec.pc);
-            const bool mispredicted = p.taken != rec.taken;
-            if (!p.providerIsTagged) {
-                const auto d = static_cast<size_t>(
-                    distance < kMaxDistance ? distance : kMaxDistance);
-                ++h.predictions[d];
-                if (mispredicted)
-                    ++h.mispredictions[d];
-                distance = mispredicted
-                               ? 0
-                               : (distance < kMaxDistance ? distance + 1
-                                                          : distance);
-            }
-            predictor.update(rec.pc, p, rec.taken);
-        }
-    }
-}
+constexpr uint64_t kMaxDistance = 16;
 
 } // namespace
 
 int
 main(int argc, char** argv)
 {
-    const auto opt = bench::parseOptions(argc, argv, /*structured_output=*/false);
-    bench::printHeader("BIM misprediction bursts (basis of "
-                       "medium-conf-bim)",
-                       "Seznec, RR-7371 / HPCA 2011, Sec. 5.1.2", opt);
+    const auto opt = bench::parseOptions(argc, argv);
 
-    BurstHistogram h16;
-    collect(h16, BenchmarkSet::Cbp1, TageConfig::small16K(),
-            opt.branchesPerTrace, opt.seedSalt);
-    BurstHistogram h256;
-    collect(h256, BenchmarkSet::Cbp1, TageConfig::large256K(),
-            opt.branchesPerTrace, opt.seedSalt);
+    std::vector<std::string> specs = opt.predictors;
+    if (specs.empty())
+        specs = {"tage16k+sfc", "tage256k+sfc"};
 
-    TextTable t;
-    t.addColumn("BIM preds since last BIM miss", TextTable::Align::Left);
-    t.addColumn("16K: Pcov-of-BIM %");
-    t.addColumn("16K: MPrate (MKP)");
-    t.addColumn("256K: Pcov-of-BIM %");
-    t.addColumn("256K: MPrate (MKP)");
+    SweepPlan plan;
+    plan.specs = specs;
+    std::string error;
+    if (!SweepPlan::resolveTraceArgs({"cbp1"}, plan.traces, error))
+        fatal(error);
+    plan.branchesPerTrace = opt.branchesPerTrace;
+    plan.seedSalt = opt.seedSalt;
+    plan.analysis = opt.analysis;
+    plan.analysis.burst = true;
+    plan.analysis.burstMaxDistance = kMaxDistance;
+    if (!plan.validate(&error))
+        fatal(error);
 
-    auto total = [](const BurstHistogram& h) {
-        uint64_t n = 0;
-        for (const auto v : h.predictions)
-            n += v;
-        return n;
-    };
-    const double t16 = static_cast<double>(total(h16));
-    const double t256 = static_cast<double>(total(h256));
+    const auto rows = runSweepRows(plan, {.jobs = opt.jobs});
 
-    for (int d = 0; d <= kMaxDistance; ++d) {
-        const auto i = static_cast<size_t>(d);
-        auto rate = [&](const BurstHistogram& h) {
-            return h.predictions[i] == 0
-                       ? 0.0
-                       : 1000.0 *
-                             static_cast<double>(h.mispredictions[i]) /
-                             static_cast<double>(h.predictions[i]);
-        };
-        const std::string label =
-            d < kMaxDistance ? std::to_string(d)
-                             : (">= " + std::to_string(kMaxDistance));
-        t.addRow({label,
-                  TextTable::num(100.0 *
-                                     static_cast<double>(
-                                         h16.predictions[i]) / t16, 2),
-                  TextTable::num(rate(h16), 0),
-                  TextTable::num(100.0 *
-                                     static_cast<double>(
-                                         h256.predictions[i]) / t256, 2),
-                  TextTable::num(rate(h256), 0)});
+    Report report = bench::makeReport(
+        "bim_burst",
+        "BIM misprediction bursts (basis of medium-conf-bim)",
+        "Seznec, RR-7371 / HPCA 2011, Sec. 5.1.2", opt);
+
+    size_t row_idx = 0;
+    for (const auto& r : rows) {
+        if (row_idx > 0)
+            report.addBlank();
+        ReportTable rt = burstAnalysisTable(
+            *r.pooledBurst, "burst" + std::to_string(row_idx));
+        rt.heading = r.spec + " (pooled over CBP-1)";
+        report.addTable(std::move(rt));
+        ++row_idx;
     }
-    if (opt.csv)
-        t.renderCsv(std::cout);
-    else
-        t.render(std::cout);
 
-    std::cout << "\npaper anchor: the first ~8 post-miss BIM "
-                 "predictions run at 80-150 MKP on the 16K predictor; "
-                 "far-from-miss BIM predictions run at ~9 MKP.\n"
-                 "expected shape: monotonically decaying rate with a "
-                 "knee around the paper's window of 8, at both sizes.\n";
+    report.addBlank();
+    report.addText("paper anchor: the first ~8 post-miss BIM "
+                   "predictions run at 80-150 MKP on the 16K predictor; "
+                   "far-from-miss BIM predictions run at ~9 MKP.");
+    report.addText("expected shape: monotonically decaying rate with a "
+                   "knee around the paper's window of 8, at both "
+                   "sizes.");
+
+    report.emit(opt.format, std::cout);
     return 0;
 }

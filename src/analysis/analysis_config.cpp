@@ -11,7 +11,7 @@ namespace tagecon {
 
 namespace {
 
-const char* const kBuiltinNames[] = {"histogram", "intervals",
+const char* const kBuiltinNames[] = {"burst", "histogram", "intervals",
                                      "perbranch", "warmup"};
 
 bool
@@ -90,6 +90,11 @@ parseAnalysisSpecs(const std::vector<std::string>& items,
                 int64_t{1} << 40));
         } else if (name == "histogram") {
             out.histogram = true;
+        } else if (name == "burst") {
+            out.burst = true;
+            out.burstMaxDistance = static_cast<uint64_t>(params.getInt(
+                "max", static_cast<int64_t>(out.burstMaxDistance), 1,
+                1 << 20));
         } else if (name == "perbranch") {
             out.perBranch = true;
             out.perBranchTopN = static_cast<uint64_t>(params.getInt(
@@ -150,6 +155,9 @@ buildObservers(const AnalysisConfig& config)
     if (config.histogram)
         observers.push_back(
             std::make_unique<ConfidenceHistogramObserver>());
+    if (config.burst)
+        observers.push_back(
+            std::make_unique<BurstObserver>(config.burstMaxDistance));
     if (config.perBranch)
         observers.push_back(
             std::make_unique<PerBranchObserver>(config.perBranchTopN));

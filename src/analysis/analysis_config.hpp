@@ -37,6 +37,10 @@ struct AnalysisConfig {
     /** ConfidenceHistogramObserver ("histogram"). */
     bool histogram = false;
 
+    /** BurstObserver ("burst", param max). */
+    bool burst = false;
+    uint64_t burstMaxDistance = 16;
+
     /** PerBranchObserver ("perbranch", param top). */
     bool perBranch = false;
     uint64_t perBranchTopN = 16;
@@ -53,7 +57,7 @@ struct AnalysisConfig {
     bool
     enabled() const
     {
-        return intervals || histogram || perBranch || warmup ||
+        return intervals || histogram || burst || perBranch || warmup ||
                !custom.empty();
     }
 };

@@ -24,6 +24,24 @@ ConfidenceHistogramObserver::finish(RunAnalysis& out)
     out.histogram = histogram_;
 }
 
+BurstObserver::BurstObserver(uint64_t max_distance)
+    : maxDistance_(max_distance), distance_(max_distance)
+{
+    TAGECON_ASSERT(max_distance > 0,
+                   "burst max distance must be positive");
+    histogram_.maxDistance = max_distance;
+    histogram_.predictions.assign(
+        static_cast<size_t>(max_distance) + 1, 0);
+    histogram_.mispredictions.assign(
+        static_cast<size_t>(max_distance) + 1, 0);
+}
+
+void
+BurstObserver::finish(RunAnalysis& out)
+{
+    out.burst = histogram_;
+}
+
 void
 PerBranchObserver::finish(RunAnalysis& out)
 {

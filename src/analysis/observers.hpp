@@ -19,6 +19,7 @@
 #ifndef TAGECON_ANALYSIS_OBSERVERS_HPP
 #define TAGECON_ANALYSIS_OBSERVERS_HPP
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "analysis/run_observer.hpp"
@@ -92,6 +93,54 @@ class ConfidenceHistogramObserver : public RunObserver
 
   private:
     ConfidenceHistogram histogram_;
+};
+
+/**
+ * BIM misprediction-distance histogram (Sec. 5.1.2): tracks, for each
+ * BIM-provided prediction, how many BIM predictions have passed since
+ * the most recent BIM-provided misprediction, and accumulates
+ * predictions/mispredictions per distance. Distances at or beyond
+ * max_distance share the overflow bucket. Tagged-provider predictions
+ * neither count as distance steps nor reset the counter — the distance
+ * is measured in BIM predictions, as in the paper's burst window.
+ */
+class BurstObserver : public RunObserver
+{
+  public:
+    /** @param max_distance Last distinct bucket; must be > 0. */
+    explicit BurstObserver(uint64_t max_distance = 16);
+
+    std::string name() const override { return "burst"; }
+
+    void
+    onPrediction(const ObservedPrediction& o) override
+    {
+        const PredictionClass c = o.prediction.cls;
+        const bool bim_provided = c == PredictionClass::HighConfBim ||
+                                  c == PredictionClass::LowConfBim ||
+                                  c == PredictionClass::MediumConfBim;
+        if (!bim_provided)
+            return;
+        const size_t d = static_cast<size_t>(
+            std::min<uint64_t>(distance_, maxDistance_));
+        ++histogram_.predictions[d];
+        if (o.mispredicted) {
+            ++histogram_.mispredictions[d];
+            distance_ = 0;
+        } else if (distance_ < maxDistance_) {
+            ++distance_;
+        }
+    }
+
+    void finish(RunAnalysis& out) override;
+
+    /** The histogram accumulated so far. */
+    const BurstAnalysis& histogram() const { return histogram_; }
+
+  private:
+    uint64_t maxDistance_;
+    uint64_t distance_; // starts "far" from any miss
+    BurstAnalysis histogram_;
 };
 
 /**

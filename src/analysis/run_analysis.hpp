@@ -145,6 +145,50 @@ struct PerBranchAnalysis {
     std::vector<BranchProfile> top;
 };
 
+/**
+ * BIM misprediction-distance histogram (BurstObserver): for each
+ * distance d (in BIM-provided predictions) from the most recent
+ * BIM-provided misprediction, the BIM predictions and mispredictions
+ * at that distance — the Sec. 5.1.2 decay curve behind the
+ * medium-conf-bim class. The last bucket aggregates every distance
+ * >= maxDistance.
+ */
+struct BurstAnalysis {
+    /** Bucket count is maxDistance + 1 (the overflow bucket). */
+    uint64_t maxDistance = 16;
+
+    /** BIM predictions at each distance, indexed 0..maxDistance. */
+    std::vector<uint64_t> predictions;
+
+    /** BIM mispredictions at each distance. */
+    std::vector<uint64_t> mispredictions;
+
+    /** Total BIM predictions over all distances. */
+    uint64_t
+    totalPredictions() const
+    {
+        uint64_t n = 0;
+        for (const auto v : predictions)
+            n += v;
+        return n;
+    }
+
+    /** Sum both histograms (pooling across traces; same maxDistance). */
+    void
+    merge(const BurstAnalysis& o)
+    {
+        if (predictions.empty()) {
+            *this = o;
+            return;
+        }
+        for (size_t i = 0;
+             i < predictions.size() && i < o.predictions.size(); ++i) {
+            predictions[i] += o.predictions[i];
+            mispredictions[i] += o.mispredictions[i];
+        }
+    }
+};
+
 /** Warming-phase summary (WarmupObserver). */
 struct WarmupAnalysis {
     /** Predictions per detection interval. */
@@ -177,6 +221,7 @@ struct WarmupAnalysis {
 struct RunAnalysis {
     std::optional<IntervalAnalysis> intervals;
     std::optional<ConfidenceHistogram> histogram;
+    std::optional<BurstAnalysis> burst;
     std::optional<PerBranchAnalysis> perBranch;
     std::optional<WarmupAnalysis> warmup;
 
@@ -190,8 +235,8 @@ struct RunAnalysis {
     bool
     empty() const
     {
-        return !intervals && !histogram && !perBranch && !warmup &&
-               custom.empty();
+        return !intervals && !histogram && !burst && !perBranch &&
+               !warmup && custom.empty();
     }
 };
 

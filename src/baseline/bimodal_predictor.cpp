@@ -53,4 +53,31 @@ BimodalPredictor::counterFor(uint64_t pc) const
     return UnsignedSatCounter(ctrBits_, table_[indexFor(pc)]);
 }
 
+void
+BimodalPredictor::saveState(StateWriter& out) const
+{
+    out.u8(static_cast<uint8_t>(logEntries_));
+    out.u8(static_cast<uint8_t>(ctrBits_));
+    out.bytes(table_.data(), table_.size());
+}
+
+bool
+BimodalPredictor::loadState(StateReader& in, std::string& error)
+{
+    if (in.u8() != static_cast<uint8_t>(logEntries_) ||
+        in.u8() != static_cast<uint8_t>(ctrBits_)) {
+        error = in.ok() ? "bimodal state was written with a different "
+                          "geometry"
+                        : "bimodal state is truncated";
+        return false;
+    }
+    std::vector<uint8_t> table(table_.size());
+    if (!in.bytes(table.data(), table.size())) {
+        error = "bimodal state is truncated";
+        return false;
+    }
+    table_ = std::move(table);
+    return true;
+}
+
 } // namespace tagecon

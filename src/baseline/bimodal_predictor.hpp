@@ -13,6 +13,7 @@
 
 #include "baseline/predictor.hpp"
 #include "util/saturating_counter.hpp"
+#include "util/state_io.hpp"
 
 namespace tagecon {
 
@@ -39,6 +40,15 @@ class BimodalPredictor : public ConditionalPredictor
 
     /** Snapshot of the counter backing @p pc (tests / introspection). */
     UnsignedSatCounter counterFor(uint64_t pc) const;
+
+    /** Serialize geometry fingerprint + counter table. */
+    void saveState(StateWriter& out) const;
+
+    /**
+     * Restore state written by saveState() on an identical geometry.
+     * Returns false with the reason in @p error on mismatch/underrun.
+     */
+    bool loadState(StateReader& in, std::string& error);
 
   private:
     uint32_t indexFor(uint64_t pc) const;

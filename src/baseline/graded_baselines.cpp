@@ -51,6 +51,24 @@ GradedGshare::reset()
     inner_ = GsharePredictor(logEntries_, historyBits_, ctrBits_);
 }
 
+bool
+GradedGshare::snapshot(StateWriter& out, std::string& error) const
+{
+    (void)error;
+    inner_.saveState(out);
+    return true;
+}
+
+bool
+GradedGshare::restore(StateReader& in, std::string& error)
+{
+    if (!inner_.loadState(in, error)) {
+        reset();
+        return false;
+    }
+    return true;
+}
+
 // --------------------------------------------------------- GradedBimodal
 
 GradedBimodal::GradedBimodal(int log_entries, int ctr_bits)
@@ -84,6 +102,24 @@ void
 GradedBimodal::reset()
 {
     inner_ = BimodalPredictor(logEntries_, ctrBits_);
+}
+
+bool
+GradedBimodal::snapshot(StateWriter& out, std::string& error) const
+{
+    (void)error;
+    inner_.saveState(out);
+    return true;
+}
+
+bool
+GradedBimodal::restore(StateReader& in, std::string& error)
+{
+    if (!inner_.loadState(in, error)) {
+        reset();
+        return false;
+    }
+    return true;
 }
 
 // ------------------------------------------------------ GradedPerceptron

@@ -38,6 +38,8 @@ class GradedGshare : public GradedPredictor
     void update(uint64_t pc, const Prediction& p, bool taken) override;
     uint64_t storageBits() const override;
     void reset() override;
+    bool snapshot(StateWriter& out, std::string& error) const override;
+    bool restore(StateReader& in, std::string& error) override;
 
     /** The wrapped predictor (read-only). */
     const GsharePredictor& inner() const { return inner_; }
@@ -65,6 +67,8 @@ class GradedBimodal : public GradedPredictor
     uint64_t storageBits() const override;
     void reset() override;
     bool hasIntrinsicConfidence() const override { return true; }
+    bool snapshot(StateWriter& out, std::string& error) const override;
+    bool restore(StateReader& in, std::string& error) override;
 
     /** The wrapped predictor (read-only). */
     const BimodalPredictor& inner() const { return inner_; }

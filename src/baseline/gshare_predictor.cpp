@@ -53,4 +53,36 @@ GsharePredictor::storageBits() const
     return (uint64_t{1} << logEntries_) * static_cast<uint64_t>(ctrBits_);
 }
 
+void
+GsharePredictor::saveState(StateWriter& out) const
+{
+    out.u8(static_cast<uint8_t>(logEntries_));
+    out.u32(static_cast<uint32_t>(historyBits_));
+    out.u8(static_cast<uint8_t>(ctrBits_));
+    out.u64(history_);
+    out.bytes(table_.data(), table_.size());
+}
+
+bool
+GsharePredictor::loadState(StateReader& in, std::string& error)
+{
+    if (in.u8() != static_cast<uint8_t>(logEntries_) ||
+        in.u32() != static_cast<uint32_t>(historyBits_) ||
+        in.u8() != static_cast<uint8_t>(ctrBits_)) {
+        error = in.ok() ? "gshare state was written with a different "
+                          "geometry"
+                        : "gshare state is truncated";
+        return false;
+    }
+    const uint64_t history = in.u64();
+    std::vector<uint8_t> table(table_.size());
+    if (!in.bytes(table.data(), table.size())) {
+        error = "gshare state is truncated";
+        return false;
+    }
+    history_ = history & maskBits(historyBits_);
+    table_ = std::move(table);
+    return true;
+}
+
 } // namespace tagecon

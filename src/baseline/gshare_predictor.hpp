@@ -13,6 +13,7 @@
 
 #include "baseline/predictor.hpp"
 #include "util/saturating_counter.hpp"
+#include "util/state_io.hpp"
 
 namespace tagecon {
 
@@ -40,6 +41,15 @@ class GsharePredictor : public ConditionalPredictor
 
     /** Index used for @p pc with the current history (tests). */
     uint32_t indexFor(uint64_t pc) const;
+
+    /** Serialize geometry fingerprint + counter table + history. */
+    void saveState(StateWriter& out) const;
+
+    /**
+     * Restore state written by saveState() on an identical geometry.
+     * Returns false with the reason in @p error on mismatch/underrun.
+     */
+    bool loadState(StateReader& in, std::string& error);
 
   private:
     /** Packed counters: one byte per entry, width held in ctrBits_. */

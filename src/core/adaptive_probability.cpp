@@ -73,4 +73,42 @@ AdaptiveProbabilityController::reset()
     epochs_ = 0;
 }
 
+void
+AdaptiveProbabilityController::saveState(StateWriter& out) const
+{
+    out.u32(log2Prob_);
+    out.u64(seen_);
+    out.u64(highPred_);
+    out.u64(highMiss_);
+    out.u64(epochs_);
+}
+
+bool
+AdaptiveProbabilityController::loadState(StateReader& in,
+                                         std::string& error)
+{
+    const uint32_t log2_prob = in.u32();
+    const uint64_t seen = in.u64();
+    const uint64_t high_pred = in.u64();
+    const uint64_t high_miss = in.u64();
+    const uint64_t epochs = in.u64();
+    if (!in.ok()) {
+        reset();
+        error = "adaptive controller state is truncated";
+        return false;
+    }
+    if (log2_prob < cfg_.minLog2 || log2_prob > cfg_.maxLog2) {
+        reset();
+        error = "adaptive controller state carries log2(1/p) outside "
+                "the configured [min, max] range";
+        return false;
+    }
+    log2Prob_ = log2_prob;
+    seen_ = seen;
+    highPred_ = high_pred;
+    highMiss_ = high_miss;
+    epochs_ = epochs;
+    return true;
+}
+
 } // namespace tagecon

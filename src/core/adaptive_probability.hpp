@@ -11,8 +11,10 @@
 #define TAGECON_CORE_ADAPTIVE_PROBABILITY_HPP
 
 #include <cstdint>
+#include <string>
 
 #include "core/prediction_class.hpp"
+#include "util/state_io.hpp"
 
 namespace tagecon {
 
@@ -73,6 +75,16 @@ class AdaptiveProbabilityController
 
     /** Reset measurement state and return to the initial probability. */
     void reset();
+
+    /** Serialize the dynamic state (config comes from construction). */
+    void saveState(StateWriter& out) const;
+
+    /**
+     * Restore state written by saveState() on an identically-configured
+     * controller. Returns false (leaving the controller reset()) when
+     * the blob is truncated or carries an out-of-range probability.
+     */
+    bool loadState(StateReader& in, std::string& error);
 
   private:
     void closeEpoch();

@@ -96,6 +96,16 @@ class ConfidenceObserver
     /** Forget any burst in progress. */
     void reset() { sinceBimMiss_ = window_; }
 
+    /**
+     * Overwrite the burst counter with a checkpointed value, clamped
+     * to its reachable range [0, window()].
+     */
+    void
+    restoreSinceBimMiss(int v)
+    {
+        sinceBimMiss_ = v < 0 ? 0 : (v > window_ ? window_ : v);
+    }
+
   private:
     int window_;
     int sinceBimMiss_;

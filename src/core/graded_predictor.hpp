@@ -29,6 +29,7 @@
 #include <utility>
 
 #include "core/prediction_class.hpp"
+#include "util/state_io.hpp"
 
 namespace tagecon {
 
@@ -111,6 +112,40 @@ class GradedPredictor
      * 0 when the predictor has none. Surfaced in RunResult.
      */
     virtual unsigned satLog2Prob() const { return 0; }
+
+    /**
+     * Serialize the complete architectural state into @p out so a
+     * restore()d predictor continues bit-identically to one that never
+     * stopped. Families without serialization support (the default)
+     * return false with a clear reason in @p error; supporting
+     * families embed a geometry fingerprint so restore() can reject a
+     * blob from a differently-configured predictor. Checkpoint framing
+     * (magic/version/digest) is layered on top by serve/checkpoint.hpp.
+     */
+    virtual bool
+    snapshot(StateWriter& out, std::string& error) const
+    {
+        (void)out;
+        error = name() + ": checkpoint/restore is not supported for "
+                         "this predictor family";
+        return false;
+    }
+
+    /**
+     * Replace the predictor's state with one written by snapshot() on
+     * an identically-configured instance. On failure (geometry
+     * mismatch, truncated or corrupt payload, unsupported family) the
+     * predictor is left reset() and false is returned with the reason
+     * in @p error.
+     */
+    virtual bool
+    restore(StateReader& in, std::string& error)
+    {
+        (void)in;
+        error = name() + ": checkpoint/restore is not supported for "
+                         "this predictor family";
+        return false;
+    }
 
     /**
      * Display name: the registry spec when built via makePredictor(),
@@ -224,6 +259,38 @@ class EstimatedPredictor : public GradedPredictor
     uint64_t allocations() const override { return host_->allocations(); }
 
     unsigned satLog2Prob() const override { return host_->satLog2Prob(); }
+
+    /**
+     * Stateless estimators (sfc/self/blind: storage-free, nothing to
+     * reset) delegate straight to the host, so "tage64k+sfc" style
+     * specs checkpoint exactly like their host. A stateful estimator
+     * (JRS counter tables) would need its own serialization; until one
+     * grows it, such stacks are rejected with a clear error.
+     */
+    bool
+    snapshot(StateWriter& out, std::string& error) const override
+    {
+        if (estimator_->storageBits() != 0) {
+            error = name() + ": checkpoint/restore is not supported "
+                             "with the stateful '" +
+                    estimator_->name() + "' estimator";
+            return false;
+        }
+        return host_->snapshot(out, error);
+    }
+
+    bool
+    restore(StateReader& in, std::string& error) override
+    {
+        if (estimator_->storageBits() != 0) {
+            error = name() + ": checkpoint/restore is not supported "
+                             "with the stateful '" +
+                    estimator_->name() + "' estimator";
+            return false;
+        }
+        estimator_->reset();
+        return host_->restore(in, error);
+    }
 
     /** The wrapped host predictor. */
     const GradedPredictor& host() const { return *host_; }

@@ -1,0 +1,209 @@
+#include "serve/checkpoint.hpp"
+
+#include <fstream>
+
+namespace tagecon {
+
+namespace {
+
+bool
+encodeCheckpoint(const GradedPredictor& predictor,
+                 const std::string& spec, Checkpoint::Kind kind,
+                 uint64_t stream_id, const std::string& trace,
+                 uint64_t consumed, std::vector<uint8_t>& out,
+                 std::string& error)
+{
+    StateWriter payload;
+    if (!predictor.snapshot(payload, error))
+        return false;
+
+    StateWriter w;
+    w.u32(kCheckpointMagic);
+    w.u32(kCheckpointVersion);
+    w.u32(static_cast<uint32_t>(kind));
+    w.str(spec);
+    if (kind == Checkpoint::Kind::Stream) {
+        w.u64(stream_id);
+        w.str(trace);
+        w.u64(consumed);
+    }
+    w.u64(payload.size());
+    w.bytes(payload.data().data(), payload.size());
+    w.u64(fnv1a64(w.data().data(), w.size()));
+    out = w.take();
+    return true;
+}
+
+} // namespace
+
+bool
+encodePredictorCheckpoint(const GradedPredictor& predictor,
+                          const std::string& spec,
+                          std::vector<uint8_t>& out, std::string& error)
+{
+    return encodeCheckpoint(predictor, spec, Checkpoint::Kind::Predictor,
+                            0, "", 0, out, error);
+}
+
+bool
+encodeStreamCheckpoint(const GradedPredictor& predictor,
+                       const std::string& spec, uint64_t stream_id,
+                       const std::string& trace, uint64_t consumed,
+                       std::vector<uint8_t>& out, std::string& error)
+{
+    return encodeCheckpoint(predictor, spec, Checkpoint::Kind::Stream,
+                            stream_id, trace, consumed, out, error);
+}
+
+bool
+decodeCheckpoint(const uint8_t* data, size_t size, Checkpoint& out,
+                 std::string& error)
+{
+    // Minimal blob: magic + version + kind + empty spec + payload size
+    // + digest.
+    if (size < 4 + 4 + 4 + 4 + 8 + 8) {
+        error = "checkpoint blob is truncated";
+        return false;
+    }
+
+    {
+        StateReader tail(data + size - 8, 8);
+        const uint64_t stored = tail.u64();
+        if (fnv1a64(data, size - 8) != stored) {
+            error = "checkpoint digest mismatch: blob is corrupted "
+                    "or truncated";
+            return false;
+        }
+    }
+
+    StateReader in(data, size - 8);
+    if (in.u32() != kCheckpointMagic) {
+        error = "not a tagecon checkpoint blob (bad magic)";
+        return false;
+    }
+    const uint32_t version = in.u32();
+    if (version != kCheckpointVersion) {
+        error = "unsupported checkpoint version " +
+                std::to_string(version) + " (this build reads version " +
+                std::to_string(kCheckpointVersion) + ")";
+        return false;
+    }
+    const uint32_t kind = in.u32();
+    if (kind != static_cast<uint32_t>(Checkpoint::Kind::Predictor) &&
+        kind != static_cast<uint32_t>(Checkpoint::Kind::Stream)) {
+        error = "unknown checkpoint kind " + std::to_string(kind);
+        return false;
+    }
+    out.kind = static_cast<Checkpoint::Kind>(kind);
+    out.spec = in.str();
+    out.streamId = 0;
+    out.trace.clear();
+    out.consumed = 0;
+    if (out.kind == Checkpoint::Kind::Stream) {
+        out.streamId = in.u64();
+        out.trace = in.str();
+        out.consumed = in.u64();
+    }
+    const uint64_t payload_size = in.u64();
+    if (!in.ok() || payload_size != in.remaining()) {
+        error = "checkpoint payload size disagrees with the blob";
+        return false;
+    }
+    out.payload.resize(static_cast<size_t>(payload_size));
+    in.bytes(out.payload.data(), out.payload.size());
+    if (!in.ok() || !in.exhausted()) {
+        error = "checkpoint blob is malformed";
+        return false;
+    }
+    return true;
+}
+
+bool
+decodeCheckpoint(const std::vector<uint8_t>& blob, Checkpoint& out,
+                 std::string& error)
+{
+    return decodeCheckpoint(blob.data(), blob.size(), out, error);
+}
+
+bool
+restoreFromCheckpoint(const Checkpoint& ck, GradedPredictor& predictor,
+                      const std::string& spec, std::string& error)
+{
+    if (ck.spec != spec) {
+        predictor.reset();
+        error = "checkpoint was written for spec '" + ck.spec +
+                "', not '" + spec + "'";
+        return false;
+    }
+    StateReader in(ck.payload);
+    if (!predictor.restore(in, error)) {
+        predictor.reset();
+        return false;
+    }
+    if (!in.exhausted()) {
+        predictor.reset();
+        error = "checkpoint payload has trailing bytes";
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+checkpointDigest(const std::vector<uint8_t>& blob)
+{
+    return fnv1a64(blob.data(), blob.size());
+}
+
+bool
+writeCheckpointFile(const std::string& path,
+                    const std::vector<uint8_t>& blob, std::string& error)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    os.write(reinterpret_cast<const char*>(blob.data()),
+             static_cast<std::streamsize>(blob.size()));
+    os.flush();
+    if (!os) {
+        error = "short write to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+readCheckpointFile(const std::string& path, std::vector<uint8_t>& out,
+                   std::string& error)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) {
+        error = "cannot open '" + path + "' for reading";
+        return false;
+    }
+    const std::streamsize size = is.tellg();
+    is.seekg(0, std::ios::beg);
+    out.resize(static_cast<size_t>(size));
+    if (size > 0)
+        is.read(reinterpret_cast<char*>(out.data()), size);
+    if (!is) {
+        error = "short read from '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+checkpointFileExists(const std::string& path)
+{
+    return std::ifstream(path, std::ios::binary).good();
+}
+
+std::string
+streamCheckpointFileName(uint64_t stream_id)
+{
+    return "stream-" + std::to_string(stream_id) + ".tcsp";
+}
+
+} // namespace tagecon

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Versioned predictor checkpoint blobs: the on-disk/wire format the
+ * serving engine uses to park and resume predictor state.
+ *
+ * A blob is a header (magic, format version, kind, the canonical
+ * registry spec the state was written with), an opaque payload (the
+ * predictor's GradedPredictor::snapshot() bytes) and a trailing
+ * FNV-1a-64 digest over everything before it. Stream checkpoints
+ * (Kind::Stream) additionally carry the serving position — stream id,
+ * trace spec and records consumed — so a multi-stream serve can be
+ * stopped and resumed bit-identically.
+ *
+ * Decoding is strict: bad magic, unknown version, digest mismatch,
+ * truncation and payload-size disagreement are all distinct, reported
+ * errors, and restoreFromCheckpoint() additionally demands that the
+ * target predictor's spec matches and that the payload is consumed to
+ * the last byte.
+ */
+
+#ifndef TAGECON_SERVE_CHECKPOINT_HPP
+#define TAGECON_SERVE_CHECKPOINT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graded_predictor.hpp"
+#include "util/state_io.hpp"
+
+namespace tagecon {
+
+/** First bytes of every checkpoint blob ("TCKP", little-endian). */
+inline constexpr uint32_t kCheckpointMagic = 0x504B4354u;
+
+/** Current blob format version. */
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/** Decoded form of one checkpoint blob. */
+struct Checkpoint {
+    /** What the blob checkpoints. */
+    enum class Kind : uint32_t {
+        Predictor = 1, ///< bare predictor state
+        Stream = 2,    ///< predictor state + serving position
+    };
+
+    Kind kind = Kind::Predictor;
+
+    /** Canonical registry spec the payload was written with. */
+    std::string spec;
+
+    /** Serving stream id (Kind::Stream only). */
+    uint64_t streamId = 0;
+
+    /** Trace spec the stream was serving (Kind::Stream only). */
+    std::string trace;
+
+    /** Trace records already served (Kind::Stream only). */
+    uint64_t consumed = 0;
+
+    /** The predictor's snapshot() bytes. */
+    std::vector<uint8_t> payload;
+};
+
+/**
+ * Snapshot @p predictor into a Kind::Predictor blob tagged with
+ * @p spec (the canonical registry spec it was built from). Returns
+ * false with the reason in @p error when the predictor family does not
+ * support checkpointing.
+ */
+bool encodePredictorCheckpoint(const GradedPredictor& predictor,
+                               const std::string& spec,
+                               std::vector<uint8_t>& out,
+                               std::string& error);
+
+/**
+ * Snapshot @p predictor into a Kind::Stream blob carrying the serving
+ * position (@p stream_id, @p trace, @p consumed records served).
+ */
+bool encodeStreamCheckpoint(const GradedPredictor& predictor,
+                            const std::string& spec, uint64_t stream_id,
+                            const std::string& trace, uint64_t consumed,
+                            std::vector<uint8_t>& out,
+                            std::string& error);
+
+/**
+ * Decode @p size bytes at @p data into @p out. Validates magic,
+ * version, digest and structure; returns false with the reason in
+ * @p error. Does not touch any predictor.
+ */
+bool decodeCheckpoint(const uint8_t* data, size_t size, Checkpoint& out,
+                      std::string& error);
+
+/** Overload over a whole vector. */
+bool decodeCheckpoint(const std::vector<uint8_t>& blob, Checkpoint& out,
+                      std::string& error);
+
+/**
+ * Restore @p predictor (built from canonical @p spec) from the decoded
+ * @p ck. Rejects a spec mismatch; on any failure the predictor is left
+ * reset, never half-restored. The payload must be consumed exactly —
+ * trailing bytes are an error.
+ */
+bool restoreFromCheckpoint(const Checkpoint& ck,
+                           GradedPredictor& predictor,
+                           const std::string& spec, std::string& error);
+
+/**
+ * FNV-1a-64 over the whole encoded blob — the state-hash fingerprint
+ * the serving engine reports per stream and the golden checkpoint
+ * tests pin.
+ */
+uint64_t checkpointDigest(const std::vector<uint8_t>& blob);
+
+/** Write @p blob to @p path (binary, atomic-ish: whole-buffer write). */
+bool writeCheckpointFile(const std::string& path,
+                         const std::vector<uint8_t>& blob,
+                         std::string& error);
+
+/**
+ * Read @p path into @p out. Returns false with the reason in @p error
+ * (a missing file is just one more reason — callers treating absence
+ * as "cold start" should check fileExists() first).
+ */
+bool readCheckpointFile(const std::string& path,
+                        std::vector<uint8_t>& out, std::string& error);
+
+/** True when @p path exists and is openable for reading. */
+bool checkpointFileExists(const std::string& path);
+
+/** Conventional per-stream checkpoint file name ("stream-<id>.tcsp"). */
+std::string streamCheckpointFileName(uint64_t stream_id);
+
+} // namespace tagecon
+
+#endif // TAGECON_SERVE_CHECKPOINT_HPP

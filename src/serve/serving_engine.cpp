@@ -1,0 +1,458 @@
+#include "serve/serving_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "core/graded_predictor.hpp"
+#include "serve/checkpoint.hpp"
+#include "sim/registry.hpp"
+#include "sim/trace_registry.hpp"
+#include "trace/trace_source.hpp"
+
+namespace tagecon {
+
+namespace StreamSet {
+
+std::vector<StreamDesc>
+roundRobin(uint64_t num_streams, const std::vector<std::string>& traces,
+           uint64_t branches, uint64_t base_salt)
+{
+    std::vector<StreamDesc> out;
+    if (traces.empty())
+        return out;
+    out.reserve(static_cast<size_t>(num_streams));
+    for (uint64_t id = 0; id < num_streams; ++id) {
+        StreamDesc d;
+        d.id = id;
+        d.trace = traces[static_cast<size_t>(id % traces.size())];
+        d.branches = branches;
+        // Golden-ratio increment decorrelates same-profile streams;
+        // stream 0 keeps the canonical seed.
+        d.seedSalt = base_salt ^ (id * 0x9E3779B97F4A7C15ULL);
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
+} // namespace StreamSet
+
+namespace {
+
+/** Serving-side state of one stream, owned by exactly one shard. */
+struct StreamState {
+    const StreamDesc* desc = nullptr;
+    std::unique_ptr<TraceSource> trace;
+    std::unique_ptr<GradedPredictor> predictor;
+
+    /** Parked snapshot bytes while the predictor is evicted. */
+    std::vector<uint8_t> parked;
+
+    uint64_t consumed = 0;
+    bool started = false;
+    bool done = false;
+
+    StreamResult result;
+};
+
+/** Everything one worker needs to process shards. */
+struct ServeShared {
+    const ServeOptions* opts = nullptr;
+    std::vector<StreamState>* streams = nullptr;
+    const std::vector<std::vector<size_t>>* shardStreams = nullptr;
+    std::atomic<size_t> nextShard{0};
+    std::atomic<bool> failed{false};
+    std::mutex errorMutex;
+    std::string error;
+    std::mutex latencyMutex;
+    std::vector<double> latencyNs;
+};
+
+void
+reportError(ServeShared& sh, const std::string& what)
+{
+    std::lock_guard<std::mutex> lock(sh.errorMutex);
+    if (sh.error.empty())
+        sh.error = what;
+    sh.failed.store(true, std::memory_order_relaxed);
+}
+
+/** Materialize (or re-materialize) a stream's live predictor. */
+bool
+admitStream(ServeShared& sh, StreamState& st)
+{
+    std::string error;
+    st.predictor = tryMakePredictor(sh.opts->spec, &error);
+    if (!st.predictor) {
+        reportError(sh, "stream " + std::to_string(st.desc->id) + ": " +
+                            error);
+        return false;
+    }
+
+    if (!st.parked.empty()) {
+        StateReader in(st.parked);
+        if (!st.predictor->restore(in, error) || !in.exhausted()) {
+            reportError(sh, "stream " + std::to_string(st.desc->id) +
+                                ": re-admission failed: " +
+                                (error.empty() ? "trailing bytes"
+                                               : error));
+            return false;
+        }
+        st.parked.clear();
+        st.parked.shrink_to_fit();
+        return true;
+    }
+
+    if (st.started)
+        return true;
+    st.started = true;
+
+    // First admission: open the trace, then warm-start from a
+    // restore-dir checkpoint when one exists.
+    st.trace = tryMakeTraceSource(st.desc->trace, st.desc->branches,
+                                  st.desc->seedSalt, &error);
+    if (!st.trace) {
+        reportError(sh, "stream " + std::to_string(st.desc->id) + ": " +
+                            error);
+        return false;
+    }
+
+    if (sh.opts->restoreDir.empty())
+        return true;
+    const std::string path = sh.opts->restoreDir + "/" +
+                             streamCheckpointFileName(st.desc->id);
+    if (!checkpointFileExists(path))
+        return true; // cold start
+
+    std::vector<uint8_t> blob;
+    Checkpoint ck;
+    if (!readCheckpointFile(path, blob, error) ||
+        !decodeCheckpoint(blob, ck, error)) {
+        reportError(sh, "stream " + std::to_string(st.desc->id) + ": " +
+                            error);
+        return false;
+    }
+    if (ck.kind != Checkpoint::Kind::Stream ||
+        ck.streamId != st.desc->id || ck.trace != st.desc->trace) {
+        reportError(sh, "stream " + std::to_string(st.desc->id) +
+                            ": checkpoint '" + path +
+                            "' belongs to a different stream");
+        return false;
+    }
+    if (!restoreFromCheckpoint(ck, *st.predictor, sh.opts->spec,
+                               error)) {
+        reportError(sh, "stream " + std::to_string(st.desc->id) + ": " +
+                            error);
+        return false;
+    }
+
+    // Skip the already-served trace prefix.
+    BranchRecord rec;
+    for (uint64_t i = 0; i < ck.consumed; ++i) {
+        if (!st.trace->next(rec)) {
+            reportError(sh, "stream " + std::to_string(st.desc->id) +
+                                ": checkpoint consumed " +
+                                std::to_string(ck.consumed) +
+                                " records but the trace is shorter");
+            return false;
+        }
+    }
+    st.consumed = ck.consumed;
+    st.result.resumedAt = ck.consumed;
+    return true;
+}
+
+/** Park a live predictor as snapshot bytes. */
+bool
+evictStream(ServeShared& sh, StreamState& st)
+{
+    StateWriter w;
+    std::string error;
+    if (!st.predictor->snapshot(w, error)) {
+        reportError(sh, "stream " + std::to_string(st.desc->id) +
+                            ": eviction failed: " + error);
+        return false;
+    }
+    st.parked = w.take();
+    st.predictor.reset();
+    return true;
+}
+
+/** Checkpoint / fingerprint a finished stream, then release it. */
+bool
+finalizeStream(ServeShared& sh, StreamState& st)
+{
+    const ServeOptions& opts = *sh.opts;
+    if (!opts.checkpointDir.empty() || opts.computeDigests) {
+        std::vector<uint8_t> blob;
+        std::string error;
+        if (!encodeStreamCheckpoint(*st.predictor, opts.spec,
+                                    st.desc->id, st.desc->trace,
+                                    st.consumed, blob, error)) {
+            reportError(sh, "stream " + std::to_string(st.desc->id) +
+                                ": " + error);
+            return false;
+        }
+        st.result.stateDigest = checkpointDigest(blob);
+        if (!opts.checkpointDir.empty()) {
+            const std::string path =
+                opts.checkpointDir + "/" +
+                streamCheckpointFileName(st.desc->id);
+            if (!writeCheckpointFile(path, blob, error)) {
+                reportError(sh, "stream " +
+                                    std::to_string(st.desc->id) + ": " +
+                                    error);
+                return false;
+            }
+        }
+    }
+    st.predictor.reset();
+    st.trace.reset();
+    st.done = true;
+    return true;
+}
+
+/**
+ * Serve every stream of one shard round-robin to exhaustion. Single
+ * worker per shard, so no locking on stream state.
+ */
+void
+serveShard(ServeShared& sh, const std::vector<size_t>& members)
+{
+    const ServeOptions& opts = *sh.opts;
+    const size_t cap = opts.poolPerShard;
+    std::deque<size_t> live; // admission order, for FIFO eviction
+    std::vector<double> latency;
+
+    size_t remaining = members.size();
+    while (remaining > 0) {
+        if (sh.failed.load(std::memory_order_relaxed))
+            return;
+        for (size_t idx : members) {
+            StreamState& st = (*sh.streams)[idx];
+            if (st.done)
+                continue;
+            if (sh.failed.load(std::memory_order_relaxed))
+                return;
+
+            if (!st.predictor) {
+                if (!admitStream(sh, st))
+                    return;
+                live.push_back(idx);
+                while (cap != 0 && live.size() > cap) {
+                    const size_t victim = live.front();
+                    live.pop_front();
+                    if (!evictStream(sh, (*sh.streams)[victim]))
+                        return;
+                }
+            }
+
+            const auto start = std::chrono::steady_clock::now();
+            BranchRecord rec;
+            uint64_t n = 0;
+            GradedPredictor& predictor = *st.predictor;
+            ClassStats& stats = st.result.stats;
+            BinaryConfidenceMetrics& confusion = st.result.confusion;
+            while (n < opts.batch && st.trace->next(rec)) {
+                const Prediction p = predictor.predict(rec.pc);
+                const bool mispredicted = p.taken != rec.taken;
+                stats.record(p.cls, mispredicted,
+                             uint64_t{rec.instructionsBefore} + 1);
+                confusion.record(p.confidence == ConfidenceLevel::High,
+                                 !mispredicted);
+                predictor.update(rec.pc, p, rec.taken);
+                ++n;
+            }
+            st.consumed += n;
+            st.result.branchesServed += n;
+            if (n > 0) {
+                const double elapsed_ns =
+                    std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                latency.push_back(elapsed_ns /
+                                  static_cast<double>(n));
+            }
+            if (n < opts.batch) {
+                live.erase(std::find(live.begin(), live.end(), idx));
+                if (!finalizeStream(sh, st))
+                    return;
+                --remaining;
+            }
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(sh.latencyMutex);
+    sh.latencyNs.insert(sh.latencyNs.end(), latency.begin(),
+                        latency.end());
+}
+
+double
+percentileOfSorted(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t idx = static_cast<size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(ServeOptions opts) : opts_(std::move(opts))
+{
+}
+
+bool
+ServingEngine::validate(std::string* error)
+{
+    if (validated_)
+        return true;
+    std::string why;
+    const std::string canonical = canonicalizeSpec(opts_.spec, &why);
+    if (canonical.empty()) {
+        if (error)
+            *error = why;
+        return false;
+    }
+    auto probe = tryMakePredictor(canonical, &why);
+    if (!probe) {
+        if (error)
+            *error = why;
+        return false;
+    }
+    const bool needs_snapshot = opts_.poolPerShard != 0 ||
+                                !opts_.checkpointDir.empty() ||
+                                !opts_.restoreDir.empty() ||
+                                opts_.computeDigests;
+    if (needs_snapshot) {
+        StateWriter w;
+        if (!probe->snapshot(w, why)) {
+            if (error)
+                *error = why +
+                         " (use an unbounded pool and no "
+                         "checkpointing to serve it anyway)";
+            return false;
+        }
+    }
+    if (opts_.batch == 0) {
+        if (error)
+            *error = "batch size must be at least 1";
+        return false;
+    }
+    opts_.spec = canonical;
+    validated_ = true;
+    return true;
+}
+
+bool
+ServingEngine::serve(const std::vector<StreamDesc>& streams,
+                     ServeResult& out, std::string& error)
+{
+    out = ServeResult{};
+    if (!validate(&error))
+        return false;
+    if (streams.empty()) {
+        error = "no streams to serve";
+        return false;
+    }
+    {
+        std::unordered_set<uint64_t> ids;
+        for (const auto& d : streams)
+            if (!ids.insert(d.id).second) {
+                error = "duplicate stream id " + std::to_string(d.id);
+                return false;
+            }
+    }
+
+    unsigned jobs = opts_.jobs != 0
+                        ? opts_.jobs
+                        : std::max(1u, std::thread::hardware_concurrency());
+    unsigned shards = opts_.shards != 0 ? opts_.shards : 4 * jobs;
+
+    std::vector<StreamState> states(streams.size());
+    std::vector<std::vector<size_t>> shard_streams(shards);
+    for (size_t i = 0; i < streams.size(); ++i) {
+        states[i].desc = &streams[i];
+        states[i].result.id = streams[i].id;
+        states[i].result.trace = streams[i].trace;
+        shard_streams[static_cast<size_t>(streams[i].id % shards)]
+            .push_back(i);
+    }
+
+    ServeShared sh;
+    sh.opts = &opts_;
+    sh.streams = &states;
+    sh.shardStreams = &shard_streams;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    auto worker = [&sh, &shard_streams]() {
+        for (;;) {
+            const size_t shard =
+                sh.nextShard.fetch_add(1, std::memory_order_relaxed);
+            if (shard >= shard_streams.size())
+                return;
+            if (sh.failed.load(std::memory_order_relaxed))
+                return;
+            if (!shard_streams[shard].empty())
+                serveShard(sh, shard_streams[shard]);
+        }
+    };
+
+    const unsigned workers =
+        std::min<unsigned>(jobs, static_cast<unsigned>(shards));
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            pool.emplace_back(worker);
+        for (auto& t : pool)
+            t.join();
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    if (sh.failed.load(std::memory_order_relaxed)) {
+        error = sh.error;
+        return false;
+    }
+
+    out.perStream.reserve(states.size());
+    for (auto& st : states) {
+        out.aggregate.merge(st.result.stats);
+        out.confusion.merge(st.result.confusion);
+        out.totalBranches += st.result.branchesServed;
+        if (st.result.resumedAt != 0)
+            ++out.streamsRestored;
+        out.perStream.push_back(std::move(st.result));
+    }
+    out.streamsServed = states.size();
+    {
+        auto probe = tryMakePredictor(opts_.spec, nullptr);
+        out.storageBits = probe ? probe->storageBits() : 0;
+    }
+
+    out.timing.wallSeconds = wall;
+    if (wall > 0.0) {
+        out.timing.streamsPerSec =
+            static_cast<double>(out.streamsServed) / wall;
+        out.timing.predictionsPerSec =
+            static_cast<double>(out.totalBranches) / wall;
+    }
+    std::sort(sh.latencyNs.begin(), sh.latencyNs.end());
+    out.timing.latencySamples = sh.latencyNs.size();
+    out.timing.p50LatencyNs = percentileOfSorted(sh.latencyNs, 0.50);
+    out.timing.p99LatencyNs = percentileOfSorted(sh.latencyNs, 0.99);
+    return true;
+}
+
+} // namespace tagecon

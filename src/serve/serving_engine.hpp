@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Multi-stream serving engine: N independent prediction streams —
+ * thousands of simulated "users", each with its own trace position and
+ * predictor state — multiplexed over a fixed worker pool.
+ *
+ * Dispatch is sharded on stream id: stream i belongs to shard
+ * i % shards, one worker owns a whole shard at a time (workers pull
+ * shards off an atomic counter), so stream state needs no locking.
+ * Within a shard, streams advance round-robin in batches of
+ * ServeOptions::batch predictions. Predictor state is pooled per
+ * shard: at most poolPerShard predictors are resident; the rest are
+ * parked as snapshot() blobs and restored on re-admission — the
+ * checkpoint layer doubles as the eviction format, so a 10k-stream
+ * serve stays within a bounded memory footprint.
+ *
+ * Determinism: each stream's trajectory is a pure function of its
+ * (spec, trace, branches, seedSalt) and snapshot/restore round-trips
+ * are bit-exact, so per-stream results are identical at any --jobs,
+ * shard count, pool bound or batch size. Wall-clock timing
+ * (ServeTiming) is the only non-deterministic output and is kept
+ * separate so drivers can diff the deterministic part byte for byte.
+ */
+
+#ifndef TAGECON_SERVE_SERVING_ENGINE_HPP
+#define TAGECON_SERVE_SERVING_ENGINE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/binary_metrics.hpp"
+#include "core/class_stats.hpp"
+
+namespace tagecon {
+
+/** One serving stream: an id plus its trace recipe. */
+struct StreamDesc {
+    /** Stable stream id (shard key and checkpoint file name). */
+    uint64_t id = 0;
+
+    /** Trace spec (profile name or "file:PATH"). */
+    std::string trace;
+
+    /** Branches to serve (generated, or replay cap for files). */
+    uint64_t branches = 0;
+
+    /** Seed salt for synthetic generation (ignored by files). */
+    uint64_t seedSalt = 0;
+};
+
+/** Builders for common stream populations. */
+namespace StreamSet {
+
+/**
+ * @p num_streams streams over @p traces round-robin (stream i serves
+ * traces[i % traces.size()]), each @p branches long. Stream 0 keeps
+ * the canonical seed (@p base_salt); every other stream perturbs it
+ * with a per-id golden-ratio salt so "users" of the same profile see
+ * distinct branch streams.
+ */
+std::vector<StreamDesc> roundRobin(uint64_t num_streams,
+                                   const std::vector<std::string>& traces,
+                                   uint64_t branches,
+                                   uint64_t base_salt = 0);
+
+} // namespace StreamSet
+
+/** Execution knobs of a serve. */
+struct ServeOptions {
+    /** Registry spec every stream's predictor is built from. */
+    std::string spec = "tage64k+sfc";
+
+    /** Worker threads; 0 means hardware concurrency. */
+    unsigned jobs = 1;
+
+    /** Dispatch shards; 0 means 4 * jobs. */
+    unsigned shards = 0;
+
+    /**
+     * Resident predictors per shard; streams beyond this are parked as
+     * snapshot blobs between batches. 0 means unbounded (every stream
+     * keeps a live predictor — fastest, largest footprint).
+     */
+    unsigned poolPerShard = 8;
+
+    /** Predictions served per stream per scheduling turn. */
+    unsigned batch = 512;
+
+    /**
+     * When non-empty, write each finished stream's state as
+     * "<dir>/stream-<id>.tcsp" (Kind::Stream checkpoint blob).
+     */
+    std::string checkpointDir;
+
+    /**
+     * When non-empty, warm-start each stream from
+     * "<dir>/stream-<id>.tcsp" if present: restore the predictor and
+     * skip the already-consumed trace prefix. Missing files cold-start.
+     */
+    std::string restoreDir;
+
+    /**
+     * Compute each finished stream's checkpoint-blob digest
+     * (StreamResult::stateDigest) even when not writing files.
+     */
+    bool computeDigests = false;
+};
+
+/** Outcome of serving one stream. */
+struct StreamResult {
+    uint64_t id = 0;
+    std::string trace;
+
+    /** Branches served this run (excludes a restored prefix). */
+    uint64_t branchesServed = 0;
+
+    /** Consumed count the stream was warm-started at (0 = cold). */
+    uint64_t resumedAt = 0;
+
+    /** Per-class statistics of the served branches. */
+    ClassStats stats;
+
+    /** Binary (high/low) confidence confusion. */
+    BinaryConfidenceMetrics confusion;
+
+    /**
+     * FNV-1a-64 of the stream's final checkpoint blob, when digests or
+     * checkpointing were requested; 0 otherwise.
+     */
+    uint64_t stateDigest = 0;
+};
+
+/** Wall-clock throughput of a serve (non-deterministic). */
+struct ServeTiming {
+    double wallSeconds = 0.0;
+    double streamsPerSec = 0.0;
+    double predictionsPerSec = 0.0;
+
+    /** Per-prediction latency percentiles over per-batch samples. */
+    double p50LatencyNs = 0.0;
+    double p99LatencyNs = 0.0;
+    uint64_t latencySamples = 0;
+};
+
+/** Outcome of a whole serve. */
+struct ServeResult {
+    /** Per-stream results, in input stream order. */
+    std::vector<StreamResult> perStream;
+
+    /** Pooled statistics over every served branch. */
+    ClassStats aggregate;
+
+    /** Pooled binary confidence confusion. */
+    BinaryConfidenceMetrics confusion;
+
+    uint64_t totalBranches = 0;
+    uint64_t streamsServed = 0;
+
+    /** Streams warm-started from a restore-dir checkpoint. */
+    uint64_t streamsRestored = 0;
+
+    /** Per-predictor storage in bits (one stream's predictor). */
+    uint64_t storageBits = 0;
+
+    ServeTiming timing;
+};
+
+/** Sharded multi-stream serving engine. */
+class ServingEngine
+{
+  public:
+    explicit ServingEngine(ServeOptions opts);
+
+    /**
+     * Check the options: the spec must be constructible, and snapshot
+     * support is required whenever the pool is bounded or
+     * checkpoint/restore/digests are requested. Returns false with the
+     * reason in @p error. serve() calls this implicitly.
+     */
+    bool validate(std::string* error = nullptr);
+
+    /** The options, with spec canonicalized after validate(). */
+    const ServeOptions& options() const { return opts_; }
+
+    /**
+     * Serve @p streams to exhaustion. Returns false with the reason in
+     * @p error on invalid options, duplicate stream ids, a bad trace
+     * spec, or a failed checkpoint restore/write. Results are in
+     * @p streams order regardless of jobs/shards/pool/batch.
+     */
+    bool serve(const std::vector<StreamDesc>& streams, ServeResult& out,
+               std::string& error);
+
+  private:
+    ServeOptions opts_;
+    bool validated_ = false;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_SERVE_SERVING_ENGINE_HPP

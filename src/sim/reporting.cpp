@@ -264,6 +264,31 @@ histogramAnalysisTable(const ConfidenceHistogram& h,
 }
 
 ReportTable
+burstAnalysisTable(const BurstAnalysis& ba, const std::string& id)
+{
+    ReportTable rt;
+    rt.id = id;
+    rt.table.addColumn("BIM preds since last BIM miss",
+                       TextTable::Align::Left);
+    rt.table.addColumn("predictions");
+    rt.table.addColumn("Pcov-of-BIM %");
+    rt.table.addColumn("MPrate (MKP)");
+
+    const uint64_t total = ba.totalPredictions();
+    for (size_t d = 0; d < ba.predictions.size(); ++d) {
+        const std::string label =
+            d < ba.maxDistance
+                ? std::to_string(d)
+                : (">= " + std::to_string(ba.maxDistance));
+        rt.table.addRow({label, TextTable::integer(ba.predictions[d]),
+                         pctCell(ba.predictions[d], total, 2),
+                         ratePerKiloCell(ba.mispredictions[d],
+                                         ba.predictions[d])});
+    }
+    return rt;
+}
+
+ReportTable
 perBranchAnalysisTable(const PerBranchAnalysis& pa,
                        const std::string& id)
 {
@@ -331,6 +356,9 @@ addAnalysisSections(Report& r, const RunResult& result,
         headed(histogramAnalysisTable(*a.histogram,
                                       id_prefix + "-histogram"),
                "histogram");
+    if (a.burst)
+        headed(burstAnalysisTable(*a.burst, id_prefix + "-burst"),
+               "burst");
     if (a.perBranch)
         headed(perBranchAnalysisTable(*a.perBranch,
                                       id_prefix + "-perbranch"),

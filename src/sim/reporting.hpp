@@ -104,6 +104,10 @@ ReportTable intervalAnalysisTable(const IntervalAnalysis& ia,
 ReportTable histogramAnalysisTable(const ConfidenceHistogram& h,
                                    const std::string& id);
 
+/** BIM misprediction-distance decay (BurstObserver output). */
+ReportTable burstAnalysisTable(const BurstAnalysis& ba,
+                               const std::string& id);
+
 /** Hard-to-predict top-N branches (PerBranchObserver output). */
 ReportTable perBranchAnalysisTable(const PerBranchAnalysis& pa,
                                    const std::string& id);

@@ -100,6 +100,37 @@ SweepPlan::cells() const
     return cells;
 }
 
+std::string
+sweepCellKey(const SweepCell& cell)
+{
+    // '\x1f' (unit separator) cannot appear in specs or trace names,
+    // so concatenated fields cannot collide across boundaries.
+    std::string key = canonicalizeSpec(cell.spec);
+    key += '\x1f';
+    key += cell.trace;
+    key += '\x1f';
+    key += std::to_string(cell.branches);
+    key += '\x1f';
+    key += std::to_string(cell.seedSalt);
+    key += '\x1f';
+
+    const AnalysisConfig& a = cell.analysis;
+    if (a.intervals)
+        key += "intervals:len=" + std::to_string(a.intervalLength) + ";";
+    if (a.histogram)
+        key += "histogram;";
+    if (a.burst)
+        key += "burst:max=" + std::to_string(a.burstMaxDistance) + ";";
+    if (a.perBranch)
+        key += "perbranch:top=" + std::to_string(a.perBranchTopN) + ";";
+    if (a.warmup)
+        key += "warmup:len=" + std::to_string(a.warmupIntervalLength) +
+               ",mkp=" + std::to_string(a.warmupThresholdMkp) + ";";
+    for (const auto& item : a.custom)
+        key += item + ";";
+    return key;
+}
+
 RunResult
 runSweepCell(const SweepCell& cell)
 {
@@ -124,10 +155,48 @@ runSweep(SweepPlan plan, const SweepOptions& opt)
     const std::vector<SweepCell> cells = plan.cells();
     std::vector<RunResult> results(cells.size());
 
+    // With a cache attached, resolve hits and intra-plan duplicates up
+    // front so the worker pool only sees cells that genuinely need
+    // simulation. Without one, every cell runs (the historical path,
+    // zero overhead).
+    std::vector<size_t> to_run;
+    std::vector<std::pair<size_t, size_t>> copies; // (dst, src) slots
+    std::vector<std::string> keys;
+    size_t cache_hits = 0;
+    if (opt.cache != nullptr) {
+        keys.reserve(cells.size());
+        std::unordered_map<std::string, size_t> first_run;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            keys.push_back(sweepCellKey(cells[i]));
+            if (opt.cache->lookup(keys[i], results[i])) {
+                ++cache_hits;
+                continue;
+            }
+            const auto [it, inserted] = first_run.emplace(keys[i], i);
+            if (inserted) {
+                to_run.push_back(i);
+            } else {
+                // A duplicate cell inside the plan: simulate the first
+                // occurrence only, copy its slot after the join.
+                copies.emplace_back(i, it->second);
+                ++cache_hits;
+            }
+        }
+    } else {
+        to_run.resize(cells.size());
+        for (size_t i = 0; i < cells.size(); ++i)
+            to_run[i] = i;
+    }
+    if (opt.stats != nullptr) {
+        opt.stats->cells = cells.size();
+        opt.stats->executed = to_run.size();
+        opt.stats->cacheHits = cache_hits;
+    }
+
     size_t jobs = opt.jobs != 0
                       ? opt.jobs
                       : std::max(1u, std::thread::hardware_concurrency());
-    jobs = std::min(jobs, cells.size());
+    jobs = std::min(jobs, to_run.size());
 
     // Progress callbacks are serialized under one mutex so a consumer
     // printing lines never interleaves; the completed count is owned
@@ -139,35 +208,43 @@ runSweep(SweepPlan plan, const SweepOptions& opt)
             return;
         std::lock_guard<std::mutex> lock(progress_mutex);
         ++completed;
-        const SweepProgress progress{completed, cells.size(),
+        const SweepProgress progress{completed, to_run.size(),
                                      &cells[i], &results[i]};
         opt.onProgress(progress);
     };
 
     if (jobs <= 1) {
-        for (size_t i = 0; i < cells.size(); ++i) {
+        for (const size_t i : to_run) {
             results[i] = runSweepCell(cells[i]);
             report_progress(i);
         }
-        return results;
+    } else {
+        // Work-stealing by atomic work-list index; each worker writes
+        // only its own preassigned slot, so no locking and no ordering
+        // effects.
+        std::atomic<size_t> next{0};
+        auto worker = [&] {
+            for (size_t w = next.fetch_add(1); w < to_run.size();
+                 w = next.fetch_add(1)) {
+                const size_t i = to_run[w];
+                results[i] = runSweepCell(cells[i]);
+                report_progress(i);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (size_t t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto& t : pool)
+            t.join();
     }
 
-    // Work-stealing by atomic cell index; each worker writes only its
-    // own preassigned slot, so no locking and no ordering effects.
-    std::atomic<size_t> next{0};
-    auto worker = [&] {
-        for (size_t i = next.fetch_add(1); i < cells.size();
-             i = next.fetch_add(1)) {
-            results[i] = runSweepCell(cells[i]);
-            report_progress(i);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (size_t t = 0; t < jobs; ++t)
-        pool.emplace_back(worker);
-    for (auto& t : pool)
-        t.join();
+    if (opt.cache != nullptr) {
+        for (const size_t i : to_run)
+            opt.cache->store(keys[i], results[i]);
+        for (const auto& [dst, src] : copies)
+            results[dst] = results[src];
+    }
     return results;
 }
 
@@ -189,6 +266,16 @@ runSweepRows(SweepPlan plan, const SweepOptions& opt)
             row.confusion.merge(rr.confusion);
             mpki_sum += rr.stats.mpki();
             row.storageBits = rr.storageBits;
+            if (rr.analysis.histogram) {
+                if (!row.pooledHistogram)
+                    row.pooledHistogram.emplace();
+                row.pooledHistogram->merge(*rr.analysis.histogram);
+            }
+            if (rr.analysis.burst) {
+                if (!row.pooledBurst)
+                    row.pooledBurst.emplace();
+                row.pooledBurst->merge(*rr.analysis.burst);
+            }
             row.perTrace.push_back(std::move(rr));
         }
         row.meanMpki = per_row == 0

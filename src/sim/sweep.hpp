@@ -28,7 +28,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/experiment.hpp"
@@ -136,6 +139,78 @@ struct SweepProgress {
     const RunResult* result = nullptr;
 };
 
+/**
+ * Cache key of one sweep cell: the canonical spec, trace spec, branch
+ * count, seed salt and analysis configuration — everything a cell's
+ * RunResult is a pure function of. Two cells with equal keys produce
+ * bit-identical results, so one execution can serve both.
+ */
+std::string sweepCellKey(const SweepCell& cell);
+
+/** Execution counters of one runSweep() call. */
+struct SweepExecStats {
+    /** Cells in the plan. */
+    size_t cells = 0;
+
+    /** Cells actually simulated. */
+    size_t executed = 0;
+
+    /** Cells served from the cache or deduplicated within the plan. */
+    size_t cacheHits = 0;
+};
+
+/**
+ * Thread-safe cell-level result cache, keyed on sweepCellKey(). Hand
+ * the same cache to several runSweep() calls (SweepOptions::cache) and
+ * cells already simulated — same spec, trace, branches, salt and
+ * analysis — are served from memory instead of re-run; because cells
+ * are pure functions of their key, cached results are bit-identical to
+ * fresh ones.
+ */
+class SweepResultCache
+{
+  public:
+    /** Copy the cached result for @p key into @p out, if present. */
+    bool
+    lookup(const std::string& key, RunResult& out) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = results_.find(key);
+        if (it == results_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    /** Store (or overwrite) the result for @p key. */
+    void
+    store(const std::string& key, const RunResult& result)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        results_[key] = result;
+    }
+
+    /** Number of cached cells. */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return results_.size();
+    }
+
+    /** Drop every cached result. */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        results_.clear();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, RunResult> results_;
+};
+
 /** Execution knobs of a sweep. */
 struct SweepOptions {
     /** Worker threads; 0 means hardware concurrency. */
@@ -147,9 +222,23 @@ struct SweepOptions {
      * from whichever worker ran the cell; completion order is
      * scheduling-dependent, so treat it as progress reporting only —
      * results themselves are returned in canonical plan order.
-     * Leave empty (the default) for zero overhead.
+     * Leave empty (the default) for zero overhead. With a cache
+     * attached, progress fires for executed cells only (total is the
+     * executed count), since cached cells complete instantly.
      */
     std::function<void(const SweepProgress&)> onProgress;
+
+    /**
+     * Optional cell-level result cache. When set, cells whose key is
+     * already cached are served from memory, duplicate cells within
+     * the plan are simulated once, and every executed cell is stored
+     * for later sweeps. nullptr (the default) preserves the uncached
+     * path untouched.
+     */
+    SweepResultCache* cache = nullptr;
+
+    /** Optional execution counters, filled when non-null. */
+    SweepExecStats* stats = nullptr;
 };
 
 /** Run one cell: fresh trace + fresh predictor through runTrace(). */
@@ -182,6 +271,16 @@ struct SweepRow {
 
     /** Predictor storage in bits (identical across the row's cells). */
     uint64_t storageBits = 0;
+
+    /**
+     * Cross-trace pooled ConfidenceHistogramObserver view: the sum of
+     * every per-trace histogram of the row, when the plan attached the
+     * histogram observer. Disengaged otherwise.
+     */
+    std::optional<ConfidenceHistogram> pooledHistogram;
+
+    /** Cross-trace pooled BurstObserver view, likewise. */
+    std::optional<BurstAnalysis> pooledBurst;
 };
 
 /**

@@ -84,6 +84,52 @@ GradedTage::defaultName() const
     return "tage-" + predictor_.config().name;
 }
 
+bool
+GradedTage::snapshot(StateWriter& out, std::string& error) const
+{
+    (void)error;
+    out.u8(controller_ ? 1 : 0);
+    predictor_.saveState(out);
+    out.i64(observer_.sinceBimMiss());
+    out.u64(seq_);
+    out.u8(static_cast<uint8_t>(levelIndex(lastIntrinsicLevel_)));
+    if (controller_)
+        controller_->saveState(out);
+    return true;
+}
+
+bool
+GradedTage::restore(StateReader& in, std::string& error)
+{
+    const bool has_controller = in.u8() != 0;
+    if (has_controller != controller_.has_value()) {
+        reset();
+        error = "TAGE checkpoint disagrees with this predictor about "
+                "the adaptive controller";
+        return false;
+    }
+    if (!predictor_.loadState(in, error)) {
+        reset();
+        return false;
+    }
+    const int64_t since_bim_miss = in.i64();
+    const uint64_t seq = in.u64();
+    const uint8_t level = in.u8();
+    if (!in.ok() || level >= kNumConfidenceLevels) {
+        reset();
+        error = "TAGE checkpoint is truncated";
+        return false;
+    }
+    if (controller_ && !controller_->loadState(in, error)) {
+        reset();
+        return false;
+    }
+    observer_.restoreSinceBimMiss(static_cast<int>(since_bim_miss));
+    seq_ = seq;
+    lastIntrinsicLevel_ = kAllConfidenceLevels[level];
+    return true;
+}
+
 // ----------------------------------------------------------- GradedLTage
 
 GradedLTage::GradedLTage(TageConfig tage_config,

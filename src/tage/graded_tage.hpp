@@ -59,6 +59,14 @@ class GradedTage : public GradedPredictor
     uint64_t allocations() const override;
     unsigned satLog2Prob() const override;
 
+    /**
+     * Full-pipeline checkpoint: the TAGE tables/histories plus the
+     * burst-window observer, the predict/update pairing sequence and
+     * (when attached) the adaptive controller.
+     */
+    bool snapshot(StateWriter& out, std::string& error) const override;
+    bool restore(StateReader& in, std::string& error) override;
+
     /** The underlying predictor (read-only). */
     const TagePredictor& tage() const { return predictor_; }
 

@@ -1,6 +1,7 @@
 #include "tage/tage_predictor.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "util/bit_utils.hpp"
 #include "util/logging.hpp"
@@ -354,6 +355,163 @@ TagePredictor::bimodalEntry(uint32_t index) const
 {
     TAGECON_ASSERT(index < bimodal_.size(), "bimodal index out of range");
     return UnsignedSatCounter(config_.bimodalCtrBits, bimodal_[index]);
+}
+
+void
+TagePredictor::saveState(StateWriter& out) const
+{
+    // Geometry fingerprint: everything loadState() must agree on for
+    // the arena sizes and hash functions to line up. The checkpoint
+    // layer above additionally matches the canonical spec string; this
+    // guards direct saveState()/loadState() use and custom configs.
+    const int m = config_.numTaggedTables();
+    out.u32(static_cast<uint32_t>(m));
+    for (const auto& tc : config_.tagged) {
+        out.u8(static_cast<uint8_t>(tc.logEntries));
+        out.u8(static_cast<uint8_t>(tc.tagBits));
+        out.u32(static_cast<uint32_t>(tc.historyLength));
+    }
+    out.u8(static_cast<uint8_t>(config_.logBimodalEntries));
+    out.u8(static_cast<uint8_t>(config_.bimodalCtrBits));
+    out.u8(static_cast<uint8_t>(config_.taggedCtrBits));
+    out.u8(static_cast<uint8_t>(config_.usefulBits));
+    out.u8(static_cast<uint8_t>(config_.pathHistoryBits));
+    out.u8(static_cast<uint8_t>(config_.useAltOnNaBits));
+    out.u8(static_cast<uint8_t>(config_.instShift));
+    out.u8(config_.useAltOnNa ? 1 : 0);
+    out.u8(config_.probabilisticSaturation ? 1 : 0);
+    out.u64(config_.uResetPeriod);
+
+    // Dynamic state. satLog2Prob is config-carried but runtime-mutable
+    // (the adaptive controller drives it), so it checkpoints as state.
+    out.u32(config_.satLog2Prob);
+    out.bytes(bimodal_.data(), bimodal_.size());
+    out.bytes(reinterpret_cast<const uint8_t*>(ctr_.data()),
+              ctr_.size());
+    for (const uint16_t t : tag_)
+        out.u16(t);
+    out.bytes(u_.data(), u_.size());
+
+    // History ring, relative to the head (index 0 = newest), packed 8
+    // outcomes per byte. Replaying these into a cleared ring restores
+    // every addressable h[i] — head position itself is not
+    // architectural, all reads are head-relative.
+    const size_t outcomes = history_.capacity() + 1;
+    out.u32(static_cast<uint32_t>(outcomes));
+    out.packedBits(outcomes, [&](size_t i) {
+        return history_[outcomes - 1 - i] != 0;
+    });
+
+    out.u32(pathHistory_.value());
+    for (int i = 1; i <= m; ++i) {
+        const FoldedHistoryTriple& f = folds_[static_cast<size_t>(i)];
+        out.u32(f.a());
+        out.u32(f.b());
+        out.u32(f.c());
+    }
+
+    out.i64(useAltOnNa_.value());
+    out.u16(lfsr_.value());
+    out.u16(lfsrSeed_);
+    out.u64(updates_);
+    out.u64(allocations_);
+    out.u64(uResetCountdown_);
+}
+
+bool
+TagePredictor::loadState(StateReader& in, std::string& error)
+{
+    const int m = config_.numTaggedTables();
+    bool geometry_ok = in.u32() == static_cast<uint32_t>(m);
+    for (int i = 0; i < m && geometry_ok; ++i) {
+        const auto& tc = config_.tagged[static_cast<size_t>(i)];
+        geometry_ok =
+            in.u8() == static_cast<uint8_t>(tc.logEntries) &&
+            in.u8() == static_cast<uint8_t>(tc.tagBits) &&
+            in.u32() == static_cast<uint32_t>(tc.historyLength);
+    }
+    geometry_ok =
+        geometry_ok &&
+        in.u8() == static_cast<uint8_t>(config_.logBimodalEntries) &&
+        in.u8() == static_cast<uint8_t>(config_.bimodalCtrBits) &&
+        in.u8() == static_cast<uint8_t>(config_.taggedCtrBits) &&
+        in.u8() == static_cast<uint8_t>(config_.usefulBits) &&
+        in.u8() == static_cast<uint8_t>(config_.pathHistoryBits) &&
+        in.u8() == static_cast<uint8_t>(config_.useAltOnNaBits) &&
+        in.u8() == static_cast<uint8_t>(config_.instShift) &&
+        in.u8() == (config_.useAltOnNa ? 1 : 0) &&
+        in.u8() == (config_.probabilisticSaturation ? 1 : 0) &&
+        in.u64() == config_.uResetPeriod;
+    if (!in.ok() || !geometry_ok) {
+        reset();
+        error = in.ok() ? "TAGE state was written by a predictor with "
+                          "a different geometry"
+                        : "TAGE state is truncated";
+        return false;
+    }
+
+    const uint32_t sat_log2 = in.u32();
+    in.bytes(bimodal_.data(), bimodal_.size());
+    in.bytes(reinterpret_cast<uint8_t*>(ctr_.data()), ctr_.size());
+    for (uint16_t& t : tag_)
+        t = in.u16();
+    in.bytes(u_.data(), u_.size());
+
+    const size_t outcomes = history_.capacity() + 1;
+    if (in.u32() != static_cast<uint32_t>(outcomes)) {
+        reset();
+        error = in.ok() ? "TAGE state carries a history ring of a "
+                          "different capacity"
+                        : "TAGE state is truncated";
+        return false;
+    }
+    std::vector<uint8_t> ring(outcomes, 0);
+    in.packedBits(outcomes,
+                  [&](size_t i, bool bit) { ring[i] = bit ? 1 : 0; });
+    const uint32_t path = in.u32();
+    std::vector<std::array<uint32_t, 3>> fold_state(
+        static_cast<size_t>(m));
+    for (auto& f : fold_state) {
+        f[0] = in.u32();
+        f[1] = in.u32();
+        f[2] = in.u32();
+    }
+    const int64_t use_alt = in.i64();
+    const uint16_t lfsr = in.u16();
+    const uint16_t lfsr_seed = in.u16();
+    const uint64_t updates = in.u64();
+    const uint64_t allocations = in.u64();
+    const uint64_t u_reset_countdown = in.u64();
+    if (!in.ok()) {
+        reset();
+        error = "TAGE state is truncated";
+        return false;
+    }
+
+    if (sat_log2 > 15) {
+        reset();
+        error = "TAGE state carries an out-of-range saturation "
+                "probability";
+        return false;
+    }
+    config_.satLog2Prob = sat_log2;
+    // ring[0] is the oldest outcome; pushing oldest-first rebuilds
+    // every head-relative index.
+    history_.clear();
+    for (const uint8_t bit : ring)
+        history_.push(bit != 0);
+    pathHistory_.restore(path);
+    for (int i = 1; i <= m; ++i) {
+        const auto& f = fold_state[static_cast<size_t>(i - 1)];
+        folds_[static_cast<size_t>(i)].restore(f[0], f[1], f[2]);
+    }
+    useAltOnNa_.set(static_cast<int>(use_alt));
+    lfsr_.setState(lfsr);
+    lfsrSeed_ = lfsr_seed;
+    updates_ = updates;
+    allocations_ = allocations;
+    uResetCountdown_ = u_reset_countdown;
+    return true;
 }
 
 } // namespace tagecon

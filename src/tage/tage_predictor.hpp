@@ -23,6 +23,7 @@
 #include "util/global_history.hpp"
 #include "util/random.hpp"
 #include "util/saturating_counter.hpp"
+#include "util/state_io.hpp"
 
 namespace tagecon {
 
@@ -96,6 +97,22 @@ class TagePredictor
 
     /** Snapshot of a bimodal counter (tests / introspection). */
     UnsignedSatCounter bimodalEntry(uint32_t index) const;
+
+    /**
+     * Serialize the complete architectural state — packed SoA arenas
+     * (ctr/tag/u/bimodal), history ring, fused fold registers, path
+     * history, USE_ALT_ON_NA, the LFSR and all counters — prefixed by
+     * a geometry fingerprint, so loadState() on an identical config
+     * continues bit-identically to a predictor that never stopped.
+     */
+    void saveState(StateWriter& out) const;
+
+    /**
+     * Restore state written by saveState(). Returns false (leaving the
+     * predictor reset()) when the blob is truncated or was written by
+     * a differently-configured predictor, with the reason in @p error.
+     */
+    bool loadState(StateReader& in, std::string& error);
 
   private:
     /**

@@ -215,6 +215,19 @@ class FoldedHistoryTriple
     /** Reset all three folds (history cleared). */
     void clear() { a_ = b_ = c_ = 0; }
 
+    /**
+     * Overwrite the three fold registers with checkpointed values
+     * (masked to each component's width). Only meaningful together
+     * with restoring the GlobalHistory the folds view.
+     */
+    void
+    restore(uint32_t a, uint32_t b, uint32_t c)
+    {
+        a_ = a & ((1u << lenA_) - 1u);
+        b_ = b & ((1u << lenB_) - 1u);
+        c_ = c & ((1u << lenC_) - 1u);
+    }
+
   private:
     /** One FoldedHistory::update step on a raw comp value. */
     static uint32_t
@@ -265,6 +278,13 @@ class PathHistory
 
     /** Current path register value. */
     uint32_t value() const { return path_; }
+
+    /** Overwrite the register with a checkpointed value (masked). */
+    void
+    restore(uint32_t v)
+    {
+        path_ = v & ((bits_ >= 32) ? ~0u : ((1u << bits_) - 1u));
+    }
 
     /** Clear the register. */
     void clear() { path_ = 0; }

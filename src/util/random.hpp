@@ -64,6 +64,12 @@ class Lfsr16
     uint16_t value() const { return state_; }
 
     /**
+     * Overwrite the register with a checkpointed value; zero (which an
+     * LFSR can never reach) is replaced by the 0xACE1 seed convention.
+     */
+    void setState(uint16_t state) { state_ = state ? state : 0xACE1u; }
+
+    /**
      * Advance and report a 1-in-2^log2Denominator event, i.e. true with
      * probability 1 / (1 << log2_denominator). log2_denominator == 0
      * always returns true (probability 1).

@@ -198,6 +198,97 @@ TEST(WarmupObserver, ReportsNonConvergenceAndIgnoresPartialTail)
     EXPECT_DOUBLE_EQ(bag.warmup->firstIntervalMkp, 100.0);
 }
 
+TEST(BurstObserver, BucketsBimDistanceSinceLastBimMiss)
+{
+    BurstObserver obs(4);
+    const auto bim = PredictionClass::HighConfBim;
+
+    // Pre-miss predictions land in the capped ">= max" bucket.
+    obs.onPrediction(observed(0x100, bim, true));          // d=4, miss
+    obs.onPrediction(observed(0x100, bim, false));         // d=0
+    obs.onPrediction(observed(0x100, bim, false));         // d=1
+    obs.onPrediction(observed(0x100, bim, true));          // d=2, miss
+    // Tagged-provided predictions are invisible to the burst clock.
+    obs.onPrediction(observed(0x100, PredictionClass::Stag, true));
+    obs.onPrediction(observed(0x100, bim, false));         // d=0
+    obs.onPrediction(observed(0x100, bim, false));         // d=1
+    obs.onPrediction(observed(0x100, bim, false));         // d=2
+    obs.onPrediction(observed(0x100, bim, false));         // d=3
+    obs.onPrediction(observed(0x100, bim, false));         // d=4 (cap)
+
+    RunAnalysis bag;
+    obs.finish(bag);
+    ASSERT_TRUE(bag.burst.has_value());
+    const BurstAnalysis& ba = *bag.burst;
+    EXPECT_EQ(ba.maxDistance, 4u);
+    ASSERT_EQ(ba.predictions.size(), 5u);
+    EXPECT_EQ(ba.predictions, (std::vector<uint64_t>{2, 2, 2, 1, 2}));
+    EXPECT_EQ(ba.mispredictions,
+              (std::vector<uint64_t>{0, 0, 1, 0, 1}));
+    EXPECT_EQ(ba.totalPredictions(), 9u);
+}
+
+TEST(BurstObserver, MergePoolsElementWise)
+{
+    BurstObserver a(4), b(4);
+    a.onPrediction(observed(0x100, PredictionClass::HighConfBim, true));
+    b.onPrediction(observed(0x200, PredictionClass::LowConfBim, true));
+    b.onPrediction(observed(0x200, PredictionClass::LowConfBim, false));
+
+    RunAnalysis bag_a, bag_b;
+    a.finish(bag_a);
+    b.finish(bag_b);
+
+    BurstAnalysis pooled; // merging into empty adopts the geometry
+    pooled.merge(*bag_a.burst);
+    pooled.merge(*bag_b.burst);
+    EXPECT_EQ(pooled.maxDistance, 4u);
+    EXPECT_EQ(pooled.totalPredictions(), 3u);
+    EXPECT_EQ(pooled.predictions[4],
+              bag_a.burst->predictions[4] + bag_b.burst->predictions[4]);
+    EXPECT_EQ(pooled.predictions[0], bag_b.burst->predictions[0]);
+}
+
+TEST(BurstObserver, TotalsMatchBimClassStatsOnRealRun)
+{
+    SyntheticTrace trace = makeTrace("SERV-1", 20000);
+    auto predictor = makePredictor("tage16k+sfc");
+    AnalysisConfig cfg;
+    cfg.burst = true;
+    cfg.burstMaxDistance = 8;
+    const RunResult rr = runTrace(trace, *predictor, cfg);
+
+    ASSERT_TRUE(rr.analysis.burst.has_value());
+    const BurstAnalysis& ba = *rr.analysis.burst;
+    const uint64_t bim_preds =
+        rr.stats.predictions(PredictionClass::HighConfBim) +
+        rr.stats.predictions(PredictionClass::LowConfBim) +
+        rr.stats.predictions(PredictionClass::MediumConfBim);
+    const uint64_t bim_misses =
+        rr.stats.mispredictions(PredictionClass::HighConfBim) +
+        rr.stats.mispredictions(PredictionClass::LowConfBim) +
+        rr.stats.mispredictions(PredictionClass::MediumConfBim);
+    EXPECT_EQ(ba.totalPredictions(), bim_preds);
+    uint64_t miss_sum = 0;
+    for (const uint64_t m : ba.mispredictions)
+        miss_sum += m;
+    EXPECT_EQ(miss_sum, bim_misses);
+}
+
+TEST(AnalysisConfig, ParsesBurstSpec)
+{
+    AnalysisConfig cfg;
+    std::string error;
+    ASSERT_TRUE(parseAnalysisSpecs({"burst:max=4"}, cfg, error))
+        << error;
+    EXPECT_TRUE(cfg.burst);
+    EXPECT_EQ(cfg.burstMaxDistance, 4u);
+    EXPECT_EQ(buildObservers(cfg).size(), 1u);
+
+    EXPECT_FALSE(parseAnalysisSpecs({"burst:max=0"}, cfg, error));
+    EXPECT_FALSE(parseAnalysisSpecs({"burst:nope=1"}, cfg, error));
+}
+
 TEST(AnalysisConfig, ParsesSpecListWithParameters)
 {
     AnalysisConfig cfg;

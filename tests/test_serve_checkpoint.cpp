@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Checkpoint/restore tests: the golden-anchored guarantee that a
+ * restored predictor is bit-identical to one that never stopped.
+ *
+ * The first suite reuses the golden state-hash harness from
+ * test_tage_golden.cpp: it drives the same deterministic branch
+ * stream, but snapshots the TAGE predictor halfway and finishes the
+ * run on a *restored* copy — the prediction and final-state digests
+ * must still equal the pinned golden values, so a checkpoint captures
+ * the complete architectural state (tables, folded histories, path
+ * hash, USE_ALT_ON_NA, aging counters) to the bit.
+ *
+ * The remaining suites cover the blob framing (serve/checkpoint.hpp):
+ * registry-level round trips for every supported family, deterministic
+ * encoding, strict rejection of truncated / corrupted / wrong-magic /
+ * wrong-version / wrong-spec blobs, the unsupported-family and
+ * stateful-estimator error paths, stream-kind position fields, and the
+ * file helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/checkpoint.hpp"
+#include "sim/registry.hpp"
+#include "sim/trace_registry.hpp"
+#include "tage/tage_predictor.hpp"
+#include "util/random.hpp"
+#include "util/state_io.hpp"
+
+namespace tagecon {
+namespace {
+
+/** FNV-1a 64-bit step (same recipe as test_tage_golden.cpp). */
+uint64_t
+mix(uint64_t h, uint64_t v)
+{
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    return h;
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr int kBranches = 50000;
+
+/** Hash every observable field of one prediction. */
+uint64_t
+mixPrediction(uint64_t h, const TagePrediction& p, int num_tables)
+{
+    h = mix(h, p.taken);
+    h = mix(h, static_cast<uint64_t>(p.providerTable));
+    h = mix(h, static_cast<uint64_t>(static_cast<int64_t>(p.providerCtr)));
+    h = mix(h, static_cast<uint64_t>(p.providerStrength));
+    h = mix(h, p.providerSaturated);
+    h = mix(h, p.providerWeak);
+    h = mix(h, p.bimodalTaken);
+    h = mix(h, p.bimodalWeak);
+    h = mix(h, p.altTaken);
+    h = mix(h, static_cast<uint64_t>(p.altTable));
+    h = mix(h, p.usedAlt);
+    for (int t = 0; t <= num_tables; ++t)
+        h = mix(h, p.index[static_cast<size_t>(t)]);
+    for (int t = 1; t <= num_tables; ++t)
+        h = mix(h, p.tag[static_cast<size_t>(t)]);
+    return h;
+}
+
+/** Hash the full architectural state of the predictor. */
+uint64_t
+stateDigest(const TagePredictor& pred)
+{
+    uint64_t h = kFnvOffset;
+    const TageConfig& cfg = pred.config();
+    for (int t = 1; t <= cfg.numTaggedTables(); ++t) {
+        const uint32_t entries =
+            uint32_t{1} << cfg.tagged[static_cast<size_t>(t - 1)]
+                               .logEntries;
+        for (uint32_t i = 0; i < entries; ++i) {
+            const auto e = pred.taggedEntry(t, i);
+            h = mix(h, static_cast<uint64_t>(
+                           static_cast<int64_t>(e.ctr.value())));
+            h = mix(h, e.tag);
+            h = mix(h, e.u.value());
+        }
+    }
+    const uint32_t bim_entries = uint32_t{1} << cfg.logBimodalEntries;
+    for (uint32_t i = 0; i < bim_entries; ++i)
+        h = mix(h, pred.bimodalEntry(i).value());
+    h = mix(h, static_cast<uint64_t>(
+                   static_cast<int64_t>(pred.useAltOnNa())));
+    h = mix(h, pred.allocations());
+    h = mix(h, pred.updates());
+    return h;
+}
+
+/**
+ * The golden stream of test_tage_golden.cpp, with one twist: halfway
+ * through, predictor A is snapshotted and the rest of the run is
+ * served by a freshly constructed predictor B restored from the blob.
+ * If (and only if) the checkpoint is complete, the combined digests
+ * match the uninterrupted golden values.
+ */
+std::pair<uint64_t, uint64_t>
+runGoldenWithMidStreamRoundTrip(const TageConfig& cfg)
+{
+    TagePredictor a(cfg);
+    TagePredictor b(cfg);
+    TagePredictor* cur = &a;
+    XorShift128Plus rng(0xD1CEB007 + cfg.tagged.size());
+    uint64_t pd = kFnvOffset;
+    const int m = cfg.numTaggedTables();
+    for (int i = 0; i < kBranches; ++i) {
+        if (i == kBranches / 2) {
+            StateWriter w;
+            a.saveState(w);
+            const std::vector<uint8_t> blob = w.take();
+            StateReader in(blob);
+            std::string error;
+            EXPECT_TRUE(b.loadState(in, error)) << error;
+            EXPECT_TRUE(in.exhausted());
+            cur = &b;
+        }
+        const uint64_t r = rng.next();
+        const uint64_t pc = 0x4000 + (r % 64) * 4;
+        const bool taken = (pc & 8) ? (i % (3 + (pc & 7)) != 0)
+                                    : ((r >> 32) & 1) != 0;
+        const TagePrediction p = cur->predict(pc);
+        pd = mixPrediction(pd, p, m);
+        cur->update(pc, p, taken);
+    }
+    return {pd, stateDigest(b)};
+}
+
+struct GoldenCase {
+    const char* name;
+    uint64_t predDigest;
+    uint64_t stateDigest;
+};
+
+TageConfig
+configFor(const std::string& name)
+{
+    if (name == "16K")
+        return TageConfig::small16K();
+    if (name == "64K")
+        return TageConfig::medium64K();
+    if (name == "256K")
+        return TageConfig::large256K();
+    if (name == "64K-prob7")
+        return TageConfig::medium64K().withProbabilisticSaturation(7);
+    TageConfig cfg = TageConfig::medium64K();
+    cfg.uResetPeriod = 4096;
+    return cfg;
+}
+
+class TageCheckpointGolden
+    : public ::testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(TageCheckpointGolden, MidStreamRestoreReproducesGoldenDigests)
+{
+    const GoldenCase& g = GetParam();
+    const auto [pred_digest, state_digest] =
+        runGoldenWithMidStreamRoundTrip(configFor(g.name));
+    EXPECT_EQ(pred_digest, g.predDigest) << g.name;
+    EXPECT_EQ(state_digest, g.stateDigest) << g.name;
+}
+
+// The pinned digests are the very same values test_tage_golden.cpp
+// pins for the uninterrupted runs — not re-harvested for this test.
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, TageCheckpointGolden,
+    ::testing::Values(
+        GoldenCase{"16K", 7150495434390549119ULL,
+                   8447484763274118460ULL},
+        GoldenCase{"64K", 12562089021334520864ULL,
+                   10966023290916501465ULL},
+        GoldenCase{"256K", 6625890519000511774ULL,
+                   203579634401270635ULL},
+        GoldenCase{"64K-prob7", 12957036419155950676ULL,
+                   716300752043846386ULL},
+        GoldenCase{"64K-fastage", 10233611863893694473ULL,
+                   5617762536944745845ULL}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+        std::string n = info.param.name;
+        for (auto& c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+/**
+ * Drive @p spec halfway through a trace, checkpoint it, restore into a
+ * fresh instance, and run both to the end in lockstep: every
+ * prediction and the final re-encoded blobs must be identical.
+ */
+void
+expectRoundTripContinuesBitIdentically(const std::string& spec_arg)
+{
+    SCOPED_TRACE(spec_arg);
+    const std::string spec = canonicalizeSpec(spec_arg);
+    auto p = makePredictor(spec);
+    auto q = makePredictor(spec);
+    auto trace = makeTraceSource("FP-1", 20000, 0);
+
+    BranchRecord rec;
+    for (int i = 0; i < 10000 && trace->next(rec); ++i) {
+        const Prediction pr = p->predict(rec.pc);
+        p->update(rec.pc, pr, rec.taken);
+    }
+
+    std::vector<uint8_t> blob;
+    std::string error;
+    ASSERT_TRUE(encodePredictorCheckpoint(*p, spec, blob, error))
+        << error;
+
+    // Encoding is a pure function of predictor state.
+    std::vector<uint8_t> blob_again;
+    ASSERT_TRUE(encodePredictorCheckpoint(*p, spec, blob_again, error));
+    EXPECT_EQ(blob, blob_again);
+
+    Checkpoint ck;
+    ASSERT_TRUE(decodeCheckpoint(blob, ck, error)) << error;
+    EXPECT_EQ(ck.kind, Checkpoint::Kind::Predictor);
+    EXPECT_EQ(ck.spec, spec);
+    ASSERT_TRUE(restoreFromCheckpoint(ck, *q, spec, error)) << error;
+
+    while (trace->next(rec)) {
+        const Prediction pa = p->predict(rec.pc);
+        const Prediction pb = q->predict(rec.pc);
+        ASSERT_EQ(pa.taken, pb.taken);
+        ASSERT_EQ(pa.confidence, pb.confidence);
+        ASSERT_EQ(pa.cls, pb.cls);
+        p->update(rec.pc, pa, rec.taken);
+        q->update(rec.pc, pb, rec.taken);
+    }
+
+    std::vector<uint8_t> final_p, final_q;
+    ASSERT_TRUE(encodePredictorCheckpoint(*p, spec, final_p, error));
+    ASSERT_TRUE(encodePredictorCheckpoint(*q, spec, final_q, error));
+    EXPECT_EQ(final_p, final_q);
+}
+
+TEST(CheckpointRoundTrip, TageFamilyContinuesBitIdentically)
+{
+    expectRoundTripContinuesBitIdentically("tage16k+sfc");
+    expectRoundTripContinuesBitIdentically(
+        "tage64k+prob7+adaptive+sfc");
+}
+
+TEST(CheckpointRoundTrip, BimodalAndGshareContinueBitIdentically)
+{
+    expectRoundTripContinuesBitIdentically("bimodal");
+    expectRoundTripContinuesBitIdentically("gshare");
+}
+
+TEST(CheckpointRoundTrip, StreamKindCarriesServingPosition)
+{
+    const std::string spec = canonicalizeSpec("bimodal");
+    auto p = makePredictor(spec);
+    std::vector<uint8_t> blob;
+    std::string error;
+    ASSERT_TRUE(encodeStreamCheckpoint(*p, spec, 42, "FP-1", 1234,
+                                       blob, error))
+        << error;
+    Checkpoint ck;
+    ASSERT_TRUE(decodeCheckpoint(blob, ck, error)) << error;
+    EXPECT_EQ(ck.kind, Checkpoint::Kind::Stream);
+    EXPECT_EQ(ck.spec, spec);
+    EXPECT_EQ(ck.streamId, 42u);
+    EXPECT_EQ(ck.trace, "FP-1");
+    EXPECT_EQ(ck.consumed, 1234u);
+    EXPECT_EQ(checkpointDigest(blob),
+              fnv1a64(blob.data(), blob.size()));
+}
+
+/** Rewrite the trailing digest after deliberately patching a blob. */
+void
+refreshDigest(std::vector<uint8_t>& blob)
+{
+    ASSERT_GE(blob.size(), 8u);
+    const uint64_t d = fnv1a64(blob.data(), blob.size() - 8);
+    for (size_t i = 0; i < 8; ++i)
+        blob[blob.size() - 8 + i] =
+            static_cast<uint8_t>(d >> (8 * i));
+}
+
+std::vector<uint8_t>
+someValidBlob()
+{
+    const std::string spec = canonicalizeSpec("bimodal");
+    auto p = makePredictor(spec);
+    std::vector<uint8_t> blob;
+    std::string error;
+    EXPECT_TRUE(encodePredictorCheckpoint(*p, spec, blob, error))
+        << error;
+    return blob;
+}
+
+TEST(CheckpointRejection, TruncatedBlobs)
+{
+    std::vector<uint8_t> blob = someValidBlob();
+    Checkpoint ck;
+    std::string error;
+
+    std::vector<uint8_t> tiny(blob.begin(), blob.begin() + 4);
+    EXPECT_FALSE(decodeCheckpoint(tiny, ck, error));
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+    blob.resize(blob.size() - 3);
+    error.clear();
+    EXPECT_FALSE(decodeCheckpoint(blob, ck, error));
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(CheckpointRejection, CorruptedByteFailsTheDigest)
+{
+    std::vector<uint8_t> blob = someValidBlob();
+    blob[blob.size() / 2] ^= 0x40;
+    Checkpoint ck;
+    std::string error;
+    EXPECT_FALSE(decodeCheckpoint(blob, ck, error));
+    EXPECT_NE(error.find("digest mismatch"), std::string::npos)
+        << error;
+}
+
+TEST(CheckpointRejection, WrongMagic)
+{
+    std::vector<uint8_t> blob = someValidBlob();
+    blob[0] ^= 0xFF; // patch the magic, then re-sign the blob
+    refreshDigest(blob);
+    Checkpoint ck;
+    std::string error;
+    EXPECT_FALSE(decodeCheckpoint(blob, ck, error));
+    EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+}
+
+TEST(CheckpointRejection, UnknownVersion)
+{
+    std::vector<uint8_t> blob = someValidBlob();
+    blob[4] = 99; // version field follows the u32 magic
+    refreshDigest(blob);
+    Checkpoint ck;
+    std::string error;
+    EXPECT_FALSE(decodeCheckpoint(blob, ck, error));
+    EXPECT_NE(error.find("unsupported checkpoint version 99"),
+              std::string::npos)
+        << error;
+}
+
+TEST(CheckpointRejection, UnknownKind)
+{
+    std::vector<uint8_t> blob = someValidBlob();
+    blob[8] = 7; // kind field follows magic + version
+    refreshDigest(blob);
+    Checkpoint ck;
+    std::string error;
+    EXPECT_FALSE(decodeCheckpoint(blob, ck, error));
+    EXPECT_NE(error.find("unknown checkpoint kind 7"),
+              std::string::npos)
+        << error;
+}
+
+TEST(CheckpointRejection, SpecMismatchLeavesTargetReset)
+{
+    const std::string src_spec = canonicalizeSpec("tage16k+sfc");
+    const std::string dst_spec = canonicalizeSpec("tage64k+sfc");
+    auto src = makePredictor(src_spec);
+    auto dst = makePredictor(dst_spec);
+
+    std::vector<uint8_t> blob;
+    std::string error;
+    ASSERT_TRUE(encodePredictorCheckpoint(*src, src_spec, blob, error));
+    Checkpoint ck;
+    ASSERT_TRUE(decodeCheckpoint(blob, ck, error));
+
+    EXPECT_FALSE(restoreFromCheckpoint(ck, *dst, dst_spec, error));
+    EXPECT_NE(error.find("was written for spec"), std::string::npos)
+        << error;
+
+    // The mismatched target must still be usable (reset, not torn).
+    const Prediction p = dst->predict(0x4000);
+    dst->update(0x4000, p, true);
+}
+
+TEST(CheckpointRejection, TrailingPayloadBytes)
+{
+    const std::string spec = canonicalizeSpec("bimodal");
+    auto p = makePredictor(spec);
+    std::vector<uint8_t> blob;
+    std::string error;
+    ASSERT_TRUE(encodePredictorCheckpoint(*p, spec, blob, error));
+    Checkpoint ck;
+    ASSERT_TRUE(decodeCheckpoint(blob, ck, error));
+
+    ck.payload.push_back(0xAB);
+    auto q = makePredictor(spec);
+    EXPECT_FALSE(restoreFromCheckpoint(ck, *q, spec, error));
+    EXPECT_NE(error.find("trailing bytes"), std::string::npos)
+        << error;
+}
+
+TEST(CheckpointUnsupported, FamiliesWithoutStateIo)
+{
+    for (const std::string spec_arg :
+         {"perceptron+sfc", "ogehl+sfc"}) {
+        SCOPED_TRACE(spec_arg);
+        std::string error;
+        auto p = tryMakePredictor(spec_arg, &error);
+        ASSERT_NE(p, nullptr) << error;
+        std::vector<uint8_t> blob;
+        EXPECT_FALSE(encodePredictorCheckpoint(
+            *p, canonicalizeSpec(spec_arg), blob, error));
+        EXPECT_NE(error.find("not supported"), std::string::npos)
+            << error;
+    }
+}
+
+TEST(CheckpointUnsupported, StatefulEstimatorBlocksTheWrapper)
+{
+    // gshare+jrs carries estimator counters the payload does not
+    // cover, so the wrapper must refuse rather than silently drop them.
+    std::string error;
+    auto p = tryMakePredictor("gshare+jrs", &error);
+    ASSERT_NE(p, nullptr) << error;
+    std::vector<uint8_t> blob;
+    EXPECT_FALSE(encodePredictorCheckpoint(
+        *p, canonicalizeSpec("gshare+jrs"), blob, error));
+    EXPECT_NE(error.find("not supported"), std::string::npos) << error;
+}
+
+TEST(CheckpointFiles, WriteReadRoundTripAndNaming)
+{
+    EXPECT_EQ(streamCheckpointFileName(7), "stream-7.tcsp");
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "tagecon_ckpt_file_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "stream-0.tcsp").string();
+
+    const std::vector<uint8_t> blob = someValidBlob();
+    std::string error;
+    EXPECT_FALSE(checkpointFileExists(path));
+    ASSERT_TRUE(writeCheckpointFile(path, blob, error)) << error;
+    EXPECT_TRUE(checkpointFileExists(path));
+
+    std::vector<uint8_t> back;
+    ASSERT_TRUE(readCheckpointFile(path, back, error)) << error;
+    EXPECT_EQ(back, blob);
+
+    std::vector<uint8_t> missing;
+    EXPECT_FALSE(readCheckpointFile((dir / "nope.tcsp").string(),
+                                    missing, error));
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace tagecon

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Serving-engine tests: the bit-identity contract — per-stream results
+ * are a pure function of the stream population and the spec, whatever
+ * the jobs / shards / pool / batch execution knobs — plus the
+ * checkpoint-resume path (a warm-started serve finishes in the same
+ * state as one that never stopped, down to the checkpoint file bytes),
+ * stream-population builders, and option/input validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "serve/checkpoint.hpp"
+#include "serve/serving_engine.hpp"
+#include "sim/registry.hpp"
+#include "sim/trace_registry.hpp"
+
+namespace tagecon {
+namespace {
+
+/** Golden-ratio per-stream salt used by StreamSet::roundRobin. */
+constexpr uint64_t kSaltStep = 0x9E3779B97F4A7C15ULL;
+
+std::vector<std::string>
+twoCbp1Traces()
+{
+    std::vector<std::string> traces;
+    std::string error;
+    EXPECT_TRUE(resolveTraceSpecs({"cbp1"}, traces, error)) << error;
+    EXPECT_GE(traces.size(), 2u);
+    traces.resize(2);
+    return traces;
+}
+
+/** Fresh empty scratch directory under the system temp dir. */
+std::filesystem::path
+scratchDir(const std::string& tag)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("tagecon_serve_test_" + tag);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** Exact equality of the deterministic part of two serve results. */
+void
+expectSameServe(const ServeResult& a, const ServeResult& b)
+{
+    EXPECT_EQ(a.totalBranches, b.totalBranches);
+    EXPECT_EQ(a.streamsServed, b.streamsServed);
+    EXPECT_EQ(a.storageBits, b.storageBits);
+    EXPECT_EQ(a.aggregate.totalPredictions(),
+              b.aggregate.totalPredictions());
+    EXPECT_EQ(a.aggregate.totalMispredictions(),
+              b.aggregate.totalMispredictions());
+    EXPECT_EQ(a.confusion.highCorrect(), b.confusion.highCorrect());
+    EXPECT_EQ(a.confusion.highWrong(), b.confusion.highWrong());
+    ASSERT_EQ(a.perStream.size(), b.perStream.size());
+    for (size_t i = 0; i < a.perStream.size(); ++i) {
+        const StreamResult& x = a.perStream[i];
+        const StreamResult& y = b.perStream[i];
+        EXPECT_EQ(x.id, y.id);
+        EXPECT_EQ(x.trace, y.trace);
+        EXPECT_EQ(x.branchesServed, y.branchesServed);
+        EXPECT_EQ(x.stateDigest, y.stateDigest) << "stream " << x.id;
+        for (const auto c : kAllPredictionClasses) {
+            EXPECT_EQ(x.stats.predictions(c), y.stats.predictions(c));
+            EXPECT_EQ(x.stats.mispredictions(c),
+                      y.stats.mispredictions(c));
+        }
+    }
+}
+
+ServeResult
+serveOrDie(const ServeOptions& opts,
+           const std::vector<StreamDesc>& streams)
+{
+    ServingEngine engine(opts);
+    ServeResult result;
+    std::string error;
+    EXPECT_TRUE(engine.serve(streams, result, error)) << error;
+    return result;
+}
+
+TEST(StreamSet, RoundRobinAssignsTracesIdsAndDistinctSalts)
+{
+    const auto streams =
+        StreamSet::roundRobin(7, {"A", "B"}, 100, 5);
+    ASSERT_EQ(streams.size(), 7u);
+    std::unordered_set<uint64_t> salts;
+    for (uint64_t i = 0; i < streams.size(); ++i) {
+        EXPECT_EQ(streams[i].id, i);
+        EXPECT_EQ(streams[i].trace, i % 2 == 0 ? "A" : "B");
+        EXPECT_EQ(streams[i].branches, 100u);
+        salts.insert(streams[i].seedSalt);
+    }
+    // Stream 0 keeps the canonical seed; everyone else is perturbed.
+    EXPECT_EQ(streams[0].seedSalt, 5u);
+    EXPECT_EQ(streams[3].seedSalt, 5u ^ (3 * kSaltStep));
+    EXPECT_EQ(salts.size(), streams.size());
+}
+
+TEST(ServingEngine, ResultsIdenticalAtAnyJobsShardsPoolBatch)
+{
+    const auto streams =
+        StreamSet::roundRobin(26, twoCbp1Traces(), 1200, 0);
+
+    ServeOptions base;
+    base.spec = "tage16k+sfc";
+    base.jobs = 1;
+    base.shards = 1;
+    base.poolPerShard = 0; // unbounded: no evictions at all
+    base.batch = 1u << 20; // one turn per stream
+    base.computeDigests = true;
+    const ServeResult reference = serveOrDie(base, streams);
+    EXPECT_EQ(reference.streamsServed, 26u);
+    EXPECT_EQ(reference.totalBranches, 26u * 1200u);
+
+    ServeOptions threaded = base;
+    threaded.jobs = 4;
+    threaded.shards = 7;
+    threaded.poolPerShard = 2; // constant eviction/restore churn
+    threaded.batch = 57;
+    expectSameServe(reference, serveOrDie(threaded, streams));
+
+    ServeOptions tiny_pool = base;
+    tiny_pool.jobs = 2;
+    tiny_pool.shards = 3;
+    tiny_pool.poolPerShard = 1;
+    tiny_pool.batch = 512;
+    expectSameServe(reference, serveOrDie(tiny_pool, streams));
+}
+
+TEST(ServingEngine, CheckpointResumeMatchesUninterruptedServe)
+{
+    const auto traces = twoCbp1Traces();
+    const auto dir_half = scratchDir("half");
+    const auto dir_resumed = scratchDir("resumed");
+    const auto dir_control = scratchDir("control");
+
+    ServeOptions opts;
+    opts.spec = "tage16k+sfc";
+    opts.jobs = 2;
+    opts.poolPerShard = 2;
+    opts.batch = 128;
+    opts.computeDigests = true;
+
+    // Phase 1: serve the first 450 branches, parking every stream.
+    opts.checkpointDir = dir_half.string();
+    serveOrDie(opts, StreamSet::roundRobin(6, traces, 450, 0));
+
+    // Phase 2: same streams to their full 900 branches, warm-started.
+    const auto full = StreamSet::roundRobin(6, traces, 900, 0);
+    opts.restoreDir = dir_half.string();
+    opts.checkpointDir = dir_resumed.string();
+    const ServeResult resumed = serveOrDie(opts, full);
+    EXPECT_EQ(resumed.streamsRestored, 6u);
+    for (const auto& s : resumed.perStream) {
+        EXPECT_EQ(s.resumedAt, 450u);
+        EXPECT_EQ(s.branchesServed, 450u);
+    }
+
+    // Control: the same 900 branches served in one uninterrupted run.
+    opts.restoreDir.clear();
+    opts.checkpointDir = dir_control.string();
+    const ServeResult control = serveOrDie(opts, full);
+
+    // Final predictor state must agree to the blob byte.
+    for (size_t i = 0; i < full.size(); ++i) {
+        EXPECT_EQ(resumed.perStream[i].stateDigest,
+                  control.perStream[i].stateDigest)
+            << "stream " << full[i].id;
+        const std::string name =
+            streamCheckpointFileName(full[i].id);
+        std::vector<uint8_t> a, b;
+        std::string error;
+        ASSERT_TRUE(readCheckpointFile(
+            (dir_resumed / name).string(), a, error))
+            << error;
+        ASSERT_TRUE(readCheckpointFile(
+            (dir_control / name).string(), b, error))
+            << error;
+        EXPECT_EQ(a, b) << name;
+    }
+
+    std::filesystem::remove_all(dir_half);
+    std::filesystem::remove_all(dir_resumed);
+    std::filesystem::remove_all(dir_control);
+}
+
+TEST(ServingEngine, RejectsBadOptionsAndDuplicateIds)
+{
+    ServeOptions opts;
+    opts.spec = "no-such-predictor";
+    std::string error;
+    EXPECT_FALSE(ServingEngine(opts).validate(&error));
+
+    // A bounded pool needs snapshot support to park streams; a
+    // stateful estimator has none.
+    opts.spec = "gshare+jrs";
+    opts.poolPerShard = 8;
+    error.clear();
+    EXPECT_FALSE(ServingEngine(opts).validate(&error));
+    EXPECT_NE(error.find("not supported"), std::string::npos) << error;
+
+    opts.spec = "tage16k+sfc";
+    EXPECT_TRUE(ServingEngine(opts).validate(&error)) << error;
+
+    std::vector<StreamDesc> dup(2);
+    dup[0] = {3, "FP-1", 100, 0};
+    dup[1] = {3, "FP-2", 100, 0};
+    ServeResult result;
+    ServingEngine engine(opts);
+    EXPECT_FALSE(engine.serve(dup, result, error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(ServingEngine, UnboundedPoolServesSnapshotFreeFamilies)
+{
+    // Without parking, checkpointing or digests, snapshot support is
+    // not required — a stateful-estimator spec still serves fine.
+    ServeOptions opts;
+    opts.spec = "gshare+jrs";
+    opts.poolPerShard = 0;
+    opts.jobs = 2;
+    const auto streams =
+        StreamSet::roundRobin(8, twoCbp1Traces(), 500, 0);
+    const ServeResult result = serveOrDie(opts, streams);
+    EXPECT_EQ(result.streamsServed, 8u);
+    EXPECT_EQ(result.totalBranches, 8u * 500u);
+    for (const auto& s : result.perStream)
+        EXPECT_EQ(s.stateDigest, 0u);
+}
+
+} // namespace
+} // namespace tagecon

@@ -383,5 +383,97 @@ TEST(SweepPlanFileTraces, ValidateRejectsMissingAndCorruptFiles)
     EXPECT_NE(error.find("cannot open"), std::string::npos);
 }
 
+TEST(SweepCache, SecondSweepIsServedEntirelyFromCache)
+{
+    SweepPlan plan = SweepPlan::over({"tage16k+sfc", "bimodal"},
+                                     {"FP-1", "INT-1"}, 20000);
+    plan.analysis.histogram = true;
+
+    SweepResultCache cache;
+    SweepExecStats first{}, second{};
+    const auto a =
+        runSweep(plan, {.jobs = 2, .cache = &cache, .stats = &first});
+    EXPECT_EQ(first.cells, 4u);
+    EXPECT_EQ(first.executed, 4u);
+    EXPECT_EQ(first.cacheHits, 0u);
+    EXPECT_EQ(cache.size(), 4u);
+
+    const auto b =
+        runSweep(plan, {.jobs = 2, .cache = &cache, .stats = &second});
+    EXPECT_EQ(second.cells, 4u);
+    EXPECT_EQ(second.executed, 0u);
+    EXPECT_EQ(second.cacheHits, 4u);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        expectIdentical(a[i], b[i]);
+        expectStatsIdentical(a[i].stats, b[i].stats);
+        expectAnalysisIdentical(a[i].analysis, b[i].analysis);
+    }
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SweepCache, DuplicateCellsInsideOnePlanSimulateOnce)
+{
+    // The same spec twice: each trace's cell appears twice in the
+    // grid, and the second occurrence must be a copy, not a re-run.
+    SweepPlan plan = SweepPlan::over({"tage16k+sfc", "tage16k+sfc"},
+                                     {"FP-1", "INT-1"}, 20000);
+    SweepResultCache cache;
+    SweepExecStats stats{};
+    const auto results =
+        runSweep(plan, {.jobs = 2, .cache = &cache, .stats = &stats});
+    EXPECT_EQ(stats.cells, 4u);
+    EXPECT_EQ(stats.executed, 2u);
+    EXPECT_EQ(stats.cacheHits, 2u);
+    ASSERT_EQ(results.size(), 4u);
+    expectIdentical(results[0], results[2]);
+    expectIdentical(results[1], results[3]);
+}
+
+TEST(SweepCache, KeyCoversEveryCellIngredient)
+{
+    const SweepCell base{"tage16k+sfc", "FP-1", 1000, 0, {}};
+    SweepCell spec = base;
+    spec.spec = "tage64k+sfc";
+    SweepCell trace = base;
+    trace.trace = "INT-1";
+    SweepCell branches = base;
+    branches.branches = 2000;
+    SweepCell salt = base;
+    salt.seedSalt = 1;
+    SweepCell analysis = base;
+    analysis.analysis.burst = true;
+
+    const std::string k = sweepCellKey(base);
+    EXPECT_NE(k, sweepCellKey(spec));
+    EXPECT_NE(k, sweepCellKey(trace));
+    EXPECT_NE(k, sweepCellKey(branches));
+    EXPECT_NE(k, sweepCellKey(salt));
+    EXPECT_NE(k, sweepCellKey(analysis));
+
+    // Spec aliases canonicalize to the same key ("self" == "sfc").
+    SweepCell alias = base;
+    alias.spec = "tage16k+self";
+    EXPECT_EQ(k, sweepCellKey(alias));
+
+    // A differently parameterized observer changes the key too.
+    SweepCell burst8 = analysis;
+    burst8.analysis.burstMaxDistance = 8;
+    EXPECT_NE(sweepCellKey(analysis), sweepCellKey(burst8));
+}
+
+TEST(SweepCache, UncachedSweepsReportPlainExecutionCounts)
+{
+    SweepPlan plan =
+        SweepPlan::over({"bimodal"}, {"FP-1", "INT-1"}, 5000);
+    SweepExecStats stats{};
+    runSweep(plan, {.jobs = 1, .stats = &stats});
+    EXPECT_EQ(stats.cells, 2u);
+    EXPECT_EQ(stats.executed, 2u);
+    EXPECT_EQ(stats.cacheHits, 0u);
+}
+
 } // namespace
 } // namespace tagecon

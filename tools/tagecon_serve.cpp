@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Multi-stream serving driver: N independent prediction streams —
+ * each its own trace position and predictor state — multiplexed over a
+ * fixed worker pool with sharded dispatch, plus predictor checkpoint /
+ * restore:
+ *
+ *   tagecon_serve --streams=10000 --spec=tage64k+sfc --traces=cbp1 \
+ *                 --branches=2000 --jobs=8
+ *
+ * Flags:
+ *   --streams=N          streams to serve (round-robin over --traces;
+ *                        default 64)
+ *   --spec=SPEC          registry spec for every stream's predictor
+ *                        (default tage64k+sfc)
+ *   --traces=...         trace specs and/or set aliases (cbp1 / cbp2 /
+ *                        all; default cbp1); stream i serves trace
+ *                        i mod count, salted per stream id
+ *   --branches=N         branches per stream (default 10000)
+ *   --seed=N             base seed salt (stream 0 is canonical)
+ *   --jobs=N             worker threads, 1-1024. Per-stream results
+ *                        are bit-identical at any value.
+ *   --shards=N           dispatch shards (default 4 x jobs)
+ *   --pool=N             resident predictors per shard; streams beyond
+ *                        it are parked as snapshot blobs between
+ *                        batches (default 8; 0 = unbounded)
+ *   --batch=N            predictions per stream per turn (default 512)
+ *   --checkpoint-dir=D   write each finished stream's state as
+ *                        D/stream-<id>.tcsp
+ *   --restore-dir=D      warm-start streams from D/stream-<id>.tcsp
+ *                        when present (missing files cold-start)
+ *   --digests            report each stream's checkpoint-blob digest
+ *   --per-stream         one output row per stream after the summary
+ *   --report=FMT         text (default), csv, or json; csv omits the
+ *                        banner and wall-clock timing so output can be
+ *                        diffed byte for byte across --jobs
+ *   --csv                alias for --report=csv
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+
+#include "serve/serving_engine.hpp"
+#include "sim/registry.hpp"
+#include "sim/reporting.hpp"
+#include "sim/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/table_printer.hpp"
+
+using namespace tagecon;
+
+int
+main(int argc, char** argv)
+{
+    const CliArgs args(argc, argv);
+
+    const std::vector<std::string> known_flags = {
+        "streams", "spec",           "traces",      "branches",
+        "seed",    "jobs",           "shards",      "pool",
+        "batch",   "checkpoint-dir", "restore-dir", "digests",
+        "per-stream", "report",      "csv"};
+    for (const auto& flag : args.flagNames()) {
+        if (std::find(known_flags.begin(), known_flags.end(), flag) ==
+            known_flags.end())
+            fatal("unknown flag --" + flag +
+                  " (known: --streams --spec --traces --branches "
+                  "--seed --jobs --shards --pool --batch "
+                  "--checkpoint-dir --restore-dir --digests "
+                  "--per-stream --report --csv)");
+    }
+
+    ServeOptions opts;
+    opts.spec = args.getString("spec", "tage64k+sfc");
+    opts.jobs =
+        static_cast<unsigned>(args.getUintInRange("jobs", 1, 1, 1024));
+    opts.shards = static_cast<unsigned>(
+        args.getUintInRange("shards", 0, 0, 1u << 20));
+    opts.poolPerShard = static_cast<unsigned>(
+        args.getUintInRange("pool", 8, 0, 1u << 20));
+    opts.batch = static_cast<unsigned>(
+        args.getUintInRange("batch", 512, 1, 1u << 24));
+    opts.checkpointDir = args.getString("checkpoint-dir", "");
+    opts.restoreDir = args.getString("restore-dir", "");
+    opts.computeDigests = args.getBool("digests", false);
+
+    const uint64_t num_streams =
+        args.getUintInRange("streams", 64, 1, 10000000);
+    const uint64_t branches = args.getUint("branches", 10000);
+    const uint64_t seed = args.getUint("seed", 0);
+    const bool per_stream = args.getBool("per-stream", false);
+
+    ReportFormat format = ReportFormat::Text;
+    std::string error;
+    if (args.getBool("csv", false))
+        format = ReportFormat::Csv;
+    if (args.has("report") &&
+        !parseReportFormat(args.getString("report", "text"), format,
+                           error))
+        fatal(error);
+
+    std::vector<std::string> traces;
+    if (!SweepPlan::resolveTraceArgs(args.getList("traces", {"cbp1"}),
+                                     traces, error))
+        fatal(error);
+
+    if (!opts.checkpointDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.checkpointDir, ec);
+        if (ec)
+            fatal("--checkpoint-dir: cannot create '" +
+                  opts.checkpointDir + "': " + ec.message());
+    }
+
+    ServingEngine engine(opts);
+    if (!engine.validate(&error))
+        fatal(error);
+
+    const auto streams =
+        StreamSet::roundRobin(num_streams, traces, branches, seed);
+    ServeResult result;
+    if (!engine.serve(streams, result, error))
+        fatal(error);
+
+    Report report("serve",
+                  "tagecon_serve: " + std::to_string(num_streams) +
+                      " stream(s) x " +
+                      engine.options().spec,
+                  "");
+    report.addMeta("spec", engine.options().spec);
+    report.addMeta("traces", std::to_string(traces.size()));
+    report.addMeta("branches/stream", std::to_string(branches));
+    report.addMeta("seed-salt", std::to_string(seed));
+    report.addMeta("jobs", std::to_string(opts.jobs));
+    report.setShowBanner(format != ReportFormat::Csv);
+
+    TextTable totals;
+    totals.addColumn("metric", TextTable::Align::Left);
+    totals.addColumn("value");
+    totals.addRow({"streams served",
+                   std::to_string(result.streamsServed)});
+    totals.addRow({"streams restored",
+                   std::to_string(result.streamsRestored)});
+    totals.addRow({"branches served",
+                   std::to_string(result.totalBranches)});
+    totals.addRow({"misp/KI", TextTable::num(result.aggregate.mpki(), 3)});
+    totals.addRow({"misp rate (MKP)",
+                   TextTable::num(result.aggregate.totalMkp(), 1)});
+    totals.addRow({"high cov",
+                   TextTable::frac(result.confusion.highCoverage())});
+    totals.addRow({"storage/predictor (Kbit)",
+                   TextTable::num(
+                       static_cast<double>(result.storageBits) / 1024.0,
+                       1)});
+    report.addTable(ReportTable{"totals", "serve totals",
+                                std::move(totals)});
+
+    report.addBlank();
+    report.addTable(ReportTable{"classes", "pooled per-class MPrate",
+                                classRateTable(result.aggregate)});
+
+    if (per_stream) {
+        TextTable t;
+        t.addColumn("stream");
+        t.addColumn("trace", TextTable::Align::Left);
+        t.addColumn("branches");
+        t.addColumn("resumed-at");
+        t.addColumn("misp/KI");
+        t.addColumn("misp rate (MKP)");
+        if (opts.computeDigests)
+            t.addColumn("state-digest");
+        for (const auto& s : result.perStream) {
+            std::vector<std::string> row = {
+                std::to_string(s.id),
+                s.trace,
+                std::to_string(s.branchesServed),
+                std::to_string(s.resumedAt),
+                TextTable::num(s.stats.mpki(), 3),
+                TextTable::num(s.stats.totalMkp(), 1)};
+            if (opts.computeDigests)
+                row.push_back(std::to_string(s.stateDigest));
+            t.addRow(row);
+        }
+        report.addBlank();
+        report.addTable(
+            ReportTable{"per-stream", "per-stream results",
+                        std::move(t)});
+    }
+
+    // Wall-clock timing is the one non-deterministic section; the CSV
+    // view omits it so output diffs byte for byte across --jobs.
+    if (format != ReportFormat::Csv) {
+        TextTable timing;
+        timing.addColumn("metric", TextTable::Align::Left);
+        timing.addColumn("value");
+        timing.addRow({"wall (s)",
+                       TextTable::num(result.timing.wallSeconds, 3)});
+        timing.addRow({"streams/s",
+                       TextTable::num(result.timing.streamsPerSec, 1)});
+        timing.addRow(
+            {"predictions/s",
+             TextTable::num(result.timing.predictionsPerSec, 0)});
+        timing.addRow({"p50 latency (ns/pred)",
+                       TextTable::num(result.timing.p50LatencyNs, 1)});
+        timing.addRow({"p99 latency (ns/pred)",
+                       TextTable::num(result.timing.p99LatencyNs, 1)});
+        timing.addRow({"latency samples",
+                       std::to_string(result.timing.latencySamples)});
+        report.addBlank();
+        report.addTable(ReportTable{"timing", "throughput (wall clock)",
+                                    std::move(timing)});
+    }
+
+    report.emit(format, std::cout);
+    return 0;
+}

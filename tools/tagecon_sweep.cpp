@@ -74,8 +74,8 @@ listObservers()
     std::cout << "selectable analysis observers:\n";
     for (const auto& name : registeredRunObservers())
         std::cout << "  " << name << "\n";
-    std::cout << "parameters: intervals:len=N  perbranch:top=N  "
-                 "warmup:len=N,mkp=N\n";
+    std::cout << "parameters: intervals:len=N  burst:max=N  "
+                 "perbranch:top=N  warmup:len=N,mkp=N\n";
 }
 
 void
@@ -197,6 +197,13 @@ main(int argc, char** argv)
     // values are rejected up front with the flag named.
     sweep_opt.jobs =
         static_cast<unsigned>(args.getUintInRange("jobs", 1, 1, 1024));
+    // Cell-level result cache: duplicate (spec, trace) cells — e.g. a
+    // spec listed twice, or overlapping trace selections — simulate
+    // once and are served from memory after that.
+    SweepResultCache cache;
+    SweepExecStats exec_stats;
+    sweep_opt.cache = &cache;
+    sweep_opt.stats = &exec_stats;
     if (args.getBool("progress", false)) {
         // Progress goes to stderr so CI stdout diffs stay byte-stable;
         // the sweep runner serializes invocations under its mutex.
@@ -299,7 +306,37 @@ main(int argc, char** argv)
         }
     }
 
+    // Bookkeeping only when dedup actually saved work, so the common
+    // banner stays byte-identical to earlier releases.
+    if (exec_stats.cacheHits > 0)
+        report.addMeta("cache-hits",
+                       std::to_string(exec_stats.cacheHits) + "/" +
+                           std::to_string(exec_stats.cells));
+
     report.addTable(ReportTable{"grid", "", std::move(t)});
+
+    // Pooled cross-trace observer views, one per row, ahead of the
+    // per-trace sections.
+    size_t row_idx = 0;
+    for (const auto& r : rows) {
+        const std::string prefix = "row" + std::to_string(row_idx);
+        if (r.pooledHistogram) {
+            report.addBlank();
+            ReportTable rt = histogramAnalysisTable(
+                *r.pooledHistogram, prefix + "-pooled-histogram");
+            rt.heading = r.spec + " (pooled) [histogram]";
+            report.addTable(std::move(rt));
+        }
+        if (r.pooledBurst) {
+            report.addBlank();
+            ReportTable rt = burstAnalysisTable(
+                *r.pooledBurst, prefix + "-pooled-burst");
+            rt.heading = r.spec + " (pooled) [burst]";
+            report.addTable(std::move(rt));
+        }
+        ++row_idx;
+    }
+
     size_t cell_idx = 0;
     for (const auto& [label, rr] : analysis_cells) {
         report.addBlank();
