@@ -6,6 +6,10 @@
  *
  *  - BM_TagePredictUpdate: the full per-branch loop (the sweep
  *    engine's unit of work),
+ *  - BM_TagePredictUpdateBatched: the same work through the fused
+ *    predictMany() step at batch 16 / 64 / 512 (second Arg). One
+ *    state iteration processes a whole batch; compare per-branch
+ *    costs via items_per_second,
  *  - BM_TagePredictOnly: the lookup path alone on warmed tables,
  *  - BM_TageUpdateOnly: the training path alone, replaying a recorded
  *    prediction stream,
@@ -73,6 +77,33 @@ BM_TagePredictUpdate(benchmark::State& state)
         i = (i + 1) % records.size();
     }
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_TagePredictUpdateBatched(benchmark::State& state)
+{
+    const auto& records = sharedTrace().records();
+    const size_t batch = static_cast<size_t>(state.range(1));
+    TagePredictor predictor(configByIndex(state.range(0)));
+    std::vector<uint64_t> pcs(batch);
+    std::vector<uint8_t> taken(batch);
+    std::vector<TagePrediction> out(batch);
+    size_t i = 0;
+    for (auto _ : state) {
+        // The fill loop is part of the measured cost on purpose: it is
+        // the same buffering runTrace() and the serving engine do.
+        for (size_t k = 0; k < batch; ++k) {
+            const BranchRecord& rec = records[i];
+            pcs[k] = rec.pc;
+            taken[k] = rec.taken ? 1 : 0;
+            i = (i + 1) % records.size();
+        }
+        predictor.predictMany(pcs, taken, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(batch));
 }
 
 void
@@ -193,6 +224,8 @@ BM_SyntheticTraceGeneration(benchmark::State& state)
 }
 
 BENCHMARK(BM_TagePredictUpdate)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_TagePredictUpdateBatched)
+    ->ArgsProduct({{0, 1, 2}, {16, 64, 512}});
 BENCHMARK(BM_TagePredictOnly)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_TageUpdateOnly)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_TageAllocationStorm)->Arg(0)->Arg(1)->Arg(2);

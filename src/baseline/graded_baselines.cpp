@@ -158,6 +158,24 @@ GradedPerceptron::reset()
     inner_ = PerceptronPredictor(logPerceptrons_, historyBits_);
 }
 
+bool
+GradedPerceptron::snapshot(StateWriter& out, std::string& error) const
+{
+    (void)error;
+    inner_.saveState(out);
+    return true;
+}
+
+bool
+GradedPerceptron::restore(StateReader& in, std::string& error)
+{
+    if (!inner_.loadState(in, error)) {
+        reset();
+        return false;
+    }
+    return true;
+}
+
 // ----------------------------------------------------------- GradedOgehl
 
 GradedOgehl::GradedOgehl(OgehlPredictor::Config cfg)
@@ -190,6 +208,24 @@ void
 GradedOgehl::reset()
 {
     inner_ = OgehlPredictor(inner_.config());
+}
+
+bool
+GradedOgehl::snapshot(StateWriter& out, std::string& error) const
+{
+    (void)error;
+    inner_.saveState(out);
+    return true;
+}
+
+bool
+GradedOgehl::restore(StateReader& in, std::string& error)
+{
+    if (!inner_.loadState(in, error)) {
+        reset();
+        return false;
+    }
+    return true;
 }
 
 } // namespace tagecon

@@ -97,6 +97,8 @@ class GradedPerceptron : public GradedPredictor
     uint64_t storageBits() const override;
     void reset() override;
     bool hasIntrinsicConfidence() const override { return true; }
+    bool snapshot(StateWriter& out, std::string& error) const override;
+    bool restore(StateReader& in, std::string& error) override;
 
     /** The wrapped predictor (read-only). */
     const PerceptronPredictor& inner() const { return inner_; }
@@ -123,6 +125,8 @@ class GradedOgehl : public GradedPredictor
     uint64_t storageBits() const override;
     void reset() override;
     bool hasIntrinsicConfidence() const override { return true; }
+    bool snapshot(StateWriter& out, std::string& error) const override;
+    bool restore(StateReader& in, std::string& error) override;
 
     /** The wrapped predictor (read-only). */
     const OgehlPredictor& inner() const { return inner_; }

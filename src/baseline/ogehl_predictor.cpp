@@ -5,6 +5,7 @@
 #include "tage/tage_config.hpp"
 #include "util/bit_utils.hpp"
 #include "util/logging.hpp"
+#include "util/saturating_counter.hpp"
 
 namespace tagecon {
 
@@ -29,8 +30,9 @@ OgehlPredictor::OgehlPredictor(Config cfg)
     if (cfg_.minHistory < 1 || cfg_.maxHistory < cfg_.minHistory)
         fatal("O-GEHL: bad history bounds");
 
-    tables_.assign(static_cast<size_t>(cfg_.numTables),
-                   std::vector<int8_t>(size_t{1} << cfg_.logEntries, 0));
+    tables_.assign(static_cast<size_t>(cfg_.numTables)
+                       << cfg_.logEntries,
+                   0);
 
     // Geometric history series for tables 1..M-1; table 0 is
     // PC-indexed (history length 0).
@@ -63,7 +65,8 @@ OgehlPredictor::computeSum(uint64_t pc) const
     // around -0.5).
     int sum = cfg_.numTables / 2;
     for (int t = 0; t < cfg_.numTables; ++t)
-        sum += tables_[static_cast<size_t>(t)][indexFor(pc, t)];
+        sum += tables_[(static_cast<size_t>(t) << cfg_.logEntries) +
+                       indexFor(pc, t)];
     return sum;
 }
 
@@ -87,11 +90,10 @@ OgehlPredictor::update(uint64_t pc, bool taken)
     if (mispredicted || low_confidence) {
         for (int t = 0; t < cfg_.numTables; ++t) {
             int8_t& ctr =
-                tables_[static_cast<size_t>(t)][indexFor(pc, t)];
-            if (taken && ctr < ctrMax_)
-                ++ctr;
-            else if (!taken && ctr > ctrMin_)
-                --ctr;
+                tables_[(static_cast<size_t>(t) << cfg_.logEntries) +
+                        indexFor(pc, t)];
+            ctr = static_cast<int8_t>(
+                packed::signedUpdate(ctr, cfg_.ctrBits, taken));
         }
     }
 
@@ -125,6 +127,99 @@ OgehlPredictor::storageBits() const
     return static_cast<uint64_t>(cfg_.numTables) *
            (uint64_t{1} << cfg_.logEntries) *
            static_cast<uint64_t>(cfg_.ctrBits);
+}
+
+void
+OgehlPredictor::saveState(StateWriter& out) const
+{
+    // Geometry fingerprint: everything loadState() must agree on for
+    // the arena size, hash functions and threshold dynamics to line
+    // up.
+    out.u8(static_cast<uint8_t>(cfg_.numTables));
+    out.u8(static_cast<uint8_t>(cfg_.logEntries));
+    out.u8(static_cast<uint8_t>(cfg_.ctrBits));
+    out.u32(static_cast<uint32_t>(cfg_.minHistory));
+    out.u32(static_cast<uint32_t>(cfg_.maxHistory));
+    out.u32(static_cast<uint32_t>(cfg_.initialTheta));
+    out.u8(static_cast<uint8_t>(cfg_.thresholdCtrBits));
+
+    // Dynamic state.
+    out.bytes(reinterpret_cast<const uint8_t*>(tables_.data()),
+              tables_.size());
+
+    // History ring, relative to the head (index 0 = newest), packed 8
+    // outcomes per byte; replaying oldest-first into a cleared ring
+    // restores every addressable h[i].
+    const size_t outcomes = history_.capacity() + 1;
+    out.u32(static_cast<uint32_t>(outcomes));
+    out.packedBits(outcomes, [&](size_t i) {
+        return history_[outcomes - 1 - i] != 0;
+    });
+    for (int t = 1; t < cfg_.numTables; ++t)
+        out.u32(folds_[static_cast<size_t>(t)].value());
+
+    out.i64(theta_);
+    out.i64(thresholdCounter_);
+}
+
+bool
+OgehlPredictor::loadState(StateReader& in, std::string& error)
+{
+    const bool geometry_ok =
+        in.u8() == static_cast<uint8_t>(cfg_.numTables) &&
+        in.u8() == static_cast<uint8_t>(cfg_.logEntries) &&
+        in.u8() == static_cast<uint8_t>(cfg_.ctrBits) &&
+        in.u32() == static_cast<uint32_t>(cfg_.minHistory) &&
+        in.u32() == static_cast<uint32_t>(cfg_.maxHistory) &&
+        in.u32() == static_cast<uint32_t>(cfg_.initialTheta) &&
+        in.u8() == static_cast<uint8_t>(cfg_.thresholdCtrBits);
+    if (!in.ok() || !geometry_ok) {
+        error = in.ok() ? "O-GEHL state was written by a predictor "
+                          "with a different geometry"
+                        : "O-GEHL state is truncated";
+        return false;
+    }
+
+    // Decode everything before committing so a truncated blob leaves
+    // the predictor untouched.
+    std::vector<int8_t> tables(tables_.size());
+    in.bytes(reinterpret_cast<uint8_t*>(tables.data()), tables.size());
+
+    const size_t outcomes = history_.capacity() + 1;
+    if (in.u32() != static_cast<uint32_t>(outcomes)) {
+        error = in.ok() ? "O-GEHL state carries a history ring of a "
+                          "different capacity"
+                        : "O-GEHL state is truncated";
+        return false;
+    }
+    std::vector<uint8_t> ring(outcomes, 0);
+    in.packedBits(outcomes,
+                  [&](size_t i, bool bit) { ring[i] = bit ? 1 : 0; });
+    std::vector<uint32_t> fold_state(
+        static_cast<size_t>(cfg_.numTables), 0);
+    for (int t = 1; t < cfg_.numTables; ++t)
+        fold_state[static_cast<size_t>(t)] = in.u32();
+    const int64_t theta = in.i64();
+    const int64_t threshold_counter = in.i64();
+    if (!in.ok()) {
+        error = "O-GEHL state is truncated";
+        return false;
+    }
+
+    tables_ = std::move(tables);
+    // ring[0] is the oldest outcome; pushing oldest-first rebuilds
+    // every head-relative index.
+    history_.clear();
+    for (const uint8_t bit : ring)
+        history_.push(bit != 0);
+    for (int t = 1; t < cfg_.numTables; ++t)
+        folds_[static_cast<size_t>(t)].restore(
+            fold_state[static_cast<size_t>(t)]);
+    theta_ = static_cast<int>(theta);
+    thresholdCounter_ = static_cast<int>(threshold_counter);
+    lastSum_ = 0;
+    lastAbsSum_ = 0;
+    return true;
 }
 
 } // namespace tagecon

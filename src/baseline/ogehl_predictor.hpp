@@ -14,10 +14,12 @@
 #ifndef TAGECON_BASELINE_OGEHL_PREDICTOR_HPP
 #define TAGECON_BASELINE_OGEHL_PREDICTOR_HPP
 
+#include <string>
 #include <vector>
 
 #include "baseline/predictor.hpp"
 #include "util/global_history.hpp"
+#include "util/state_io.hpp"
 
 namespace tagecon {
 
@@ -76,12 +78,33 @@ class OgehlPredictor : public ConditionalPredictor
     /** The configuration in use. */
     const Config& config() const { return cfg_; }
 
+    /**
+     * Serialize the architectural state — counter arena, history ring,
+     * fold registers, adaptive threshold — behind a geometry
+     * fingerprint. The last-sum introspection values are
+     * predict-transient and not part of the state.
+     */
+    void saveState(StateWriter& out) const;
+
+    /**
+     * Restore state written by saveState(). Returns false with the
+     * reason in @p error (leaving the predictor untouched) on
+     * truncation or geometry mismatch.
+     */
+    bool loadState(StateReader& in, std::string& error);
+
   private:
     uint32_t indexFor(uint64_t pc, int table) const;
     int computeSum(uint64_t pc) const;
 
     Config cfg_;
-    std::vector<std::vector<int8_t>> tables_; // [table][entry]
+
+    /**
+     * Flat counter arena: table t owns the (1 << logEntries) int8
+     * counters starting at t << logEntries. One byte per counter via
+     * the packed::signedUpdate transition at ctrBits.
+     */
+    std::vector<int8_t> tables_;
     GlobalHistory history_;
     std::vector<FoldedHistory> folds_; // [table], table 0 unused
 

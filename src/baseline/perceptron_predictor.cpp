@@ -5,6 +5,7 @@
 
 #include "util/bit_utils.hpp"
 #include "util/logging.hpp"
+#include "util/saturating_counter.hpp"
 
 namespace tagecon {
 
@@ -17,9 +18,9 @@ PerceptronPredictor::PerceptronPredictor(int log_perceptrons,
         fatal("perceptron: bad table size");
     if (history_bits < 1 || history_bits > 64)
         fatal("perceptron: bad history length");
-    weights_.assign(size_t{1} << log_perceptrons,
-                    std::vector<int16_t>(
-                        static_cast<size_t>(history_bits) + 1, 0));
+    weights_.assign((size_t{1} << log_perceptrons) *
+                        (static_cast<size_t>(history_bits) + 1),
+                    0);
 }
 
 uint32_t
@@ -32,12 +33,12 @@ PerceptronPredictor::indexFor(uint64_t pc) const
 int
 PerceptronPredictor::computeSum(uint64_t pc) const
 {
-    const auto& w = weights_[indexFor(pc)];
+    const size_t stride = static_cast<size_t>(historyBits_) + 1;
+    const int8_t* w = weights_.data() + indexFor(pc) * stride;
     int sum = w[0]; // bias weight: input is the constant 1
     for (int i = 0; i < historyBits_; ++i) {
         const bool bit = ((history_ >> i) & 1) != 0;
-        sum += bit ? w[static_cast<size_t>(i) + 1]
-                   : -w[static_cast<size_t>(i) + 1];
+        sum += bit ? w[i + 1] : -w[i + 1];
     }
     return sum;
 }
@@ -58,18 +59,18 @@ PerceptronPredictor::update(uint64_t pc, bool taken)
 
     // Train on a misprediction or when the output is not confident.
     if (predicted != taken || std::abs(sum) <= theta_) {
-        auto& w = weights_[indexFor(pc)];
-        const int t = taken ? 1 : -1;
-        auto bump = [t](int16_t& weight, int input) {
-            const int next = weight + t * input;
-            if (next <= kWeightMax && next >= kWeightMin)
-                weight = static_cast<int16_t>(next);
+        const size_t stride = static_cast<size_t>(historyBits_) + 1;
+        int8_t* w = weights_.data() + indexFor(pc) * stride;
+        // Each weight moves one step toward agreement between the
+        // outcome and its input; signedUpdate at 8 bits saturates at
+        // the same [-128, 127] rails as the classic clamp.
+        auto bump = [taken](int8_t& weight, bool input_taken) {
+            weight = static_cast<int8_t>(
+                packed::signedUpdate(weight, 8, taken == input_taken));
         };
-        bump(w[0], 1);
-        for (int i = 0; i < historyBits_; ++i) {
-            const int input = ((history_ >> i) & 1) != 0 ? 1 : -1;
-            bump(w[static_cast<size_t>(i) + 1], input);
-        }
+        bump(w[0], true);
+        for (int i = 0; i < historyBits_; ++i)
+            bump(w[i + 1], ((history_ >> i) & 1) != 0);
     }
 
     history_ = (history_ << 1) | (taken ? 1 : 0);
@@ -81,6 +82,43 @@ PerceptronPredictor::storageBits() const
     // 8-bit weights, (h + 1) weights per perceptron.
     return (uint64_t{1} << logPerceptrons_) *
            static_cast<uint64_t>(historyBits_ + 1) * 8;
+}
+
+void
+PerceptronPredictor::saveState(StateWriter& out) const
+{
+    out.u8(static_cast<uint8_t>(logPerceptrons_));
+    out.u8(static_cast<uint8_t>(historyBits_));
+    out.bytes(reinterpret_cast<const uint8_t*>(weights_.data()),
+              weights_.size());
+    out.u64(history_);
+}
+
+bool
+PerceptronPredictor::loadState(StateReader& in, std::string& error)
+{
+    const bool geometry_ok =
+        in.u8() == static_cast<uint8_t>(logPerceptrons_) &&
+        in.u8() == static_cast<uint8_t>(historyBits_);
+    if (!in.ok() || !geometry_ok) {
+        error = in.ok() ? "perceptron state was written by a predictor "
+                          "with a different geometry"
+                        : "perceptron state is truncated";
+        return false;
+    }
+    std::vector<int8_t> weights(weights_.size());
+    in.bytes(reinterpret_cast<uint8_t*>(weights.data()),
+             weights.size());
+    const uint64_t history = in.u64();
+    if (!in.ok()) {
+        error = "perceptron state is truncated";
+        return false;
+    }
+    weights_ = std::move(weights);
+    history_ = history;
+    lastSum_ = 0;
+    lastAbsSum_ = 0;
+    return true;
 }
 
 } // namespace tagecon

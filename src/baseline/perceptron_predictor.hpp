@@ -11,9 +11,11 @@
 #define TAGECON_BASELINE_PERCEPTRON_PREDICTOR_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "baseline/predictor.hpp"
+#include "util/state_io.hpp"
 
 namespace tagecon {
 
@@ -45,20 +47,37 @@ class PerceptronPredictor : public ConditionalPredictor
     /** Training threshold theta = floor(1.93 * h + 14). */
     int theta() const { return theta_; }
 
+    /**
+     * Serialize the architectural state (weight arena + history)
+     * behind a geometry fingerprint. The last-sum introspection values
+     * are predict-transient and not part of the state.
+     */
+    void saveState(StateWriter& out) const;
+
+    /**
+     * Restore state written by saveState(). Returns false with the
+     * reason in @p error (leaving the predictor untouched) on
+     * truncation or geometry mismatch.
+     */
+    bool loadState(StateReader& in, std::string& error);
+
   private:
     uint32_t indexFor(uint64_t pc) const;
     int computeSum(uint64_t pc) const;
 
-    std::vector<std::vector<int16_t>> weights_; // [perceptron][0..h]
+    /**
+     * Flat weight arena: perceptron p owns the (historyBits_ + 1)
+     * int8 weights starting at p * stride, bias first. One byte per
+     * weight via the packed::signedUpdate transition at 8 bits —
+     * identical saturation behavior to the classic clamp.
+     */
+    std::vector<int8_t> weights_;
     uint64_t history_ = 0;
     int logPerceptrons_;
     int historyBits_;
     int theta_;
     int lastSum_ = 0;
     int lastAbsSum_ = 0;
-
-    static constexpr int kWeightMax = 127;
-    static constexpr int kWeightMin = -128;
 };
 
 } // namespace tagecon

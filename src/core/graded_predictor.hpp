@@ -23,8 +23,10 @@
 #ifndef TAGECON_CORE_GRADED_PREDICTOR_HPP
 #define TAGECON_CORE_GRADED_PREDICTOR_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -87,6 +89,51 @@ class GradedPredictor
      * returned by the immediately preceding predict(pc).
      */
     virtual void update(uint64_t pc, const Prediction& p, bool taken) = 0;
+
+    /**
+     * True when predictMany() is a genuinely batched implementation
+     * rather than the scalar fallback loop. Callers may route through
+     * predictMany() unconditionally — the fallback is bit-identical —
+     * so this only informs reporting and gating decisions.
+     */
+    virtual bool hasBatchedPredict() const { return false; }
+
+    /**
+     * Fused batched step over a batch of resolved branches: for each
+     * element k, out[k] receives the Prediction the scalar
+     * predict(pcs[k]) would have produced at that point, and the
+     * predictor trains with taken[k] (nonzero = taken). The contract
+     * is bit-identity with the scalar predict/update loop — including
+     * predictions inside the batch observing earlier elements'
+     * training. Trace replay and the serving engine drive this;
+     * batched implementations (the TAGE family) precompute and
+     * prefetch the whole batch's table accesses first.
+     */
+    virtual void
+    predictMany(std::span<const uint64_t> pcs,
+                std::span<const uint8_t> taken, std::span<Prediction> out)
+    {
+        for (size_t k = 0; k < pcs.size(); ++k) {
+            out[k] = predict(pcs[k]);
+            update(pcs[k], out[k], taken[k] != 0);
+        }
+    }
+
+    /**
+     * Batched replay training: update(pcs[k], preds[k], taken[k]) for
+     * every element, prefetched where the family supports it. Only
+     * valid where the equivalent scalar update() sequence would be —
+     * families that route per-lookup state through Prediction::payload
+     * still require each update to follow its own predict.
+     */
+    virtual void
+    updateMany(std::span<const uint64_t> pcs,
+               std::span<const Prediction> preds,
+               std::span<const uint8_t> taken)
+    {
+        for (size_t k = 0; k < pcs.size(); ++k)
+            update(pcs[k], preds[k], taken[k] != 0);
+    }
 
     /** Total storage in bits, including any attached estimator. */
     virtual uint64_t storageBits() const = 0;
@@ -240,6 +287,32 @@ class EstimatedPredictor : public GradedPredictor
         host_->update(pc, p, taken);
     }
 
+    /**
+     * A transparent estimator — one that preserves the host's classes
+     * and keeps no state of its own ("+sfc") — returns every grade
+     * unchanged and has nothing to train, so the batched step can
+     * delegate to the host wholesale and stay bit-identical. Any other
+     * estimator must interleave grade()/onResolve() per element, which
+     * is exactly the scalar fallback loop.
+     */
+    bool
+    hasBatchedPredict() const override
+    {
+        return transparentEstimator() && host_->hasBatchedPredict();
+    }
+
+    void
+    predictMany(std::span<const uint64_t> pcs,
+                std::span<const uint8_t> taken,
+                std::span<Prediction> out) override
+    {
+        if (transparentEstimator()) {
+            host_->predictMany(pcs, taken, out);
+            return;
+        }
+        GradedPredictor::predictMany(pcs, taken, out);
+    }
+
     uint64_t
     storageBits() const override
     {
@@ -306,6 +379,14 @@ class EstimatedPredictor : public GradedPredictor
     }
 
   private:
+    /** True when the estimator is a stateless pass-through. */
+    bool
+    transparentEstimator() const
+    {
+        return estimator_->preservesHostClasses() &&
+               estimator_->storageBits() == 0;
+    }
+
     std::unique_ptr<GradedPredictor> host_;
     std::unique_ptr<ConfidenceEstimator> estimator_;
 };

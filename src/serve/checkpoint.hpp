@@ -33,8 +33,15 @@ namespace tagecon {
 /** First bytes of every checkpoint blob ("TCKP", little-endian). */
 inline constexpr uint32_t kCheckpointMagic = 0x504B4354u;
 
-/** Current blob format version. */
-inline constexpr uint32_t kCheckpointVersion = 1;
+/**
+ * Current blob format version. Version history:
+ *  - 1: 4 B/entry TAGE payloads (separate ctr and u arena sections).
+ *  - 2: 3 B/entry packed payloads (one packed::ctru* arena section);
+ *       perceptron and O-GEHL gained snapshot support.
+ * Readers reject any other version outright — predictor payloads are
+ * raw arena images, so cross-version translation is not attempted.
+ */
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /** Decoded form of one checkpoint blob. */
 struct Checkpoint {

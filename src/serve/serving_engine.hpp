@@ -105,6 +105,14 @@ struct ServeOptions {
      * (StreamResult::stateDigest) even when not writing files.
      */
     bool computeDigests = false;
+
+    /**
+     * Serve with the scalar predict/update loop instead of routing
+     * each scheduling turn through predictMany(). The two paths are
+     * bit-identical by contract; CI diffs their outputs. Debug /
+     * verification knob ("tagecon_serve --scalar").
+     */
+    bool forceScalar = false;
 };
 
 /** Outcome of serving one stream. */

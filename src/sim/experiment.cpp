@@ -1,5 +1,8 @@
 #include "sim/experiment.hpp"
 
+#include <span>
+#include <vector>
+
 #include "sim/registry.hpp"
 #include "tage/graded_tage.hpp"
 #include "util/logging.hpp"
@@ -28,6 +31,13 @@ finishSet(SetResult& sr, double mpki_sum)
 
 } // namespace
 
+namespace {
+
+/** Internal batch size of runTrace()'s predictMany() fast path. */
+constexpr size_t kTraceBatch = 512;
+
+} // namespace
+
 RunResult
 runTrace(TraceSource& trace, GradedPredictor& predictor)
 {
@@ -36,16 +46,57 @@ runTrace(TraceSource& trace, GradedPredictor& predictor)
     result.configName = predictor.name();
 
     BranchRecord rec;
-    while (trace.next(rec)) {
-        const Prediction p = predictor.predict(rec.pc);
-        const bool mispredicted = p.taken != rec.taken;
+    if (predictor.hasBatchedPredict()) {
+        // Batched inner loop: buffer up to kTraceBatch resolved
+        // branches and run them through the fused batched step, which
+        // is bit-identical to the scalar loop below. Stats are folded
+        // in the same element order, so the result is unchanged.
+        std::vector<uint64_t> pcs;
+        std::vector<uint8_t> taken;
+        std::vector<uint64_t> insns;
+        std::vector<Prediction> preds(kTraceBatch);
+        pcs.reserve(kTraceBatch);
+        taken.reserve(kTraceBatch);
+        insns.reserve(kTraceBatch);
+        bool more = true;
+        while (more) {
+            pcs.clear();
+            taken.clear();
+            insns.clear();
+            while (pcs.size() < kTraceBatch && (more = trace.next(rec))) {
+                pcs.push_back(rec.pc);
+                taken.push_back(rec.taken ? 1 : 0);
+                insns.push_back(uint64_t{rec.instructionsBefore} + 1);
+            }
+            const size_t n = pcs.size();
+            if (n == 0)
+                break;
+            predictor.predictMany(
+                std::span<const uint64_t>(pcs.data(), n),
+                std::span<const uint8_t>(taken.data(), n),
+                std::span<Prediction>(preds.data(), n));
+            for (size_t k = 0; k < n; ++k) {
+                const bool mispredicted =
+                    preds[k].taken != (taken[k] != 0);
+                result.stats.record(preds[k].cls, mispredicted,
+                                    insns[k]);
+                result.confusion.record(preds[k].confidence ==
+                                            ConfidenceLevel::High,
+                                        !mispredicted);
+            }
+        }
+    } else {
+        while (trace.next(rec)) {
+            const Prediction p = predictor.predict(rec.pc);
+            const bool mispredicted = p.taken != rec.taken;
 
-        result.stats.record(p.cls, mispredicted,
-                            uint64_t{rec.instructionsBefore} + 1);
-        result.confusion.record(
-            p.confidence == ConfidenceLevel::High, !mispredicted);
+            result.stats.record(p.cls, mispredicted,
+                                uint64_t{rec.instructionsBefore} + 1);
+            result.confusion.record(
+                p.confidence == ConfidenceLevel::High, !mispredicted);
 
-        predictor.update(rec.pc, p, rec.taken);
+            predictor.update(rec.pc, p, rec.taken);
+        }
     }
 
     result.finalLog2Prob = predictor.satLog2Prob();

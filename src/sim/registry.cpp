@@ -80,6 +80,16 @@ buildTageConfig(const TageGeometry& base_geometry, const SpecParams& p,
     const int ubits = static_cast<int>(p.getInt("ubits", 2, 1, 8));
     const bool ualt = p.getBool("ualt", true);
 
+    // The tagged arena packs ctr and u into one byte; reject spec
+    // combinations that cannot, before TageConfig::validate() would
+    // make the same complaint fatal.
+    if (ctr + ubits > 8) {
+        error = "ctr=" + std::to_string(ctr) + " and ubits=" +
+                std::to_string(ubits) +
+                " do not pack into one byte (ctr + ubits must be <= 8)";
+        return false;
+    }
+
     // Surface a malformed value as this factory's own error so it is
     // reported ahead of any modifier problem, and skip constructing a
     // predictor that is already disqualified.

@@ -48,6 +48,45 @@ GradedTage::update(uint64_t pc, const Prediction& p, bool taken)
     predictor_.update(pc, raw_, taken);
 }
 
+bool
+GradedTage::hasBatchedPredict() const
+{
+    return !controller_.has_value();
+}
+
+void
+GradedTage::predictMany(std::span<const uint64_t> pcs,
+                        std::span<const uint8_t> taken,
+                        std::span<Prediction> out)
+{
+    if (controller_) {
+        GradedPredictor::predictMany(pcs, taken, out);
+        return;
+    }
+    const size_t n = pcs.size();
+    if (rawBatch_.size() < n)
+        rawBatch_.resize(n);
+    predictor_.predictMany(
+        pcs, taken, std::span<TagePrediction>(rawBatch_.data(), n));
+
+    // The burst-window observer never feeds back into the TAGE tables,
+    // so its classify/onResolve interleaving can run as a second pass
+    // in element order — the exact sequence the scalar loop produces.
+    for (size_t k = 0; k < n; ++k) {
+        const TagePrediction& raw = rawBatch_[k];
+        Prediction& p = out[k];
+        p.taken = raw.taken;
+        p.cls = observer_.classify(raw);
+        p.confidence = confidenceLevel(p.cls);
+        p.payload = ++seq_;
+        lastIntrinsicLevel_ = p.confidence;
+        observer_.onResolve(raw, taken[k] != 0);
+    }
+    // Keep the scalar invariant that raw_ pairs with the newest seq_.
+    if (n != 0)
+        raw_ = rawBatch_[n - 1];
+}
+
 uint64_t
 GradedTage::storageBits() const
 {

@@ -13,6 +13,7 @@
 #define TAGECON_TAGE_GRADED_TAGE_HPP
 
 #include <optional>
+#include <vector>
 
 #include "core/adaptive_probability.hpp"
 #include "core/confidence_observer.hpp"
@@ -51,6 +52,22 @@ class GradedTage : public GradedPredictor
 
     Prediction predict(uint64_t pc) override;
     void update(uint64_t pc, const Prediction& p, bool taken) override;
+
+    /**
+     * Batched: true unless the adaptive controller is attached — the
+     * controller retunes the saturation probability between elements,
+     * which the fused TAGE batch cannot replay, so adaptive stacks
+     * stay on the (bit-identical) scalar loop.
+     */
+    bool hasBatchedPredict() const override;
+
+    /**
+     * Fused batched step through TagePredictor::predictMany(), with
+     * the storage-free grading applied per element in scalar order.
+     */
+    void predictMany(std::span<const uint64_t> pcs,
+                     std::span<const uint8_t> taken,
+                     std::span<Prediction> out) override;
 
     uint64_t storageBits() const override;
     void reset() override;
@@ -92,6 +109,9 @@ class GradedTage : public GradedPredictor
     TagePrediction raw_;
     ConfidenceLevel lastIntrinsicLevel_ = ConfidenceLevel::High;
     uint64_t seq_ = 0;
+
+    /** predictMany() scratch; not architectural state. */
+    std::vector<TagePrediction> rawBatch_;
 };
 
 /**

@@ -134,6 +134,9 @@ TageConfig::validate() const
         fatal("TAGE config '" + name + "': bad tagged counter width");
     if (usefulBits < 1 || usefulBits > 8)
         fatal("TAGE config '" + name + "': bad useful counter width");
+    if (taggedCtrBits + usefulBits > 8)
+        fatal("TAGE config '" + name + "': tagged ctr and useful "
+              "counters must pack into one byte (ctr + u bits <= 8)");
     if (pathHistoryBits < 1 || pathHistoryBits > 32)
         fatal("TAGE config '" + name + "': bad path history width");
     if (satLog2Prob > 15)

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 
 #include "util/bit_utils.hpp"
 #include "util/logging.hpp"
+#include "util/simd.hpp"
 
 namespace tagecon {
 
@@ -16,6 +18,14 @@ bimodalInit(int bits)
 {
     return 1u << (bits - 1); // e.g. 2 for a 2-bit counter
 }
+
+/**
+ * predictMany() processing-block size. One block's TagePrediction
+ * scratch (~140 B each) plus the per-table index/tag staging arrays
+ * must stay L1-resident between the table-major index pass and the
+ * per-element resolve pass; 64 elements keeps the footprint near 12 KB.
+ */
+constexpr size_t kBatchBlock = 64;
 
 /** rotateLeft specialized for rot already reduced mod width. */
 inline uint32_t
@@ -62,9 +72,8 @@ TagePredictor::TagePredictor(TageConfig config, uint16_t lfsr_seed)
         folds_[static_cast<size_t>(i)] = FoldedHistoryTriple(
             tc.historyLength, tc.logEntries, tc.tagBits, tc.tagBits - 1);
     }
-    ctr_.assign(offset, 0);
     tag_.assign(offset, 0);
-    u_.assign(offset, 0);
+    ctru_.assign(offset, 0); // ctr 0, u 0 packs to 0
 
     uResetCountdown_ = config_.uResetPeriod;
 }
@@ -130,38 +139,56 @@ TagePredictor::predict(uint64_t pc) const
     const int m = config_.numTaggedTables();
 
     p.index[0] = bimodalIndex(pc);
+    for (int i = 1; i <= m; ++i) {
+        p.index[static_cast<size_t>(i)] = taggedIndex(pc, i);
+        p.tag[static_cast<size_t>(i)] = taggedTag(pc, i);
+    }
+    fillFromTables(p);
+    return p;
+}
+
+void
+TagePredictor::fillFromTables(TagePrediction& p) const
+{
+    const int m = config_.numTaggedTables();
+
     const uint8_t bim = bimodal_[p.index[0]];
     const int bim_bits = config_.bimodalCtrBits;
     p.bimodalTaken = packed::unsignedTaken(bim, bim_bits);
     p.bimodalWeak = packed::unsignedWeak(bim, bim_bits);
 
+    // Find provider (longest matching history) and the alternate:
+    // gather the candidate entries' stored tags and compare all lanes
+    // at once. Bit i-1 of the mask = "table i matches", so the
+    // provider is the highest set bit and the alternate the next one
+    // down — the same entries the scalar longest-match scan selects.
+    // Unused lanes hold 0 in both arrays and are masked off.
+    alignas(16) uint16_t stored[kMaxTaggedTables] = {};
+    alignas(16) uint16_t want[kMaxTaggedTables] = {};
+    static_assert(kMaxTaggedTables == 16,
+                  "tag scan assumes 16 matchMask16 lanes");
     for (int i = 1; i <= m; ++i) {
-        p.index[static_cast<size_t>(i)] = taggedIndex(pc, i);
-        p.tag[static_cast<size_t>(i)] = taggedTag(pc, i);
+        stored[i - 1] = tag_[meta_[static_cast<size_t>(i)].offset +
+                             p.index[static_cast<size_t>(i)]];
+        want[i - 1] = p.tag[static_cast<size_t>(i)];
     }
-
-    // Find provider (longest matching history) and the alternate. The
-    // scan only touches the packed tag arena.
+    uint32_t mask = simd::matchMask16(stored, want) &
+                    static_cast<uint32_t>(maskBits(m));
     int provider = 0;
     int alt = 0;
-    for (int i = m; i >= 1; --i) {
-        const uint32_t at = meta_[static_cast<size_t>(i)].offset +
-                            p.index[static_cast<size_t>(i)];
-        if (tag_[at] == p.tag[static_cast<size_t>(i)]) {
-            if (provider == 0) {
-                provider = i;
-            } else {
-                alt = i;
-                break;
-            }
-        }
+    if (mask != 0) {
+        provider = std::bit_width(mask);
+        mask ^= 1u << (provider - 1);
+        if (mask != 0)
+            alt = std::bit_width(mask);
     }
 
     const int ctr_bits = config_.taggedCtrBits;
     if (alt != 0) {
         const uint32_t at = meta_[static_cast<size_t>(alt)].offset +
                             p.index[static_cast<size_t>(alt)];
-        p.altTaken = packed::signedTaken(ctr_[at]);
+        p.altTaken =
+            packed::signedTaken(packed::ctruCtr(ctru_[at], ctr_bits));
         p.altIsTagged = true;
         p.altTable = alt;
     } else {
@@ -173,7 +200,7 @@ TagePredictor::predict(uint64_t pc) const
     if (provider != 0) {
         const uint32_t at = meta_[static_cast<size_t>(provider)].offset +
                             p.index[static_cast<size_t>(provider)];
-        const int ctr = ctr_[at];
+        const int ctr = packed::ctruCtr(ctru_[at], ctr_bits);
         p.providerIsTagged = true;
         p.providerTable = provider;
         p.providerCtr = ctr;
@@ -197,15 +224,14 @@ TagePredictor::predict(uint64_t pc) const
         p.providerPredTaken = p.bimodalTaken;
         p.taken = p.bimodalTaken;
     }
-
-    return p;
 }
 
 void
 TagePredictor::updateTaggedCtr(uint32_t at, bool taken)
 {
     const int bits = config_.taggedCtrBits;
-    const int ctr = ctr_[at];
+    const uint8_t packed_entry = ctru_[at];
+    const int ctr = packed::ctruCtr(packed_entry, bits);
     if (config_.probabilisticSaturation &&
         packed::signedUpdateWouldSaturate(ctr, bits, taken)) {
         // Sec. 6: the transition into the saturated state only happens
@@ -215,7 +241,8 @@ TagePredictor::updateTaggedCtr(uint32_t at, bool taken)
         if (!lfsr_.oneIn(config_.satLog2Prob))
             return;
     }
-    ctr_[at] = static_cast<int8_t>(packed::signedUpdate(ctr, bits, taken));
+    ctru_[at] = packed::ctruWithCtr(
+        packed_entry, packed::signedUpdate(ctr, bits, taken), bits);
 }
 
 void
@@ -226,19 +253,23 @@ TagePredictor::allocate(const TagePrediction& p, bool taken)
     if (start > m)
         return;
 
+    const int cb = config_.taggedCtrBits;
     bool any_useless = false;
     for (int k = start; k <= m && !any_useless; ++k) {
-        any_useless = u_[meta_[static_cast<size_t>(k)].offset +
-                         p.index[static_cast<size_t>(k)]] == 0;
+        any_useless =
+            packed::ctruU(ctru_[meta_[static_cast<size_t>(k)].offset +
+                                p.index[static_cast<size_t>(k)]],
+                          cb) == 0;
     }
 
     if (!any_useless) {
         // No free entry: gracefully decay the contenders so an
         // allocation will succeed soon (anti-ping-pong).
         for (int k = start; k <= m; ++k) {
-            uint8_t& u = u_[meta_[static_cast<size_t>(k)].offset +
-                            p.index[static_cast<size_t>(k)]];
-            u = static_cast<uint8_t>(packed::unsignedDec(u));
+            uint8_t& v = ctru_[meta_[static_cast<size_t>(k)].offset +
+                               p.index[static_cast<size_t>(k)]];
+            v = packed::ctruWithU(
+                v, packed::unsignedDec(packed::ctruU(v, cb)), cb);
         }
         return;
     }
@@ -249,8 +280,9 @@ TagePredictor::allocate(const TagePrediction& p, bool taken)
     // 1/2, falling through to longer histories otherwise.
     int chosen = 0;
     for (int k = start; k <= m; ++k) {
-        if (u_[meta_[static_cast<size_t>(k)].offset +
-               p.index[static_cast<size_t>(k)]] != 0)
+        if (packed::ctruU(ctru_[meta_[static_cast<size_t>(k)].offset +
+                                p.index[static_cast<size_t>(k)]],
+                          cb) != 0)
             continue;
         chosen = k;
         if (lfsr_.oneIn(1))
@@ -260,21 +292,23 @@ TagePredictor::allocate(const TagePrediction& p, bool taken)
     const uint32_t at = meta_[static_cast<size_t>(chosen)].offset +
                         p.index[static_cast<size_t>(chosen)];
     tag_[at] = p.tag[static_cast<size_t>(chosen)];
-    ctr_[at] = static_cast<int8_t>(taken ? 0 : -1); // weak correct
-    u_[at] = 0;                                     // strong not useful
+    // Weak correct ctr, strong not-useful u.
+    ctru_[at] = packed::ctruPack(taken ? 0 : -1, 0, cb);
     ++allocations_;
 }
 
 void
 TagePredictor::ageUsefulCounters()
 {
-    // One-bit right shift of the whole packed arena; vectorizes.
-    for (uint8_t& u : u_)
-        u = static_cast<uint8_t>(u >> 1);
+    // One-bit right shift of every packed entry's useful field; the
+    // ctr field is untouched. Constant masks, so the loop vectorizes.
+    const int cb = config_.taggedCtrBits;
+    for (uint8_t& v : ctru_)
+        v = packed::ctruAgeU(v, cb);
 }
 
 void
-TagePredictor::update(uint64_t pc, const TagePrediction& p, bool taken)
+TagePredictor::train(const TagePrediction& p, bool taken)
 {
     const bool mispredicted = p.taken != taken;
 
@@ -294,9 +328,14 @@ TagePredictor::update(uint64_t pc, const TagePrediction& p, bool taken)
         // Sec. 3.2: u is updated when the alternate prediction differs
         // from the provider prediction.
         if (p.providerPredTaken != p.altTaken) {
-            u_[at] = static_cast<uint8_t>(
-                packed::unsignedUpdate(u_[at], config_.usefulBits,
-                                       p.providerPredTaken == taken));
+            const int cb = config_.taggedCtrBits;
+            const uint8_t v = ctru_[at];
+            ctru_[at] = packed::ctruWithU(
+                v,
+                packed::unsignedUpdate(packed::ctruU(v, cb),
+                                       config_.usefulBits,
+                                       p.providerPredTaken == taken),
+                cb);
         }
     } else {
         uint8_t& bim = bimodal_[p.index[0]];
@@ -319,7 +358,11 @@ TagePredictor::update(uint64_t pc, const TagePrediction& p, bool taken)
         ageUsefulCounters();
         uResetCountdown_ = config_.uResetPeriod;
     }
+}
 
+void
+TagePredictor::advanceHistories(uint64_t pc, bool taken)
+{
     // Advance speculative state with the resolved outcome. The fused
     // fold triple updates index and both tag folds with one pair of
     // history reads per table.
@@ -328,6 +371,196 @@ TagePredictor::update(uint64_t pc, const TagePrediction& p, bool taken)
     const int m = config_.numTaggedTables();
     for (int i = 1; i <= m; ++i)
         folds_[static_cast<size_t>(i)].update(history_);
+}
+
+void
+TagePredictor::update(uint64_t pc, const TagePrediction& p, bool taken)
+{
+    train(p, taken);
+    advanceHistories(pc, taken);
+}
+
+void
+TagePredictor::prefetchBatch(std::span<const TagePrediction> out)
+{
+    // Prefetching only pays when the tagged arena outgrows the cache
+    // the batch's gathers would otherwise hit: every paper-budget
+    // config (a few dozen KiB end to end) stays resident after its
+    // first batch, and issuing ~3 prefetches per table per element
+    // would be pure front-end overhead. Gate on the packed arena
+    // footprint.
+    constexpr size_t kPrefetchMinArenaBytes = size_t{1} << 18; // 256 KiB
+    constexpr size_t kSortArenaBytes = size_t{1} << 21;        // 2 MiB
+    const size_t arena_bytes = ctru_.size() * 3 + bimodal_.size();
+    if (arena_bytes <= kPrefetchMinArenaBytes)
+        return;
+
+    // Collect the flat arena offsets the batch will read, one pass
+    // over the batch. Only when the arena also outgrows the last-level
+    // working set is the full (table, index) sort worth its cost,
+    // turning the prefetch walk into one ascending pass.
+    const int m = config_.numTaggedTables();
+    batchAts_.clear();
+    batchAts_.reserve(out.size() * static_cast<size_t>(m));
+    for (const TagePrediction& p : out)
+        for (int i = 1; i <= m; ++i)
+            batchAts_.push_back(meta_[static_cast<size_t>(i)].offset +
+                                p.index[static_cast<size_t>(i)]);
+    if (ctru_.size() * 3 > kSortArenaBytes)
+        std::sort(batchAts_.begin(), batchAts_.end());
+    for (const uint32_t at : batchAts_) {
+        simd::prefetchRead(&tag_[at]);
+        simd::prefetchRead(&ctru_[at]);
+    }
+    for (const TagePrediction& p : out)
+        simd::prefetchRead(&bimodal_[p.index[0]]);
+}
+
+void
+TagePredictor::advanceAndIndexBlock(std::span<const uint64_t> pcs,
+                                    std::span<const uint8_t> taken,
+                                    std::span<TagePrediction> out)
+{
+    const int m = config_.numTaggedTables();
+    const size_t n = pcs.size();
+    const size_t lmax =
+        static_cast<size_t>(config_.maxHistoryLength());
+    TAGECON_ASSERT(n <= kBatchBlock, "index block too large");
+
+    // Lay the block's outcome bits behind the pre-block history
+    // window: batchWindow_[lmax - 1 - j] = h[j] for the lmax newest
+    // pre-block outcomes, then batchWindow_[lmax + k] = outcome k. A
+    // fold update for element k then reads its in-bit at lmax + k and
+    // its out-bit (the bit leaving the L-wide window) at
+    // lmax + k - L, for any L <= lmax — no ring wrap-around to chase.
+    if (batchWindow_.size() < lmax + kBatchBlock)
+        batchWindow_.resize(lmax + kBatchBlock);
+    for (size_t j = 0; j < lmax; ++j)
+        batchWindow_[lmax - 1 - j] = history_[j];
+
+    // Per-element prep: zero the outputs, capture each element's
+    // pre-push path register value, and advance the path register.
+    uint64_t shifted[kBatchBlock];
+    uint32_t pathv[kBatchBlock];
+    for (size_t k = 0; k < n; ++k) {
+        TagePrediction& p = out[k];
+        p = TagePrediction{};
+        const uint64_t pc = pcs[k];
+        shifted[k] = pc >> config_.instShift;
+        p.index[0] = bimodalIndex(pc);
+        pathv[k] = pathHistory_.value();
+        pathHistory_.push(shifted[k]);
+        batchWindow_[lmax + k] = taken[k] != 0 ? 1 : 0;
+    }
+
+    // Table-major precompute. First the fold-value streams — the only
+    // serial dependency in the hash, walked with the fold triple in
+    // registers — then the hashes themselves, which are uniform
+    // element-wise ops over those streams (vectorizable), and finally
+    // one scatter into the output structs.
+    uint32_t aV[kBatchBlock];
+    uint32_t bV[kBatchBlock];
+    uint32_t cV[kBatchBlock];
+    uint32_t idxV[kBatchBlock];
+    uint16_t tagV[kBatchBlock];
+    for (int i = 1; i <= m; ++i) {
+        FoldedHistoryTriple f = folds_[static_cast<size_t>(i)];
+        const size_t L = static_cast<size_t>(f.origLength());
+        for (size_t k = 0; k < n; ++k) {
+            aV[k] = f.a();
+            bV[k] = f.b();
+            cV[k] = f.c();
+            f.updateWithBits(batchWindow_[lmax + k],
+                             batchWindow_[lmax + k - L]);
+        }
+        folds_[static_cast<size_t>(i)] = f;
+
+        const TableMeta& t = meta_[static_cast<size_t>(i)];
+        const int logg = t.logEntries;
+        for (size_t k = 0; k < n; ++k) {
+            // Inline taggedIndex()/taggedTag() over the precomputed
+            // fold and path values (bit-identical: xor commutes with
+            // the truncation to 32 bits).
+            uint32_t a = pathv[k] & t.pathMask;
+            const uint32_t a1 = a & t.indexMask;
+            const uint32_t a2 =
+                rotlMasked(a >> logg, t.rot, logg, t.indexMask);
+            a = rotlMasked(a1 ^ a2, t.rot, logg, t.indexMask);
+            const uint64_t s = shifted[k];
+            idxV[k] = (static_cast<uint32_t>(s ^ (s >> t.idxShift)) ^
+                       aV[k] ^ a) &
+                      t.indexMask;
+            tagV[k] = static_cast<uint16_t>(
+                (static_cast<uint32_t>(s) ^ bV[k] ^ (cV[k] << 1)) &
+                t.tagMask);
+        }
+        for (size_t k = 0; k < n; ++k) {
+            out[k].index[static_cast<size_t>(i)] = idxV[k];
+            out[k].tag[static_cast<size_t>(i)] = tagV[k];
+        }
+    }
+
+    // The outcomes enter the ring last: the folds already consumed
+    // them from the block window, and nothing else reads the ring
+    // mid-block.
+    for (size_t k = 0; k < n; ++k)
+        history_.push(taken[k] != 0);
+}
+
+void
+TagePredictor::predictMany(std::span<const uint64_t> pcs,
+                           std::span<const uint8_t> taken,
+                           std::span<TagePrediction> out)
+{
+    TAGECON_ASSERT(taken.size() >= pcs.size() &&
+                       out.size() >= pcs.size(),
+                   "predictMany spans disagree on the batch size");
+    const size_t n = pcs.size();
+
+    // Process in blocks sized so one block's TagePrediction scratch
+    // stays L1-resident between the index pass and the resolve pass.
+    for (size_t at = 0; at < n; at += kBatchBlock) {
+        const size_t len = std::min(kBatchBlock, n - at);
+
+        // Pass 1: per-table indices and tags, table-major. They
+        // depend only on the PCs and the outcome-driven history state
+        // — never on table contents — so the histories can be
+        // advanced through the whole block up front, leaving each
+        // element exactly the lookup values its scalar predict()
+        // would have computed.
+        advanceAndIndexBlock(pcs.subspan(at, len),
+                             taken.subspan(at, len),
+                             out.subspan(at, len));
+
+        // Pass 2: stream the block's arena reads (large arenas only).
+        prefetchBatch(out.subspan(at, len));
+
+        // Pass 3: resolve in input order — read each element's
+        // entries as they stand after elements [0, k) trained, then
+        // train with its outcome. Training consumes the LFSR and
+        // updates USE_ALT_ON_NA and the aging countdown in exactly
+        // the scalar order, so both the prediction stream and the
+        // final state are bit-identical to the scalar predict/update
+        // loop. (Training touches no history state; that already
+        // advanced in pass 1.)
+        for (size_t k = at; k < at + len; ++k) {
+            fillFromTables(out[k]);
+            train(out[k], taken[k] != 0);
+        }
+    }
+}
+
+void
+TagePredictor::updateMany(std::span<const uint64_t> pcs,
+                          std::span<const TagePrediction> preds,
+                          std::span<const uint8_t> taken)
+{
+    TAGECON_ASSERT(preds.size() >= pcs.size() &&
+                       taken.size() >= pcs.size(),
+                   "updateMany spans disagree on the batch size");
+    prefetchBatch(preds.first(pcs.size()));
+    for (size_t k = 0; k < pcs.size(); ++k)
+        update(pcs[k], preds[k], taken[k] != 0);
 }
 
 void
@@ -345,9 +578,11 @@ TagePredictor::taggedEntry(int table, uint32_t index) const
     const TableMeta& t = meta_[static_cast<size_t>(table)];
     TAGECON_ASSERT(index <= t.indexMask, "tagged index out of range");
     const uint32_t at = t.offset + index;
+    const int cb = config_.taggedCtrBits;
     return TaggedEntry{
-        SignedSatCounter(config_.taggedCtrBits, ctr_[at]), tag_[at],
-        UnsignedSatCounter(config_.usefulBits, u_[at])};
+        SignedSatCounter(cb, packed::ctruCtr(ctru_[at], cb)), tag_[at],
+        UnsignedSatCounter(config_.usefulBits,
+                           packed::ctruU(ctru_[at], cb))};
 }
 
 UnsignedSatCounter
@@ -386,11 +621,9 @@ TagePredictor::saveState(StateWriter& out) const
     // (the adaptive controller drives it), so it checkpoints as state.
     out.u32(config_.satLog2Prob);
     out.bytes(bimodal_.data(), bimodal_.size());
-    out.bytes(reinterpret_cast<const uint8_t*>(ctr_.data()),
-              ctr_.size());
     for (const uint16_t t : tag_)
         out.u16(t);
-    out.bytes(u_.data(), u_.size());
+    out.bytes(ctru_.data(), ctru_.size());
 
     // History ring, relative to the head (index 0 = newest), packed 8
     // outcomes per byte. Replaying these into a cleared ring restores
@@ -452,10 +685,9 @@ TagePredictor::loadState(StateReader& in, std::string& error)
 
     const uint32_t sat_log2 = in.u32();
     in.bytes(bimodal_.data(), bimodal_.size());
-    in.bytes(reinterpret_cast<uint8_t*>(ctr_.data()), ctr_.size());
     for (uint16_t& t : tag_)
         t = in.u16();
-    in.bytes(u_.data(), u_.size());
+    in.bytes(ctru_.data(), ctru_.size());
 
     const size_t outcomes = history_.capacity() + 1;
     if (in.u32() != static_cast<uint32_t>(outcomes)) {

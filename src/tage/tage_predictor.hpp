@@ -16,6 +16,7 @@
 #define TAGECON_TAGE_TAGE_PREDICTOR_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tage/tage_config.hpp"
@@ -52,6 +53,36 @@ class TagePredictor
      * by the immediately preceding predict(pc).
      */
     void update(uint64_t pc, const TagePrediction& p, bool taken);
+
+    /**
+     * Fused batched step: for each element k, produce in out[k] the
+     * prediction the scalar predict(pcs[k]) would have returned and
+     * train with taken[k], bit-identical to the scalar
+     * predict/update loop over the batch (predictions inside the
+     * batch observe the earlier elements' updates).
+     *
+     * The batch is processed in cache-sized blocks, each in three
+     * passes: all per-table indices and tags are precomputed up front
+     * table-major (they depend only on the PCs and the outcome
+     * stream, never on table contents, so the per-table fold state
+     * stays in registers and the hash math runs as uniform
+     * element-wise passes), large arenas then get their block's reads
+     * prefetched, and finally each element is resolved and trained in
+     * input order.
+     */
+    void predictMany(std::span<const uint64_t> pcs,
+                     std::span<const uint8_t> taken,
+                     std::span<TagePrediction> out);
+
+    /**
+     * Batched replay training: update(pcs[k], preds[k], taken[k]) for
+     * each element, with the batch's arena accesses prefetched up
+     * front. preds must hold the predictions the scalar predict()
+     * calls returned, in order.
+     */
+    void updateMany(std::span<const uint64_t> pcs,
+                    std::span<const TagePrediction> preds,
+                    std::span<const uint8_t> taken);
 
     /** The configuration this predictor was built with. */
     const TageConfig& config() const { return config_; }
@@ -144,6 +175,37 @@ class TagePredictor
         uint8_t idxShift = 0;
     };
 
+    /**
+     * Fill the provider/alternate/bimodal fields of @p p from the
+     * current table state; p.index[] and p.tag[] must already be set.
+     * The candidate-tag scan runs through simd::matchMask16.
+     */
+    void fillFromTables(TagePrediction& p) const;
+
+    /** Training half of update(): everything except history advance. */
+    void train(const TagePrediction& p, bool taken);
+
+    /** Advance global/path histories and all fold registers. */
+    void advanceHistories(uint64_t pc, bool taken);
+
+    /**
+     * Table-major index/tag precompute for one predictMany() block
+     * (advances all histories through the block as a side effect).
+     * For each element k, out[k] is left zeroed except index[]/tag[]
+     * — exactly the lookup values its scalar predict() would have
+     * computed after elements [0, k) resolved.
+     */
+    void advanceAndIndexBlock(std::span<const uint64_t> pcs,
+                              std::span<const uint8_t> taken,
+                              std::span<TagePrediction> out);
+
+    /**
+     * Prefetch the tagged-arena lines the batch in @p out will read,
+     * streaming table by table (and fully sorted by (table, index)
+     * when the arena outgrows the cache).
+     */
+    void prefetchBatch(std::span<const TagePrediction> out);
+
     /** Compute the index into tagged table @p table (1-based). */
     uint32_t taggedIndex(uint64_t pc, int table) const;
 
@@ -172,16 +234,16 @@ class TagePredictor
     TageConfig config_;
 
     /**
-     * Packed per-table storage (structure-of-arrays). A tagged entry is
-     * 4 bytes across three arenas — int8_t ctr, uint16_t tag, uint8_t u
-     * — instead of a ~24-byte entry of counter objects; a bimodal
+     * Packed per-table storage (structure-of-arrays). A tagged entry
+     * is 3 bytes across two arenas — a uint16_t tag plus the ctr and u
+     * counters packed into one byte with the packed::ctru* ops —
+     * instead of a ~24-byte entry of counter objects; a bimodal
      * counter is one byte. Tables are laid out back to back; table i
      * owns [meta_[i].offset, meta_[i].offset + meta_[i].indexMask].
      */
     std::vector<uint8_t> bimodal_;
-    std::vector<int8_t> ctr_;
     std::vector<uint16_t> tag_;
-    std::vector<uint8_t> u_;
+    std::vector<uint8_t> ctru_;
 
     std::vector<TableMeta> meta_; // [1..M], [0] unused
 
@@ -204,6 +266,19 @@ class TagePredictor
      * update 64-bit modulo on the hot path.
      */
     uint64_t uResetCountdown_ = 0;
+
+    /**
+     * predictMany()/updateMany() scratch for the prefetch pass; not
+     * architectural state, excluded from saveState().
+     */
+    std::vector<uint32_t> batchAts_;
+
+    /**
+     * predictMany() scratch: one block's outcome window laid behind
+     * the pre-block history bits (see advanceAndIndexBlock()); not
+     * architectural state, excluded from saveState().
+     */
+    std::vector<uint8_t> batchWindow_;
 };
 
 } // namespace tagecon

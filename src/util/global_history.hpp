@@ -128,6 +128,17 @@ class FoldedHistory
     void clear() { comp_ = 0; }
 
     /**
+     * Overwrite the fold register with a checkpointed value (masked).
+     * Only meaningful together with restoring the GlobalHistory the
+     * fold views.
+     */
+    void
+    restore(uint32_t comp)
+    {
+        comp_ = comp & ((1u << compLength_) - 1u);
+    }
+
+    /**
      * Recompute the fold from scratch; O(origLength). Used by tests to
      * validate the incremental update and after GlobalHistory::clear().
      */
@@ -193,11 +204,23 @@ class FoldedHistoryTriple
     void
     update(const GlobalHistory& h)
     {
-        const uint32_t in = h[0];
-        const uint32_t out = h[static_cast<size_t>(origLength_)];
-        a_ = foldStep(a_, in, out, lenA_, outA_);
-        b_ = foldStep(b_, in, out, lenB_, outB_);
-        c_ = foldStep(c_, in, out, lenC_, outC_);
+        updateWithBits(h[0],
+                       h[static_cast<size_t>(origLength_)]);
+    }
+
+    /**
+     * One update step with the window bits supplied by the caller —
+     * the batched TAGE path reads them from a block-local outcome
+     * window instead of the GlobalHistory ring. Must see exactly the
+     * bits update() would read: @p in_bit == h[0] and @p out_bit ==
+     * h[origLength] after the corresponding push.
+     */
+    void
+    updateWithBits(uint32_t in_bit, uint32_t out_bit)
+    {
+        a_ = foldStep(a_, in_bit, out_bit, lenA_, outA_);
+        b_ = foldStep(b_, in_bit, out_bit, lenB_, outB_);
+        c_ = foldStep(c_, in_bit, out_bit, lenC_, outC_);
     }
 
     /** Current index-fold value (len_a bits). */

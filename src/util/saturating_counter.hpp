@@ -171,6 +171,64 @@ unsignedUpdate(unsigned v, int bits, bool outcome_taken)
     return outcome_taken ? unsignedInc(v, bits) : unsignedDec(v);
 }
 
+/**
+ * ctru*: a TAGE tagged entry's signed prediction counter (ctr, low
+ * ctr_bits bits) and unsigned useful counter (u, the bits above it)
+ * packed into one storage byte. Requires ctr_bits + u_bits <= 8;
+ * TageConfig::validate() enforces that. The packed byte is the unit
+ * the tagged arena stores (3 B/entry together with the uint16_t tag),
+ * and also the unit checkpoints serialize.
+ */
+
+/** Pack a ctr value and a u value into one byte. */
+constexpr uint8_t
+ctruPack(int ctr, unsigned u, int ctr_bits)
+{
+    return static_cast<uint8_t>(
+        (u << ctr_bits) |
+        (static_cast<unsigned>(ctr) & unsignedMax(ctr_bits)));
+}
+
+/** Sign-extended prediction counter field of a packed ctr+u byte. */
+constexpr int
+ctruCtr(uint8_t v, int ctr_bits)
+{
+    const unsigned raw = v & unsignedMax(ctr_bits);
+    const unsigned sign = 1u << (ctr_bits - 1);
+    return static_cast<int>(raw ^ sign) - static_cast<int>(sign);
+}
+
+/** Useful counter field of a packed ctr+u byte. */
+constexpr unsigned
+ctruU(uint8_t v, int ctr_bits)
+{
+    return static_cast<unsigned>(v) >> ctr_bits;
+}
+
+/** Replace the prediction counter field, leaving u untouched. */
+constexpr uint8_t
+ctruWithCtr(uint8_t v, int ctr, int ctr_bits)
+{
+    return static_cast<uint8_t>(
+        (v & ~unsignedMax(ctr_bits)) |
+        (static_cast<unsigned>(ctr) & unsignedMax(ctr_bits)));
+}
+
+/** Replace the useful counter field, leaving ctr untouched. */
+constexpr uint8_t
+ctruWithU(uint8_t v, unsigned u, int ctr_bits)
+{
+    return static_cast<uint8_t>((v & unsignedMax(ctr_bits)) |
+                                (u << ctr_bits));
+}
+
+/** One-bit right shift of the useful field (graceful aging). */
+constexpr uint8_t
+ctruAgeU(uint8_t v, int ctr_bits)
+{
+    return ctruWithU(v, ctruU(v, ctr_bits) >> 1, ctr_bits);
+}
+
 } // namespace packed
 
 /**

@@ -12,11 +12,12 @@
  * hash, USE_ALT_ON_NA, aging counters) to the bit.
  *
  * The remaining suites cover the blob framing (serve/checkpoint.hpp):
- * registry-level round trips for every supported family, deterministic
- * encoding, strict rejection of truncated / corrupted / wrong-magic /
- * wrong-version / wrong-spec blobs, the unsupported-family and
- * stateful-estimator error paths, stream-kind position fields, and the
- * file helpers.
+ * registry-level round trips for every supported family (including the
+ * perceptron and O-GEHL neural families added in checkpoint version
+ * 2), deterministic encoding, strict rejection of truncated /
+ * corrupted / wrong-magic / wrong-version (including old v1) /
+ * wrong-spec blobs, the stateful-estimator error path, stream-kind
+ * position fields, and the file helpers.
  */
 
 #include <gtest/gtest.h>
@@ -261,6 +262,15 @@ TEST(CheckpointRoundTrip, BimodalAndGshareContinueBitIdentically)
     expectRoundTripContinuesBitIdentically("gshare");
 }
 
+TEST(CheckpointRoundTrip, PerceptronAndOgehlContinueBitIdentically)
+{
+    // New in checkpoint version 2: the neural families' weight arenas
+    // and (for O-GEHL) history ring + fold registers checkpoint like
+    // everything else.
+    expectRoundTripContinuesBitIdentically("perceptron+sfc");
+    expectRoundTripContinuesBitIdentically("ogehl+sfc");
+}
+
 TEST(CheckpointRoundTrip, StreamKindCarriesServingPosition)
 {
     const std::string spec = canonicalizeSpec("bimodal");
@@ -355,6 +365,22 @@ TEST(CheckpointRejection, UnknownVersion)
         << error;
 }
 
+TEST(CheckpointRejection, Version1BlobsAreRejectedOutright)
+{
+    // Version 2 changed the TAGE payload layout (packed 3-byte
+    // entries), so a v1 blob must be refused at the framing layer —
+    // never fed to a payload decoder expecting the new layout.
+    std::vector<uint8_t> blob = someValidBlob();
+    blob[4] = 1;
+    refreshDigest(blob);
+    Checkpoint ck;
+    std::string error;
+    EXPECT_FALSE(decodeCheckpoint(blob, ck, error));
+    EXPECT_NE(error.find("unsupported checkpoint version 1"),
+              std::string::npos)
+        << error;
+}
+
 TEST(CheckpointRejection, UnknownKind)
 {
     std::vector<uint8_t> blob = someValidBlob();
@@ -405,22 +431,6 @@ TEST(CheckpointRejection, TrailingPayloadBytes)
     EXPECT_FALSE(restoreFromCheckpoint(ck, *q, spec, error));
     EXPECT_NE(error.find("trailing bytes"), std::string::npos)
         << error;
-}
-
-TEST(CheckpointUnsupported, FamiliesWithoutStateIo)
-{
-    for (const std::string spec_arg :
-         {"perceptron+sfc", "ogehl+sfc"}) {
-        SCOPED_TRACE(spec_arg);
-        std::string error;
-        auto p = tryMakePredictor(spec_arg, &error);
-        ASSERT_NE(p, nullptr) << error;
-        std::vector<uint8_t> blob;
-        EXPECT_FALSE(encodePredictorCheckpoint(
-            *p, canonicalizeSpec(spec_arg), blob, error));
-        EXPECT_NE(error.find("not supported"), std::string::npos)
-            << error;
-    }
 }
 
 TEST(CheckpointUnsupported, StatefulEstimatorBlocksTheWrapper)

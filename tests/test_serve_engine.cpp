@@ -194,6 +194,43 @@ TEST(ServingEngine, CheckpointResumeMatchesUninterruptedServe)
     std::filesystem::remove_all(dir_control);
 }
 
+TEST(ServingEngine, ScalarAndBatchedServesAreBitIdentical)
+{
+    // The default path routes every scheduling turn through
+    // predictMany(); forceScalar keeps the plain predict/update loop.
+    // The two must agree on every per-stream statistic and state
+    // digest (the CI serving-CSV diff gate rests on this).
+    const auto streams =
+        StreamSet::roundRobin(10, twoCbp1Traces(), 1500, 0);
+
+    ServeOptions batched;
+    batched.spec = "tage16k+sfc";
+    batched.jobs = 2;
+    batched.batch = 200; // turns end mid-chunk: exercises short fills
+    batched.computeDigests = true;
+    const ServeResult via_batches = serveOrDie(batched, streams);
+
+    ServeOptions scalar = batched;
+    scalar.forceScalar = true;
+    expectSameServe(via_batches, serveOrDie(scalar, streams));
+}
+
+TEST(ServingEngine, RejectsBatchOfZero)
+{
+    // Regression guard: --batch reaches the engine through a
+    // range-checked CLI parse, but the engine must also reject a zero
+    // batch on its own — a turn that serves no branches would never
+    // finish a stream.
+    ServeOptions opts;
+    opts.spec = "tage16k+sfc";
+    opts.batch = 0;
+    std::string error;
+    EXPECT_FALSE(ServingEngine(opts).validate(&error));
+    EXPECT_NE(error.find("batch size must be at least 1"),
+              std::string::npos)
+        << error;
+}
+
 TEST(ServingEngine, RejectsBadOptionsAndDuplicateIds)
 {
     ServeOptions opts;

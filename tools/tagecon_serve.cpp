@@ -60,7 +60,7 @@ main(int argc, char** argv)
         "streams", "spec",           "traces",      "branches",
         "seed",    "jobs",           "shards",      "pool",
         "batch",   "checkpoint-dir", "restore-dir", "digests",
-        "per-stream", "report",      "csv"};
+        "per-stream", "report",      "csv",         "scalar"};
     for (const auto& flag : args.flagNames()) {
         if (std::find(known_flags.begin(), known_flags.end(), flag) ==
             known_flags.end())
@@ -68,7 +68,7 @@ main(int argc, char** argv)
                   " (known: --streams --spec --traces --branches "
                   "--seed --jobs --shards --pool --batch "
                   "--checkpoint-dir --restore-dir --digests "
-                  "--per-stream --report --csv)");
+                  "--per-stream --report --csv --scalar)");
     }
 
     ServeOptions opts;
@@ -84,6 +84,7 @@ main(int argc, char** argv)
     opts.checkpointDir = args.getString("checkpoint-dir", "");
     opts.restoreDir = args.getString("restore-dir", "");
     opts.computeDigests = args.getBool("digests", false);
+    opts.forceScalar = args.getBool("scalar", false);
 
     const uint64_t num_streams =
         args.getUintInRange("streams", 64, 1, 10000000);
