@@ -19,6 +19,10 @@
  *  - BM_TagePredictUpdateClassify: incremental cost of confidence
  *    classification,
  *  - BM_SyntheticTraceGeneration: the trace generator's own cost.
+ *  - BM_FailpointUnarmed / BM_FailpointArmed: cost of a fault-
+ *    injection site check. Unarmed must stay a branch on one relaxed
+ *    atomic load (~1 ns) — the sites sit on trace-read and checkpoint
+ *    paths, so this is the price every production run pays.
  *
  * Run with --benchmark_out=BENCH_micro.json --benchmark_out_format=json
  * to extend the committed perf trajectory (see README, "Performance").
@@ -31,6 +35,7 @@
 #include "core/confidence_observer.hpp"
 #include "tage/tage_predictor.hpp"
 #include "trace/profiles.hpp"
+#include "util/failpoint.hpp"
 #include "util/random.hpp"
 
 using namespace tagecon;
@@ -223,6 +228,35 @@ BM_SyntheticTraceGeneration(benchmark::State& state)
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 
+void
+BM_FailpointUnarmed(benchmark::State& state)
+{
+    failpoints::disarm();
+    for (auto _ : state) {
+        if (failpoints::anyArmed()) {
+            auto e = failpoints::check("trace.read");
+            benchmark::DoNotOptimize(e);
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_FailpointArmed(benchmark::State& state)
+{
+    // A rule that never fires (key targets a stream that never runs):
+    // measures the armed bookkeeping cost, not error construction.
+    failpoints::ScopedFaults faults("trace.read:key=999999999");
+    failpoints::KeyScope scope(7);
+    for (auto _ : state) {
+        if (failpoints::anyArmed()) {
+            auto e = failpoints::check("trace.read");
+            benchmark::DoNotOptimize(e);
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
 BENCHMARK(BM_TagePredictUpdate)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_TagePredictUpdateBatched)
     ->ArgsProduct({{0, 1, 2}, {16, 64, 512}});
@@ -231,6 +265,8 @@ BENCHMARK(BM_TageUpdateOnly)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_TageAllocationStorm)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_TagePredictUpdateClassify)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_SyntheticTraceGeneration);
+BENCHMARK(BM_FailpointUnarmed);
+BENCHMARK(BM_FailpointArmed);
 
 } // namespace
 

@@ -16,6 +16,14 @@
  * errors, and restoreFromCheckpoint() additionally demands that the
  * target predictor's spec matches and that the payload is consumed to
  * the last byte.
+ *
+ * Every operation has a typed primary returning Err (site names match
+ * the failpoint sites: "ckpt.encode", "ckpt.decode", "ckpt.read",
+ * "ckpt.write"); the bool+string overloads are thin shims kept for
+ * existing callers. File writes are crash-safe: the blob lands in
+ * "<path>.tmp", is flushed to disk, and is renamed over the final name
+ * only once complete — a crash mid-write leaves a stale .tmp, never a
+ * torn .tcsp.
  */
 
 #ifndef TAGECON_SERVE_CHECKPOINT_HPP
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "core/graded_predictor.hpp"
+#include "util/errors.hpp"
 #include "util/state_io.hpp"
 
 namespace tagecon {
@@ -71,10 +80,15 @@ struct Checkpoint {
 
 /**
  * Snapshot @p predictor into a Kind::Predictor blob tagged with
- * @p spec (the canonical registry spec it was built from). Returns
- * false with the reason in @p error when the predictor family does not
- * support checkpointing.
+ * @p spec (the canonical registry spec it was built from). Fails
+ * (Unsupported) when the predictor family does not support
+ * checkpointing. Failpoint site "ckpt.encode".
  */
+Err encodePredictorCheckpoint(const GradedPredictor& predictor,
+                              const std::string& spec,
+                              std::vector<uint8_t>& out);
+
+/** Legacy bool+string shim. */
 bool encodePredictorCheckpoint(const GradedPredictor& predictor,
                                const std::string& spec,
                                std::vector<uint8_t>& out,
@@ -83,7 +97,14 @@ bool encodePredictorCheckpoint(const GradedPredictor& predictor,
 /**
  * Snapshot @p predictor into a Kind::Stream blob carrying the serving
  * position (@p stream_id, @p trace, @p consumed records served).
+ * Failpoint site "ckpt.encode".
  */
+Err encodeStreamCheckpoint(const GradedPredictor& predictor,
+                           const std::string& spec, uint64_t stream_id,
+                           const std::string& trace, uint64_t consumed,
+                           std::vector<uint8_t>& out);
+
+/** Legacy bool+string shim. */
 bool encodeStreamCheckpoint(const GradedPredictor& predictor,
                             const std::string& spec, uint64_t stream_id,
                             const std::string& trace, uint64_t consumed,
@@ -92,22 +113,32 @@ bool encodeStreamCheckpoint(const GradedPredictor& predictor,
 
 /**
  * Decode @p size bytes at @p data into @p out. Validates magic,
- * version, digest and structure; returns false with the reason in
- * @p error. Does not touch any predictor.
+ * version, digest and structure; the Err taxonomy distinguishes
+ * truncation, corruption (digest/magic/structure) and an unsupported
+ * version. Does not touch any predictor. Failpoint site "ckpt.decode".
  */
-bool decodeCheckpoint(const uint8_t* data, size_t size, Checkpoint& out,
-                      std::string& error);
+Err decodeCheckpoint(const uint8_t* data, size_t size, Checkpoint& out);
 
 /** Overload over a whole vector. */
+Err decodeCheckpoint(const std::vector<uint8_t>& blob, Checkpoint& out);
+
+/** Legacy bool+string shims. */
+bool decodeCheckpoint(const uint8_t* data, size_t size, Checkpoint& out,
+                      std::string& error);
 bool decodeCheckpoint(const std::vector<uint8_t>& blob, Checkpoint& out,
                       std::string& error);
 
 /**
  * Restore @p predictor (built from canonical @p spec) from the decoded
- * @p ck. Rejects a spec mismatch; on any failure the predictor is left
- * reset, never half-restored. The payload must be consumed exactly —
- * trailing bytes are an error.
+ * @p ck. Rejects a spec mismatch (Mismatch); on any failure the
+ * predictor is left reset, never half-restored. The payload must be
+ * consumed exactly — trailing bytes are an error.
  */
+Err restoreFromCheckpoint(const Checkpoint& ck,
+                          GradedPredictor& predictor,
+                          const std::string& spec);
+
+/** Legacy bool+string shim. */
 bool restoreFromCheckpoint(const Checkpoint& ck,
                            GradedPredictor& predictor,
                            const std::string& spec, std::string& error);
@@ -119,16 +150,32 @@ bool restoreFromCheckpoint(const Checkpoint& ck,
  */
 uint64_t checkpointDigest(const std::vector<uint8_t>& blob);
 
-/** Write @p blob to @p path (binary, atomic-ish: whole-buffer write). */
+/**
+ * Write @p blob to @p path crash-safely: the bytes land in
+ * checkpointTempName(path), are flushed (fsync on POSIX) and the temp
+ * file is renamed over @p path only once durable, so a reader never
+ * observes a torn checkpoint under the final name. I/O failures are
+ * ErrCode::Io — the one retryable code. Failpoint site "ckpt.write"
+ * (an injected fault simulates a crash mid-write: a half-written .tmp
+ * is left behind and the final file is never touched).
+ */
+Err writeCheckpointFile(const std::string& path,
+                        const std::vector<uint8_t>& blob);
+
+/** Legacy bool+string shim. */
 bool writeCheckpointFile(const std::string& path,
                          const std::vector<uint8_t>& blob,
                          std::string& error);
 
 /**
- * Read @p path into @p out. Returns false with the reason in @p error
- * (a missing file is just one more reason — callers treating absence
- * as "cold start" should check fileExists() first).
+ * Read @p path into @p out. A missing file is NotFound — callers
+ * treating absence as "cold start" should check checkpointFileExists()
+ * first; a short read is Io (retryable). Failpoint site "ckpt.read".
  */
+Err readCheckpointFile(const std::string& path,
+                       std::vector<uint8_t>& out);
+
+/** Legacy bool+string shim. */
 bool readCheckpointFile(const std::string& path,
                         std::vector<uint8_t>& out, std::string& error);
 
@@ -137,6 +184,16 @@ bool checkpointFileExists(const std::string& path);
 
 /** Conventional per-stream checkpoint file name ("stream-<id>.tcsp"). */
 std::string streamCheckpointFileName(uint64_t stream_id);
+
+/** In-progress temp name writeCheckpointFile() uses ("<path>.tmp"). */
+std::string checkpointTempName(const std::string& path);
+
+/**
+ * True when @p path has a leftover in-progress temp file but no final
+ * checkpoint — the signature of a crash mid-write. Restore paths
+ * should warn and cold-start instead of failing.
+ */
+bool staleCheckpointTempExists(const std::string& path);
 
 } // namespace tagecon
 

@@ -15,6 +15,8 @@
 #include "sim/registry.hpp"
 #include "sim/trace_registry.hpp"
 #include "trace/trace_source.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
 
 namespace tagecon {
 
@@ -61,6 +63,15 @@ struct StreamState {
     StreamResult result;
 };
 
+/** Prefix an Err's detail with the stream it belongs to. */
+Err
+streamErr(const StreamState& st, Err e)
+{
+    e.detail =
+        "stream " + std::to_string(st.desc->id) + ": " + e.detail;
+    return e;
+}
+
 /** Everything one worker needs to process shards. */
 struct ServeShared {
     const ServeOptions* opts = nullptr;
@@ -83,139 +94,185 @@ reportError(ServeShared& sh, const std::string& what)
     sh.failed.store(true, std::memory_order_relaxed);
 }
 
+/**
+ * Run @p op, retrying retryable (Io) failures up to
+ * ServeOptions::retryAttempts total attempts with exponential backoff.
+ * Retries are charged to the stream (StreamResult::retries) so they
+ * are visible per stream — and deterministic, because failpoint
+ * schedules are a pure function of (rule, stream id, hit index).
+ */
+Err
+withRetry(ServeShared& sh, StreamState& st,
+          const std::function<Err()>& op)
+{
+    const unsigned attempts = std::max(1u, sh.opts->retryAttempts);
+    for (unsigned attempt = 1;; ++attempt) {
+        Err e = op();
+        if (e.ok() || !errIsRetryable(e.code) || attempt >= attempts)
+            return e;
+        ++st.result.retries;
+        const uint64_t delay = sh.opts->retryBaseDelayNs
+                               << (attempt - 1);
+        if (sh.opts->retrySleep)
+            sh.opts->retrySleep(delay);
+        else
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(delay));
+    }
+}
+
 /** Materialize (or re-materialize) a stream's live predictor. */
-bool
+Err
 admitStream(ServeShared& sh, StreamState& st)
 {
     std::string error;
     st.predictor = tryMakePredictor(sh.opts->spec, &error);
-    if (!st.predictor) {
-        reportError(sh, "stream " + std::to_string(st.desc->id) + ": " +
-                            error);
-        return false;
-    }
+    if (!st.predictor)
+        return Err(ErrCode::BadSpec, "serve.admit", std::move(error));
 
     if (!st.parked.empty()) {
         StateReader in(st.parked);
         if (!st.predictor->restore(in, error) || !in.exhausted()) {
-            reportError(sh, "stream " + std::to_string(st.desc->id) +
-                                ": re-admission failed: " +
-                                (error.empty() ? "trailing bytes"
-                                               : error));
-            return false;
+            return Err(ErrCode::Corrupt, "serve.admit",
+                       "re-admission failed: " +
+                           (error.empty() ? "trailing bytes" : error));
         }
         st.parked.clear();
         st.parked.shrink_to_fit();
-        return true;
+        return {};
     }
 
     if (st.started)
-        return true;
+        return {};
     st.started = true;
 
     // First admission: open the trace, then warm-start from a
     // restore-dir checkpoint when one exists.
-    st.trace = tryMakeTraceSource(st.desc->trace, st.desc->branches,
-                                  st.desc->seedSalt, &error);
-    if (!st.trace) {
-        reportError(sh, "stream " + std::to_string(st.desc->id) + ": " +
-                            error);
-        return false;
-    }
+    auto opened = openTraceSource(st.desc->trace, st.desc->branches,
+                                  st.desc->seedSalt);
+    if (!opened.ok())
+        return opened.error();
+    st.trace = opened.take();
 
     if (sh.opts->restoreDir.empty())
-        return true;
+        return {};
     const std::string path = sh.opts->restoreDir + "/" +
                              streamCheckpointFileName(st.desc->id);
-    if (!checkpointFileExists(path))
-        return true; // cold start
+    if (!checkpointFileExists(path)) {
+        // A leftover in-progress temp means the writer crashed
+        // mid-checkpoint; the atomic rename guarantees nothing torn
+        // sits under the final name, so cold-start and say so.
+        if (staleCheckpointTempExists(path)) {
+            warn("stream " + std::to_string(st.desc->id) +
+                 ": stale in-progress checkpoint '" +
+                 checkpointTempName(path) +
+                 "' (crashed write?); cold-starting");
+        }
+        return {}; // cold start
+    }
 
     std::vector<uint8_t> blob;
+    if (Err e = withRetry(sh, st,
+                          [&] {
+                              return readCheckpointFile(path, blob);
+                          });
+        e.failed())
+        return e;
     Checkpoint ck;
-    if (!readCheckpointFile(path, blob, error) ||
-        !decodeCheckpoint(blob, ck, error)) {
-        reportError(sh, "stream " + std::to_string(st.desc->id) + ": " +
-                            error);
-        return false;
-    }
+    if (Err e = decodeCheckpoint(blob, ck); e.failed())
+        return e;
     if (ck.kind != Checkpoint::Kind::Stream ||
         ck.streamId != st.desc->id || ck.trace != st.desc->trace) {
-        reportError(sh, "stream " + std::to_string(st.desc->id) +
-                            ": checkpoint '" + path +
-                            "' belongs to a different stream");
-        return false;
+        return Err(ErrCode::Mismatch, "ckpt.decode",
+                   "checkpoint '" + path +
+                       "' belongs to a different stream");
     }
-    if (!restoreFromCheckpoint(ck, *st.predictor, sh.opts->spec,
-                               error)) {
-        reportError(sh, "stream " + std::to_string(st.desc->id) + ": " +
-                            error);
-        return false;
-    }
+    if (Err e = restoreFromCheckpoint(ck, *st.predictor, sh.opts->spec);
+        e.failed())
+        return e;
 
     // Skip the already-served trace prefix.
     BranchRecord rec;
     for (uint64_t i = 0; i < ck.consumed; ++i) {
         if (!st.trace->next(rec)) {
-            reportError(sh, "stream " + std::to_string(st.desc->id) +
-                                ": checkpoint consumed " +
-                                std::to_string(ck.consumed) +
-                                " records but the trace is shorter");
-            return false;
+            if (const Err* te = st.trace->lastError())
+                return *te;
+            return Err(ErrCode::Truncated, "trace.read",
+                       "checkpoint consumed " +
+                           std::to_string(ck.consumed) +
+                           " records but the trace is shorter");
         }
     }
     st.consumed = ck.consumed;
     st.result.resumedAt = ck.consumed;
-    return true;
+    return {};
 }
 
 /** Park a live predictor as snapshot bytes. */
-bool
+Err
 evictStream(ServeShared& sh, StreamState& st)
 {
+    (void)sh;
+    failpoints::KeyScope scope(st.desc->id);
     StateWriter w;
     std::string error;
-    if (!st.predictor->snapshot(w, error)) {
-        reportError(sh, "stream " + std::to_string(st.desc->id) +
-                            ": eviction failed: " + error);
-        return false;
-    }
+    if (!st.predictor->snapshot(w, error))
+        return Err(ErrCode::Unsupported, "serve.evict",
+                   "eviction failed: " + error);
     st.parked = w.take();
     st.predictor.reset();
-    return true;
+    return {};
 }
 
 /** Checkpoint / fingerprint a finished stream, then release it. */
-bool
+Err
 finalizeStream(ServeShared& sh, StreamState& st)
 {
     const ServeOptions& opts = *sh.opts;
     if (!opts.checkpointDir.empty() || opts.computeDigests) {
         std::vector<uint8_t> blob;
-        std::string error;
-        if (!encodeStreamCheckpoint(*st.predictor, opts.spec,
-                                    st.desc->id, st.desc->trace,
-                                    st.consumed, blob, error)) {
-            reportError(sh, "stream " + std::to_string(st.desc->id) +
-                                ": " + error);
-            return false;
-        }
+        if (Err e = encodeStreamCheckpoint(*st.predictor, opts.spec,
+                                           st.desc->id, st.desc->trace,
+                                           st.consumed, blob);
+            e.failed())
+            return e;
         st.result.stateDigest = checkpointDigest(blob);
         if (!opts.checkpointDir.empty()) {
             const std::string path =
                 opts.checkpointDir + "/" +
                 streamCheckpointFileName(st.desc->id);
-            if (!writeCheckpointFile(path, blob, error)) {
-                reportError(sh, "stream " +
-                                    std::to_string(st.desc->id) + ": " +
-                                    error);
-                return false;
-            }
+            if (Err e = withRetry(sh, st,
+                                  [&] {
+                                      return writeCheckpointFile(path,
+                                                                 blob);
+                                  });
+                e.failed())
+                return e;
         }
     }
     st.predictor.reset();
     st.trace.reset();
     st.done = true;
-    return true;
+    return {};
+}
+
+/**
+ * Isolate a failed stream: record the fault, free its resources, mark
+ * it done. Every other stream is untouched, so the rest of the serve
+ * is bit-identical to one that never contained this stream.
+ */
+void
+quarantineStream(StreamState& st, Err e)
+{
+    warn("stream " + std::to_string(st.desc->id) +
+         " quarantined: " + e.message());
+    st.result.status = StreamStatus::Quarantined;
+    st.result.fault = std::move(e);
+    st.predictor.reset();
+    st.trace.reset();
+    st.parked.clear();
+    st.parked.shrink_to_fit();
+    st.done = true;
 }
 
 /**
@@ -232,6 +289,23 @@ serveShard(ServeShared& sh, const std::vector<size_t>& members)
     const size_t cap = opts.poolPerShard;
     std::deque<size_t> live; // admission order, for FIFO eviction
     std::vector<double> latency;
+
+    auto eraseLive = [&live](size_t idx) {
+        const auto it = std::find(live.begin(), live.end(), idx);
+        if (it != live.end())
+            live.erase(it);
+    };
+
+    // Strict mode aborts the serve on the first failure (returns
+    // false); the default isolates it into the one stream.
+    auto failStream = [&](StreamState& st, Err e) {
+        if (opts.strict) {
+            reportError(sh, streamErr(st, std::move(e)).message());
+            return false;
+        }
+        quarantineStream(st, std::move(e));
+        return true;
+    };
 
     // Reused per-turn predictMany buffers.
     const size_t chunk = std::min<size_t>(kServeChunk, opts.batch);
@@ -254,15 +328,41 @@ serveShard(ServeShared& sh, const std::vector<size_t>& members)
             if (sh.failed.load(std::memory_order_relaxed))
                 return;
 
+            // Failpoint triggers key on the stream id, so injection
+            // schedules are a function of each stream's own progress —
+            // bit-reproducible at any --jobs / shard count.
+            failpoints::KeyScope scope(st.desc->id);
+
+            if (failpoints::anyArmed()) {
+                if (auto injected =
+                        failpoints::check("serve.worker.step")) {
+                    eraseLive(idx);
+                    if (!failStream(st, std::move(*injected)))
+                        return;
+                    --remaining;
+                    continue;
+                }
+            }
+
             if (!st.predictor) {
-                if (!admitStream(sh, st))
-                    return;
+                if (Err e = admitStream(sh, st); e.failed()) {
+                    if (!failStream(st, std::move(e)))
+                        return;
+                    --remaining;
+                    continue;
+                }
                 live.push_back(idx);
                 while (cap != 0 && live.size() > cap) {
                     const size_t victim = live.front();
                     live.pop_front();
-                    if (!evictStream(sh, (*sh.streams)[victim]))
-                        return;
+                    StreamState& vs = (*sh.streams)[victim];
+                    if (Err e = evictStream(sh, vs); e.failed()) {
+                        // The victim, not the stream being admitted,
+                        // is the one that failed.
+                        if (!failStream(vs, std::move(e)))
+                            return;
+                        --remaining;
+                    }
                 }
             }
 
@@ -331,10 +431,21 @@ serveShard(ServeShared& sh, const std::vector<size_t>& members)
                 latency.push_back(elapsed_ns /
                                   static_cast<double>(n));
             }
-            if (n < opts.batch) {
-                live.erase(std::find(live.begin(), live.end(), idx));
-                if (!finalizeStream(sh, st))
+            // A short turn means exhaustion — or a failed source;
+            // check before treating the stream as cleanly finished.
+            if (const Err* te = st.trace->lastError()) {
+                eraseLive(idx);
+                if (!failStream(st, *te))
                     return;
+                --remaining;
+                continue;
+            }
+            if (n < opts.batch) {
+                eraseLive(idx);
+                if (Err e = finalizeStream(sh, st); e.failed()) {
+                    if (!failStream(st, std::move(e)))
+                        return;
+                }
                 --remaining;
             }
         }
@@ -481,14 +592,20 @@ ServingEngine::serve(const std::vector<StreamDesc>& streams,
 
     out.perStream.reserve(states.size());
     for (auto& st : states) {
-        out.aggregate.merge(st.result.stats);
-        out.confusion.merge(st.result.confusion);
-        out.totalBranches += st.result.branchesServed;
-        if (st.result.resumedAt != 0)
-            ++out.streamsRestored;
+        if (st.result.status == StreamStatus::Ok) {
+            out.aggregate.merge(st.result.stats);
+            out.confusion.merge(st.result.confusion);
+            out.totalBranches += st.result.branchesServed;
+            ++out.streamsServed;
+            if (st.result.resumedAt != 0)
+                ++out.streamsRestored;
+        } else {
+            ++out.streamsQuarantined;
+            out.quarantinedBranches += st.result.branchesServed;
+        }
+        out.totalRetries += st.result.retries;
         out.perStream.push_back(std::move(st.result));
     }
-    out.streamsServed = states.size();
     {
         auto probe = tryMakePredictor(opts_.spec, nullptr);
         out.storageBits = probe ? probe->storageBits() : 0;

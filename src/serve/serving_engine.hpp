@@ -20,17 +20,27 @@
  * shard count, pool bound or batch size. Wall-clock timing
  * (ServeTiming) is the only non-deterministic output and is kept
  * separate so drivers can diff the deterministic part byte for byte.
+ *
+ * Fault isolation: a stream whose trace or checkpoint I/O fails is
+ * quarantined — its typed Err is recorded in StreamResult::fault, its
+ * resources are freed, and every other stream completes bit-identical
+ * to a serve that never contained the faulty stream. Retryable
+ * (ErrCode::Io) checkpoint-dir failures get a bounded retry with
+ * exponential backoff first. ServeOptions::strict restores the old
+ * fail-fast behavior: the first stream error aborts the serve.
  */
 
 #ifndef TAGECON_SERVE_SERVING_ENGINE_HPP
 #define TAGECON_SERVE_SERVING_ENGINE_HPP
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/binary_metrics.hpp"
 #include "core/class_stats.hpp"
+#include "util/errors.hpp"
 
 namespace tagecon {
 
@@ -113,6 +123,35 @@ struct ServeOptions {
      * verification knob ("tagecon_serve --scalar").
      */
     bool forceScalar = false;
+
+    /**
+     * Fail fast: the first stream error aborts the whole serve (the
+     * pre-quarantine behavior). Default is to quarantine the failed
+     * stream and keep serving the rest.
+     */
+    bool strict = false;
+
+    /**
+     * Total attempts for retryable (ErrCode::Io) checkpoint-dir reads
+     * and writes; 1 disables retry. Attempt k sleeps
+     * retryBaseDelayNs * 2^(k-1) first.
+     */
+    unsigned retryAttempts = 3;
+
+    /** Backoff before the first retry, in nanoseconds (then doubled). */
+    uint64_t retryBaseDelayNs = 1'000'000;
+
+    /**
+     * Injectable backoff clock for tests: called with the delay in
+     * nanoseconds instead of sleeping. Empty means really sleep.
+     */
+    std::function<void(uint64_t)> retrySleep;
+};
+
+/** Terminal state of one stream after a serve. */
+enum class StreamStatus : uint8_t {
+    Ok = 0,          ///< served to exhaustion
+    Quarantined = 1, ///< failed and isolated; see StreamResult::fault
 };
 
 /** Outcome of serving one stream. */
@@ -137,6 +176,19 @@ struct StreamResult {
      * checkpointing were requested; 0 otherwise.
      */
     uint64_t stateDigest = 0;
+
+    /** Ok, or Quarantined with the reason in fault. */
+    StreamStatus status = StreamStatus::Ok;
+
+    /**
+     * Why the stream was quarantined (fault.ok() for Ok streams). The
+     * site field names the failing operation — injected faults and
+     * real failures are indistinguishable here by design.
+     */
+    Err fault;
+
+    /** Backoff retries spent on this stream's checkpoint-dir I/O. */
+    uint32_t retries = 0;
 };
 
 /** Wall-clock throughput of a serve (non-deterministic). */
@@ -156,14 +208,30 @@ struct ServeResult {
     /** Per-stream results, in input stream order. */
     std::vector<StreamResult> perStream;
 
-    /** Pooled statistics over every served branch. */
+    /**
+     * Pooled statistics over every branch of every Ok stream.
+     * Quarantined streams' partial progress is excluded, so these
+     * match a serve that never contained the faulty streams.
+     */
     ClassStats aggregate;
 
-    /** Pooled binary confidence confusion. */
+    /** Pooled binary confidence confusion (Ok streams only). */
     BinaryConfidenceMetrics confusion;
 
+    /** Branches served by Ok streams. */
     uint64_t totalBranches = 0;
+
+    /** Streams that finished Ok. */
     uint64_t streamsServed = 0;
+
+    /** Streams quarantined (streamsServed + this = input size). */
+    uint64_t streamsQuarantined = 0;
+
+    /** Partial branches served by quarantined streams before failing. */
+    uint64_t quarantinedBranches = 0;
+
+    /** Backoff retries spent across all streams. */
+    uint64_t totalRetries = 0;
 
     /** Streams warm-started from a restore-dir checkpoint. */
     uint64_t streamsRestored = 0;
@@ -193,9 +261,11 @@ class ServingEngine
 
     /**
      * Serve @p streams to exhaustion. Returns false with the reason in
-     * @p error on invalid options, duplicate stream ids, a bad trace
-     * spec, or a failed checkpoint restore/write. Results are in
-     * @p streams order regardless of jobs/shards/pool/batch.
+     * @p error on invalid options, duplicate stream ids, or — in
+     * strict mode only — the first stream failure. Otherwise a failing
+     * stream is quarantined (StreamResult::status / fault) and serve()
+     * still returns true. Results are in @p streams order regardless
+     * of jobs/shards/pool/batch.
      */
     bool serve(const std::vector<StreamDesc>& streams, ServeResult& out,
                std::string& error);

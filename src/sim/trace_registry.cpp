@@ -7,6 +7,7 @@
 #include "trace/cbp_ascii.hpp"
 #include "trace/profiles.hpp"
 #include "trace/trace_io.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/text.hpp"
 
@@ -180,55 +181,80 @@ resolveTraceSpecs(const std::vector<std::string>& args,
     return true;
 }
 
-std::unique_ptr<TraceSource>
-tryMakeTraceSource(const TraceSpec& spec, uint64_t branches,
-                   uint64_t seed_salt, std::string* error)
+Expected<std::unique_ptr<TraceSource>>
+openTraceSource(const TraceSpec& spec, uint64_t branches,
+                uint64_t seed_salt)
 {
+    if (failpoints::anyArmed()) {
+        if (auto injected = failpoints::check("trace.open"))
+            return std::move(*injected);
+    }
     std::string err;
     if (spec.kind == TraceSpec::Kind::Synthetic) {
-        if (!validateTraceSpec(spec, error))
-            return nullptr;
+        if (!validateTraceSpec(spec, &err))
+            return Err(ErrCode::BadSpec, "trace.open", std::move(err));
         if (branches == 0) {
-            if (error)
-                *error = "synthetic trace '" + spec.key +
-                         "' needs a nonzero branch count";
-            return nullptr;
+            return Err(ErrCode::BadSpec, "trace.open",
+                       "synthetic trace '" + spec.key +
+                           "' needs a nonzero branch count");
         }
-        return std::make_unique<SyntheticTrace>(
-            makeTrace(spec.key, branches, seed_salt));
+        return std::unique_ptr<TraceSource>(
+            std::make_unique<SyntheticTrace>(
+                makeTrace(spec.key, branches, seed_salt)));
     }
 
     // Recorded streams: seed_salt does not apply; branches caps the
     // replay (0 = the whole file). Each call opens its own handle so
-    // parallel sweep cells never share reader state. Sniff and probe
-    // exactly once — the probe doubles as the non-fatal validation the
-    // reader constructors (which fatal()) can't provide.
+    // parallel sweep cells never share reader state.
     TraceFileFormat format;
-    if (!detectTraceFileFormat(spec.key, format, err)) {
-        if (error)
-            *error = err;
-        return nullptr;
-    }
-    const bool ok = format == TraceFileFormat::Tcbt
-                        ? probeTraceFile(spec.key, nullptr, &err)
-                        : probeCbpAsciiFile(spec.key, &err);
-    if (!ok) {
-        if (error)
-            *error = err;
-        return nullptr;
-    }
+    if (!detectTraceFileFormat(spec.key, format, err))
+        return Err(ErrCode::NotFound, "trace.open", std::move(err));
     if (format == TraceFileFormat::Tcbt) {
-        auto reader = std::make_unique<TraceReader>(spec.key);
+        auto opened = TraceReader::open(spec.key);
+        if (!opened.ok())
+            return opened.error();
+        auto reader = opened.take();
         if (branches != 0 && reader->totalRecords() > branches)
-            return std::make_unique<LimitedTrace>(std::move(reader),
-                                                  branches);
-        return reader;
+            return std::unique_ptr<TraceSource>(
+                std::make_unique<LimitedTrace>(std::move(reader),
+                                               branches));
+        return std::unique_ptr<TraceSource>(std::move(reader));
     }
-    std::unique_ptr<TraceSource> src =
-        std::make_unique<CbpAsciiReader>(spec.key);
+    // The ASCII probe reads up to the first data line, catching files
+    // that open but carry a foreign format before a sweep starts.
+    if (!probeCbpAsciiFile(spec.key, &err))
+        return Err(ErrCode::Parse, "trace.open", std::move(err));
+    auto opened = CbpAsciiReader::open(spec.key);
+    if (!opened.ok())
+        return opened.error();
+    std::unique_ptr<TraceSource> src = opened.take();
     if (branches != 0)
         src = std::make_unique<LimitedTrace>(std::move(src), branches);
-    return src;
+    return std::move(src);
+}
+
+Expected<std::unique_ptr<TraceSource>>
+openTraceSource(const std::string& spec, uint64_t branches,
+                uint64_t seed_salt)
+{
+    TraceSpec parsed;
+    std::string err;
+    if (!parseTraceSpec(spec, parsed, &err))
+        return Err(ErrCode::BadSpec, "trace.open", std::move(err));
+    return openTraceSource(parsed, branches, seed_salt);
+}
+
+std::unique_ptr<TraceSource>
+tryMakeTraceSource(const TraceSpec& spec, uint64_t branches,
+                   uint64_t seed_salt, std::string* error)
+{
+    auto opened = openTraceSource(spec, branches, seed_salt);
+    if (!opened.ok()) {
+        if (error)
+            *error = opened.error().detail;
+        return nullptr;
+    }
+    return opened.take();
 }
 
 std::unique_ptr<TraceSource>

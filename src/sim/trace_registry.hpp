@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "trace/trace_source.hpp"
+#include "util/errors.hpp"
 
 namespace tagecon {
 
@@ -108,12 +109,28 @@ bool resolveTraceSpecs(const std::vector<std::string>& args,
                        std::string& error);
 
 /**
- * Construct an independent TraceSource for @p spec (string or parsed
- * form) — the trace-side mirror of tryMakePredictor(). @p branches
- * caps the stream (generated length for synthetic specs, replay cap
- * for files; files shorter than the cap replay fully). @p seed_salt
- * perturbs synthetic generation and is ignored by file specs. Returns
- * nullptr with the reason in @p error (when non-null) on a bad spec.
+ * Construct an independent TraceSource for @p spec — the trace-side
+ * mirror of tryMakePredictor(), with typed errors. @p branches caps
+ * the stream (generated length for synthetic specs, replay cap for
+ * files; files shorter than the cap replay fully). @p seed_salt
+ * perturbs synthetic generation and is ignored by file specs.
+ *
+ * This is the "trace.open" failpoint site: an armed fault fires here
+ * for synthetic and file specs alike, so tests can quarantine any
+ * stream without staging a broken file.
+ */
+Expected<std::unique_ptr<TraceSource>>
+openTraceSource(const TraceSpec& spec, uint64_t branches,
+                uint64_t seed_salt = 0);
+
+/** Overload parsing @p spec first. */
+Expected<std::unique_ptr<TraceSource>>
+openTraceSource(const std::string& spec, uint64_t branches,
+                uint64_t seed_salt = 0);
+
+/**
+ * Legacy shim over openTraceSource(): returns nullptr with the reason
+ * in @p error (when non-null) on a bad spec.
  */
 std::unique_ptr<TraceSource>
 tryMakeTraceSource(const std::string& spec, uint64_t branches,

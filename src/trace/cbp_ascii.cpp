@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
 #if TAGECON_HAVE_ZLIB
@@ -253,6 +254,12 @@ probeCbpAsciiFile(const std::string& path, std::string* error)
     return true; // empty / comment-only traces are valid
 }
 
+CbpAsciiReader::CbpAsciiReader(Opened, const std::string& path,
+                               std::unique_ptr<CbpLineSource> in)
+    : path_(path), name_(cbpAsciiTraceName(path)), in_(std::move(in))
+{
+}
+
 CbpAsciiReader::CbpAsciiReader(const std::string& path)
     : path_(path), name_(cbpAsciiTraceName(path)),
       in_(std::make_unique<CbpLineSource>())
@@ -260,6 +267,23 @@ CbpAsciiReader::CbpAsciiReader(const std::string& path)
     std::string error;
     if (!in_->open(path, error))
         fatal(error);
+}
+
+Expected<std::unique_ptr<CbpAsciiReader>>
+CbpAsciiReader::open(const std::string& path)
+{
+    auto src = std::make_unique<CbpLineSource>();
+    std::string error;
+    if (!src->open(path, error)) {
+        // A file that won't open is NotFound; a gzip-without-zlib
+        // refusal is an unsupported input, not a missing one.
+        const ErrCode code = error.find("no zlib") != std::string::npos
+                                 ? ErrCode::Unsupported
+                                 : ErrCode::NotFound;
+        return Err(code, "trace.open", std::move(error));
+    }
+    return std::unique_ptr<CbpAsciiReader>(
+        new CbpAsciiReader(Opened{}, path, std::move(src)));
 }
 
 CbpAsciiReader::~CbpAsciiReader() = default;
@@ -273,6 +297,14 @@ CbpAsciiReader::getLine(std::string& line)
 bool
 CbpAsciiReader::next(BranchRecord& out)
 {
+    if (err_.failed())
+        return false;
+    if (failpoints::anyArmed()) {
+        if (auto injected = failpoints::check("trace.read")) {
+            err_ = std::move(*injected);
+            return false;
+        }
+    }
     std::string line;
     while (getLine(line)) {
         ++lineNo_;
@@ -280,8 +312,13 @@ CbpAsciiReader::next(BranchRecord& out)
             continue;
         std::string why;
         if (!parseCbpAsciiLine(line, out, why)) {
-            fatal("'" + path_ + "' line " + std::to_string(lineNo_) +
-                  " is not an ASCII trace record: " + why);
+            // Latch instead of fatal(): report through lastError() so
+            // one bad trace quarantines one stream, not the process.
+            err_ = Err(ErrCode::Parse, "trace.read",
+                       "'" + path_ + "' line " +
+                           std::to_string(lineNo_) +
+                           " is not an ASCII trace record: " + why);
+            return false;
         }
         ++produced_;
         return true;
@@ -292,6 +329,7 @@ CbpAsciiReader::next(BranchRecord& out)
 void
 CbpAsciiReader::reset()
 {
+    err_ = Err();
     in_->rewind();
     lineNo_ = 0;
     produced_ = 0;

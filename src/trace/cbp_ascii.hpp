@@ -31,6 +31,7 @@
 #include <string>
 
 #include "trace/trace_source.hpp"
+#include "util/errors.hpp"
 
 namespace tagecon {
 
@@ -62,16 +63,25 @@ bool probeCbpAsciiFile(const std::string& path, std::string* error);
  * basename with any ".gz" and one trailing extension stripped
  * ("gcc.trace.gz" -> "gcc"), mirroring how CBP traces are referred to
  * by benchmark name.
+ *
+ * Library code opens readers through open(), which reports failures as
+ * typed Err values; the fatal() constructor remains as a convenience
+ * for tool boundaries. A malformed line after open (or an injected
+ * "trace.read" fault) ends the stream and is reported through
+ * lastError() instead of killing the process.
  */
 class CbpAsciiReader : public TraceSource
 {
   public:
     /**
      * Open @p path; fatal() on a missing file or (without zlib) a
-     * gzipped one. Malformed lines are fatal() at the line that fails,
-     * naming path and line number.
+     * gzipped one.
      */
     explicit CbpAsciiReader(const std::string& path);
+
+    /** Open @p path without fatal()ing — the library path. */
+    static Expected<std::unique_ptr<CbpAsciiReader>>
+    open(const std::string& path);
 
     ~CbpAsciiReader() override;
 
@@ -82,16 +92,28 @@ class CbpAsciiReader : public TraceSource
     void reset() override;
     std::string name() const override { return name_; }
 
+    const Err*
+    lastError() const override
+    {
+        return err_.ok() ? nullptr : &err_;
+    }
+
     /** Records produced since open / the last reset(). */
     uint64_t produced() const { return produced_; }
 
   private:
+    struct Opened {}; // tag for the already-validated constructor
+
+    CbpAsciiReader(Opened, const std::string& path,
+                   std::unique_ptr<CbpLineSource> in);
+
     std::string path_;
     std::string name_;
     uint64_t lineNo_ = 0;
     uint64_t produced_ = 0;
 
     std::unique_ptr<CbpLineSource> in_;
+    Err err_;
 
     bool getLine(std::string& line);
 };

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 
 namespace tagecon {
@@ -27,43 +28,45 @@ readRaw(std::ifstream& in, T& v)
     return in.good();
 }
 
+constexpr const char* kOpenSite = "trace.open";
+
 /**
- * Parse and validate the header of an already-open stream. Returns
- * false with the reason (prefixed with the path) in @p error.
+ * Parse and validate the header of an already-open stream. Returns the
+ * typed reason (detail prefixed with the path) on failure.
  */
-bool
+Err
 readHeader(std::ifstream& in, const std::string& path,
-           TraceFileInfo& info, std::string& error)
+           TraceFileInfo& info)
 {
     std::array<char, 4> magic{};
     in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
-    if (!in || magic != kMagic) {
-        error = "'" + path + "' is not a tagecon trace file";
-        return false;
-    }
+    if (!in || magic != kMagic)
+        return Err(ErrCode::Corrupt, kOpenSite,
+                   "'" + path + "' is not a tagecon trace file");
     uint32_t version = 0;
     if (!readRaw(in, version) || version != kTraceFormatVersion) {
-        error = "'" + path + "' has unsupported trace format version " +
-                (in ? std::to_string(version) : std::string("(unreadable)")) +
-                " (expected " + std::to_string(kTraceFormatVersion) + ")";
-        return false;
+        return Err(
+            ErrCode::BadVersion, kOpenSite,
+            "'" + path + "' has unsupported trace format version " +
+                (in ? std::to_string(version)
+                    : std::string("(unreadable)")) +
+                " (expected " + std::to_string(kTraceFormatVersion) +
+                ")");
     }
     uint32_t name_len = 0;
-    if (!readRaw(in, name_len) || name_len > 4096) {
-        error = "'" + path + "' has a malformed header";
-        return false;
-    }
+    if (!readRaw(in, name_len) || name_len > 4096)
+        return Err(ErrCode::Corrupt, kOpenSite,
+                   "'" + path + "' has a malformed header");
     info.name.resize(name_len);
     in.read(info.name.data(), static_cast<std::streamsize>(name_len));
-    if (!in || !readRaw(in, info.records)) {
-        error = "'" + path + "' has a truncated header";
-        return false;
-    }
+    if (!in || !readRaw(in, info.records))
+        return Err(ErrCode::Truncated, kOpenSite,
+                   "'" + path + "' has a truncated header");
     info.dataStart = static_cast<uint64_t>(in.tellg());
 
     // Fail fast on truncation: the header's record count must fit in
-    // the bytes the file actually has, or next() would fatal() deep
-    // into a simulation instead of at open time.
+    // the bytes the file actually has, or next() would fail deep into
+    // a simulation instead of at open time.
     std::error_code ec;
     const auto size = std::filesystem::file_size(path, ec);
     info.fileBytes = ec ? 0 : static_cast<uint64_t>(size);
@@ -75,39 +78,54 @@ readHeader(std::ifstream& in, const std::string& path,
                                      ? info.fileBytes - info.dataStart
                                      : 0;
         if (info.records > payload / kTraceRecordBytes) {
-            error = "'" + path + "' is truncated: header promises " +
-                    std::to_string(info.records) +
-                    " records but the file (" +
-                    std::to_string(info.fileBytes) +
-                    " bytes) has room for only " +
-                    std::to_string(payload / kTraceRecordBytes);
-            return false;
+            return Err(ErrCode::Truncated, kOpenSite,
+                       "'" + path + "' is truncated: header promises " +
+                           std::to_string(info.records) +
+                           " records but the file (" +
+                           std::to_string(info.fileBytes) +
+                           " bytes) has room for only " +
+                           std::to_string(payload / kTraceRecordBytes));
         }
     }
-    return true;
+    return {};
+}
+
+/** Open @p path and parse its header; the shared non-fatal front end. */
+Err
+openAndReadHeader(const std::string& path, std::ifstream& in,
+                  TraceFileInfo& info)
+{
+    in.open(path, std::ios::binary);
+    if (!in)
+        return Err(ErrCode::NotFound, kOpenSite,
+                   "cannot open trace file '" + path + "'");
+    return readHeader(in, path, info);
 }
 
 } // namespace
+
+Expected<TraceFileInfo>
+probeTrace(const std::string& path)
+{
+    std::ifstream in;
+    TraceFileInfo info;
+    if (Err e = openAndReadHeader(path, in, info); e.failed())
+        return e;
+    return info;
+}
 
 bool
 probeTraceFile(const std::string& path, TraceFileInfo* info,
                std::string* error)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    auto probed = probeTrace(path);
+    if (!probed.ok()) {
         if (error)
-            *error = "cannot open trace file '" + path + "'";
-        return false;
-    }
-    TraceFileInfo parsed;
-    std::string err;
-    if (!readHeader(in, path, parsed, err)) {
-        if (error)
-            *error = err;
+            *error = probed.error().detail;
         return false;
     }
     if (info)
-        *info = parsed;
+        *info = probed.take();
     return true;
 }
 
@@ -169,30 +187,58 @@ TraceWriter::close()
         fatal("failed closing trace file '" + path_ + "'");
 }
 
-TraceReader::TraceReader(const std::string& path)
-    : path_(path), in_(path, std::ios::binary)
+TraceReader::TraceReader(Opened, const std::string& path,
+                         std::ifstream in, TraceFileInfo info)
+    : path_(path), in_(std::move(in)), name_(std::move(info.name)),
+      total_(info.records),
+      dataStart_(static_cast<std::streampos>(info.dataStart))
 {
-    if (!in_)
-        fatal("cannot open trace file '" + path + "'");
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : path_(path)
+{
     TraceFileInfo info;
-    std::string error;
-    if (!readHeader(in_, path, info, error))
-        fatal(error);
+    if (Err e = openAndReadHeader(path, in_, info); e.failed())
+        fatal(e.detail);
     name_ = std::move(info.name);
     total_ = info.records;
     dataStart_ = static_cast<std::streampos>(info.dataStart);
 }
 
+Expected<std::unique_ptr<TraceReader>>
+TraceReader::open(const std::string& path)
+{
+    std::ifstream in;
+    TraceFileInfo info;
+    if (Err e = openAndReadHeader(path, in, info); e.failed())
+        return e;
+    return std::unique_ptr<TraceReader>(
+        new TraceReader(Opened{}, path, std::move(in), std::move(info)));
+}
+
 bool
 TraceReader::next(BranchRecord& out)
 {
-    if (read_ >= total_)
+    if (err_.failed() || read_ >= total_)
         return false;
+    if (failpoints::anyArmed()) {
+        if (auto injected = failpoints::check("trace.read")) {
+            err_ = std::move(*injected);
+            return false;
+        }
+    }
     uint8_t taken = 0;
     if (!readRaw(in_, out.pc) || !readRaw(in_, out.instructionsBefore) ||
         !readRaw(in_, taken)) {
-        fatal("'" + path_ + "' is truncated (header promises " +
-              std::to_string(total_) + " records)");
+        // Latch instead of fatal(): the file shrank under us (the open
+        // time size check passed), so end this stream and let the
+        // caller decide — the serving engine quarantines just the
+        // affected stream.
+        err_ = Err(ErrCode::Truncated, "trace.read",
+                   "'" + path_ + "' is truncated (header promises " +
+                       std::to_string(total_) + " records)");
+        return false;
     }
     out.taken = taken != 0;
     ++read_;
@@ -202,6 +248,7 @@ TraceReader::next(BranchRecord& out)
 void
 TraceReader::reset()
 {
+    err_ = Err();
     in_.clear();
     in_.seekg(dataStart_);
     read_ = 0;

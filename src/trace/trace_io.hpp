@@ -15,9 +15,11 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "trace/trace_source.hpp"
+#include "util/errors.hpp"
 
 namespace tagecon {
 
@@ -47,11 +49,15 @@ struct TraceFileInfo {
 /**
  * Validate @p path as a binary trace file without fatal()ing: checks
  * that the file opens, the magic/version/name header parses, and the
- * file size covers the promised record count. Returns true and fills
- * @p info (when non-null) on success; returns false with the reason in
- * @p error (when non-null) otherwise. This is the probe the trace
- * registry uses to reject bad specs before a sweep starts.
+ * file size covers the promised record count. The Err taxonomy
+ * distinguishes a missing file (NotFound), a foreign format (Corrupt),
+ * an unsupported version (BadVersion) and a short file (Truncated).
+ * This is the probe the trace registry uses to reject bad specs before
+ * a sweep starts.
  */
+Expected<TraceFileInfo> probeTrace(const std::string& path);
+
+/** Legacy bool+string shim over probeTrace(). */
 bool probeTraceFile(const std::string& path, TraceFileInfo* info,
                     std::string* error);
 
@@ -103,6 +109,12 @@ class TraceWriter
  * trace is a drop-in replacement for a synthetic one. The header's
  * record count is validated against the actual file size at open time,
  * so a truncated file fails fast instead of mid-simulation.
+ *
+ * Library code opens readers through open(), which reports failures as
+ * typed Err values; the fatal() constructor remains as a convenience
+ * for tool boundaries. A read failure after open (a file shrinking
+ * under the reader, or an injected "trace.read" fault) ends the stream
+ * and is reported through lastError() instead of killing the process.
  */
 class TraceReader : public TraceSource
 {
@@ -110,20 +122,39 @@ class TraceReader : public TraceSource
     /** Open @p path; fatal() on missing file or malformed header. */
     explicit TraceReader(const std::string& path);
 
+    /**
+     * Open @p path without fatal()ing — the library path. The returned
+     * reader is positioned at the first record.
+     */
+    static Expected<std::unique_ptr<TraceReader>>
+    open(const std::string& path);
+
     bool next(BranchRecord& out) override;
     void reset() override;
     std::string name() const override { return name_; }
+
+    const Err*
+    lastError() const override
+    {
+        return err_.ok() ? nullptr : &err_;
+    }
 
     /** Total records the header promises. */
     uint64_t totalRecords() const { return total_; }
 
   private:
+    struct Opened {}; // tag for the already-validated constructor
+
+    TraceReader(Opened, const std::string& path, std::ifstream in,
+                TraceFileInfo info);
+
     std::string path_;
     std::ifstream in_;
     std::string name_;
     uint64_t total_ = 0;
     uint64_t read_ = 0;
     std::streampos dataStart_;
+    Err err_;
 };
 
 /**

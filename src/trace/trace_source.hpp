@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "trace/branch_record.hpp"
+#include "util/errors.hpp"
 
 namespace tagecon {
 
@@ -30,9 +31,21 @@ class TraceSource
      * Produce the next branch.
      * @param out Filled with the next record when available.
      * @retval true A record was produced.
-     * @retval false The trace is exhausted.
+     * @retval false The trace is exhausted — or failed; a source that
+     *         can fail mid-stream (file readers) reports the reason
+     *         through lastError(), so consumers distinguish a clean
+     *         end from a truncated or unreadable stream.
      */
     virtual bool next(BranchRecord& out) = 0;
+
+    /**
+     * The error that ended the stream, or nullptr when none: next()
+     * returning false with a null lastError() is a clean exhaustion.
+     * In-memory sources never fail; file readers latch truncation,
+     * parse and injected-fault errors here instead of fatal()ing, so
+     * the serving engine can quarantine the one affected stream.
+     */
+    virtual const Err* lastError() const { return nullptr; }
 
     /** Rewind to the beginning; the replay is bit-identical. */
     virtual void reset() = 0;
@@ -111,6 +124,8 @@ class LimitedTrace : public TraceSource
     }
 
     std::string name() const override { return inner_->name(); }
+
+    const Err* lastError() const override { return inner_->lastError(); }
 
   private:
     std::unique_ptr<TraceSource> inner_;

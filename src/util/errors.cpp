@@ -1,0 +1,61 @@
+#include "util/errors.hpp"
+
+namespace tagecon {
+
+const char*
+errCodeName(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::None:
+        return "none";
+      case ErrCode::NotFound:
+        return "not-found";
+      case ErrCode::Io:
+        return "io";
+      case ErrCode::Corrupt:
+        return "corrupt";
+      case ErrCode::Truncated:
+        return "truncated";
+      case ErrCode::BadVersion:
+        return "bad-version";
+      case ErrCode::Parse:
+        return "parse";
+      case ErrCode::BadSpec:
+        return "bad-spec";
+      case ErrCode::Mismatch:
+        return "mismatch";
+      case ErrCode::Unsupported:
+        return "unsupported";
+    }
+    return "unknown";
+}
+
+bool
+errCodeFromName(const std::string& name, ErrCode& out)
+{
+    for (const ErrCode c :
+         {ErrCode::None, ErrCode::NotFound, ErrCode::Io, ErrCode::Corrupt,
+          ErrCode::Truncated, ErrCode::BadVersion, ErrCode::Parse,
+          ErrCode::BadSpec, ErrCode::Mismatch, ErrCode::Unsupported}) {
+        if (name == errCodeName(c)) {
+            out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+Err::message() const
+{
+    if (ok())
+        return "ok";
+    std::string out;
+    if (!site.empty())
+        out += site + ": ";
+    out += detail.empty() ? "(no detail)" : detail;
+    out += std::string(" [") + errCodeName(code) + "]";
+    return out;
+}
+
+} // namespace tagecon

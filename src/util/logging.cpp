@@ -2,27 +2,81 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace tagecon {
+
+namespace {
+
+/**
+ * One mutex serializes every log emission: concurrent sweep/serve
+ * workers used to interleave warn()/--progress lines mid-line.
+ * Function-local statics so static-initialization order can't bite.
+ */
+std::mutex&
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::ostream*&
+logSink()
+{
+    static std::ostream* sink = nullptr; // nullptr = stderr
+    return sink;
+}
+
+std::ostream&
+sinkOrStderr()
+{
+    std::ostream* s = logSink();
+    return s ? *s : std::cerr;
+}
+
+} // namespace
+
+std::ostream*
+setLogStream(std::ostream* os)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::ostream* prev = logSink();
+    logSink() = os;
+    return prev;
+}
 
 void
 panic(const std::string& msg)
 {
-    std::cerr << "panic: " << msg << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        sinkOrStderr() << "panic: " << msg << std::endl;
+    }
     std::abort();
 }
 
 void
 fatal(const std::string& msg)
 {
-    std::cerr << "fatal: " << msg << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        sinkOrStderr() << "fatal: " << msg << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warn(const std::string& msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    std::lock_guard<std::mutex> lock(logMutex());
+    sinkOrStderr() << "warn: " << msg << std::endl;
+}
+
+void
+logLine(const std::string& line)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    sinkOrStderr() << line << '\n' << std::flush;
 }
 
 } // namespace tagecon

@@ -8,6 +8,7 @@
 #ifndef TAGECON_UTIL_LOGGING_HPP
 #define TAGECON_UTIL_LOGGING_HPP
 
+#include <iosfwd>
 #include <string>
 
 namespace tagecon {
@@ -29,8 +30,26 @@ namespace tagecon {
  */
 [[noreturn]] void fatal(const std::string& msg);
 
-/** Print a non-fatal warning to stderr. */
+/**
+ * Print a non-fatal warning to the log stream (stderr by default).
+ * Line-atomic: concurrent warn()/logLine() calls from sweep or serve
+ * workers never interleave mid-line.
+ */
 void warn(const std::string& msg);
+
+/**
+ * Write @p line (a newline is appended) to the log stream under the
+ * same mutex as warn(), so progress reporting from parallel workers
+ * stays line-atomic too.
+ */
+void logLine(const std::string& line);
+
+/**
+ * Redirect warn()/logLine() (and the message half of panic()/fatal())
+ * to @p os; nullptr restores stderr. Returns the previous sink. A test
+ * hook — the mutex keeps writes to the injected stream serialized.
+ */
+std::ostream* setLogStream(std::ostream* os);
 
 /** Assert an invariant; panics with file/line context when violated. */
 #define TAGECON_ASSERT(cond, msg)                                          \

@@ -32,6 +32,7 @@
 #include "sim/registry.hpp"
 #include "sim/trace_registry.hpp"
 #include "tage/tage_predictor.hpp"
+#include "util/failpoint.hpp"
 #include "util/random.hpp"
 #include "util/state_io.hpp"
 
@@ -470,6 +471,89 @@ TEST(CheckpointFiles, WriteReadRoundTripAndNaming)
     EXPECT_FALSE(readCheckpointFile((dir / "nope.tcsp").string(),
                                     missing, error));
     std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointFiles, TornWriteNeverYieldsALoadableCheckpoint)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "tagecon_ckpt_torn_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "stream-0.tcsp").string();
+    const std::vector<uint8_t> blob = someValidBlob();
+
+    // A crash mid-write (the ckpt.write failpoint models it as a torn
+    // write) must leave only the temp file behind: the final path is
+    // written atomically via rename, so it either has the whole blob
+    // or does not exist.
+    {
+        failpoints::ScopedFaults faults("ckpt.write");
+        ASSERT_TRUE(faults.ok());
+        const Err e = writeCheckpointFile(path, blob);
+        EXPECT_EQ(e.code, ErrCode::Io);
+        EXPECT_EQ(e.site, "ckpt.write");
+    }
+    EXPECT_FALSE(checkpointFileExists(path));
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(staleCheckpointTempExists(path));
+
+    // The torn remnant is a strict prefix and must never decode.
+    const std::string tmp = checkpointTempName(path);
+    ASSERT_TRUE(std::filesystem::exists(tmp));
+    EXPECT_LT(std::filesystem::file_size(tmp), blob.size());
+    std::vector<uint8_t> torn;
+    std::string error;
+    ASSERT_TRUE(readCheckpointFile(tmp, torn, error)) << error;
+    Checkpoint ck;
+    EXPECT_TRUE(decodeCheckpoint(torn, ck).failed());
+
+    // A later successful write replaces the stale temp and clears the
+    // stale marker.
+    ASSERT_TRUE(writeCheckpointFile(path, blob).ok());
+    EXPECT_TRUE(checkpointFileExists(path));
+    EXPECT_FALSE(std::filesystem::exists(tmp));
+    EXPECT_FALSE(staleCheckpointTempExists(path));
+
+    std::vector<uint8_t> back;
+    ASSERT_TRUE(readCheckpointFile(path, back, error)) << error;
+    EXPECT_EQ(back, blob);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointErrors, TypedResultsCarryCodeAndSite)
+{
+    // Missing file: NotFound at ckpt.read — the serving engine treats
+    // this as a cold start, so the class matters, not just the text.
+    std::vector<uint8_t> out;
+    const Err read_err =
+        readCheckpointFile("/nonexistent/stream-0.tcsp", out);
+    EXPECT_EQ(read_err.code, ErrCode::NotFound);
+    EXPECT_EQ(read_err.site, "ckpt.read");
+    EXPECT_NE(read_err.message().find("[not-found]"),
+              std::string::npos);
+
+    // Unsupported family: ckpt.encode.
+    std::string error;
+    auto p = tryMakePredictor("gshare+jrs", &error);
+    ASSERT_NE(p, nullptr) << error;
+    std::vector<uint8_t> blob;
+    const Err enc_err = encodePredictorCheckpoint(
+        *p, canonicalizeSpec("gshare+jrs"), blob);
+    EXPECT_EQ(enc_err.code, ErrCode::Unsupported);
+    EXPECT_EQ(enc_err.site, "ckpt.encode");
+
+    // Truncation vs corruption at ckpt.decode: a prefix shorter than
+    // the minimal header is Truncated; a longer torn prefix fails the
+    // trailing digest first and is Corrupt.
+    const std::vector<uint8_t> good = someValidBlob();
+    Checkpoint ck;
+    const Err tiny_err = decodeCheckpoint(good.data(), 16, ck);
+    EXPECT_EQ(tiny_err.code, ErrCode::Truncated);
+    EXPECT_EQ(tiny_err.site, "ckpt.decode");
+    const Err torn_err =
+        decodeCheckpoint(good.data(), good.size() / 2, ck);
+    EXPECT_EQ(torn_err.code, ErrCode::Corrupt);
+    EXPECT_EQ(torn_err.site, "ckpt.decode");
 }
 
 } // namespace

@@ -19,6 +19,8 @@
 #include "serve/serving_engine.hpp"
 #include "sim/registry.hpp"
 #include "sim/trace_registry.hpp"
+#include "util/failpoint.hpp"
+#include "util/logging.hpp"
 
 namespace tagecon {
 namespace {
@@ -273,6 +275,237 @@ TEST(ServingEngine, UnboundedPoolServesSnapshotFreeFamilies)
     EXPECT_EQ(result.totalBranches, 8u * 500u);
     for (const auto& s : result.perStream)
         EXPECT_EQ(s.stateDigest, 0u);
+}
+
+/** Swallow quarantine warn() lines so test output stays readable. */
+class QuietLog
+{
+  public:
+    QuietLog() { prev_ = setLogStream(&sink_); }
+    ~QuietLog() { setLogStream(prev_); }
+
+    std::string text() const { return sink_.str(); }
+
+  private:
+    std::ostringstream sink_;
+    std::ostream* prev_ = nullptr;
+};
+
+TEST(ServingEngine, QuarantineIsolatesOneStreamAndIsJobsInvariant)
+{
+    QuietLog quiet;
+    const auto streams =
+        StreamSet::roundRobin(10, twoCbp1Traces(), 800, 0);
+
+    ServeOptions opts;
+    opts.spec = "tage16k+sfc";
+    opts.batch = 128;
+    opts.computeDigests = true;
+
+    // Control: the same population with no faults armed.
+    opts.jobs = 2;
+    const ServeResult clean = serveOrDie(opts, streams);
+
+    // Fault stream 6's trace open; everything else must not notice.
+    ServeResult at_jobs[2];
+    unsigned jobs_values[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        failpoints::ScopedFaults faults(
+            "trace.open:key=6,err=not-found");
+        ASSERT_TRUE(faults.ok());
+        opts.jobs = jobs_values[i];
+        at_jobs[i] = serveOrDie(opts, streams);
+    }
+    expectSameServe(at_jobs[0], at_jobs[1]);
+    EXPECT_EQ(at_jobs[0].streamsQuarantined, 1u);
+    EXPECT_EQ(at_jobs[1].streamsQuarantined, 1u);
+
+    const ServeResult& faulty = at_jobs[0];
+    EXPECT_EQ(faulty.streamsServed, 9u);
+    ASSERT_EQ(faulty.perStream.size(), clean.perStream.size());
+    for (size_t i = 0; i < faulty.perStream.size(); ++i) {
+        const StreamResult& f = faulty.perStream[i];
+        if (f.id == 6) {
+            EXPECT_EQ(f.status, StreamStatus::Quarantined);
+            EXPECT_EQ(f.fault.code, ErrCode::NotFound);
+            EXPECT_EQ(f.fault.site, "trace.open");
+            EXPECT_EQ(f.branchesServed, 0u);
+            continue;
+        }
+        // Survivors are bit-identical to the fault-free run.
+        EXPECT_EQ(f.status, StreamStatus::Ok);
+        EXPECT_EQ(f.branchesServed,
+                  clean.perStream[i].branchesServed);
+        EXPECT_EQ(f.stateDigest, clean.perStream[i].stateDigest)
+            << "stream " << f.id;
+    }
+    // The aggregate is exactly the clean aggregate minus stream 6.
+    EXPECT_EQ(faulty.totalBranches,
+              clean.totalBranches - clean.perStream[6].branchesServed);
+    EXPECT_NE(quiet.text().find("stream 6 quarantined"),
+              std::string::npos);
+}
+
+TEST(ServingEngine, CheckpointReadFaultQuarantinesAtAnyJobs)
+{
+    QuietLog quiet;
+    const auto dir = scratchDir("ckpt_read_fault");
+    const auto streams =
+        StreamSet::roundRobin(6, twoCbp1Traces(), 600, 0);
+
+    ServeOptions opts;
+    opts.spec = "tage16k+sfc";
+    opts.jobs = 2;
+    opts.batch = 100;
+    opts.computeDigests = true;
+
+    // Phase 1: serve half and checkpoint.
+    opts.checkpointDir = dir.string();
+    serveOrDie(opts, StreamSet::roundRobin(6, twoCbp1Traces(), 300, 0));
+    opts.checkpointDir.clear();
+
+    // Phase 2 control: clean warm-started serve.
+    opts.restoreDir = dir.string();
+    const ServeResult clean = serveOrDie(opts, streams);
+    EXPECT_EQ(clean.streamsRestored, 6u);
+
+    // Phase 2 with stream 2's checkpoint read failing persistently:
+    // the retry budget is spent, then the stream is quarantined —
+    // identically at jobs=1 and jobs=4.
+    ServeResult at_jobs[2];
+    unsigned jobs_values[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        failpoints::ScopedFaults faults("ckpt.read:key=2");
+        ASSERT_TRUE(faults.ok());
+        ServeOptions faulted = opts;
+        faulted.jobs = jobs_values[i];
+        faulted.retryAttempts = 3;
+        faulted.retrySleep = [](uint64_t) {}; // no wall-time in tests
+        at_jobs[i] = serveOrDie(faulted, streams);
+    }
+    expectSameServe(at_jobs[0], at_jobs[1]);
+
+    for (const ServeResult& r : at_jobs) {
+        EXPECT_EQ(r.streamsQuarantined, 1u);
+        EXPECT_EQ(r.streamsServed, 5u);
+        EXPECT_EQ(r.totalRetries, 2u); // 3 attempts = 2 retries
+        const StreamResult& s = r.perStream[2];
+        EXPECT_EQ(s.status, StreamStatus::Quarantined);
+        EXPECT_EQ(s.fault.code, ErrCode::Io);
+        EXPECT_EQ(s.fault.site, "ckpt.read");
+        EXPECT_EQ(s.retries, 2u);
+    }
+
+    // Survivors match the clean warm-started run exactly.
+    for (size_t i = 0; i < streams.size(); ++i) {
+        if (i == 2)
+            continue;
+        EXPECT_EQ(at_jobs[0].perStream[i].stateDigest,
+                  clean.perStream[i].stateDigest)
+            << "stream " << i;
+    }
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServingEngine, TransientIoFaultIsRetriedToSuccess)
+{
+    QuietLog quiet;
+    const auto dir = scratchDir("ckpt_retry_ok");
+    ServeOptions opts;
+    opts.spec = "tage16k+sfc";
+    opts.jobs = 1;
+    opts.batch = 100;
+    opts.computeDigests = true;
+
+    opts.checkpointDir = dir.string();
+    serveOrDie(opts, StreamSet::roundRobin(4, twoCbp1Traces(), 200, 0));
+    opts.checkpointDir.clear();
+
+    const auto streams =
+        StreamSet::roundRobin(4, twoCbp1Traces(), 400, 0);
+    opts.restoreDir = dir.string();
+    const ServeResult clean = serveOrDie(opts, streams);
+
+    // Stream 1's first two checkpoint reads fail with retryable Io;
+    // the third attempt succeeds. Backoff delays go through the
+    // injected clock and double each attempt.
+    std::vector<uint64_t> delays;
+    {
+        failpoints::ScopedFaults faults("ckpt.read:key=1,count=2");
+        ASSERT_TRUE(faults.ok());
+        ServeOptions retried = opts;
+        retried.retryAttempts = 3;
+        retried.retryBaseDelayNs = 1000;
+        retried.retrySleep = [&delays](uint64_t ns) {
+            delays.push_back(ns);
+        };
+        const ServeResult r = serveOrDie(retried, streams);
+        EXPECT_EQ(r.streamsQuarantined, 0u);
+        EXPECT_EQ(r.streamsServed, 4u);
+        EXPECT_EQ(r.totalRetries, 2u);
+        EXPECT_EQ(r.perStream[1].status, StreamStatus::Ok);
+        EXPECT_EQ(r.perStream[1].retries, 2u);
+        // Apart from the retry counter, the run is bit-identical to
+        // the fault-free one.
+        expectSameServe(clean, r);
+    }
+    EXPECT_EQ(delays, (std::vector<uint64_t>{1000, 2000}));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServingEngine, StrictModeFailsFastOnTheFirstStreamError)
+{
+    QuietLog quiet;
+    failpoints::ScopedFaults faults("trace.open:key=3,err=corrupt");
+    ASSERT_TRUE(faults.ok());
+
+    ServeOptions opts;
+    opts.spec = "tage16k+sfc";
+    opts.jobs = 1;
+    opts.strict = true;
+    ServingEngine engine(opts);
+    ServeResult result;
+    std::string error;
+    EXPECT_FALSE(engine.serve(
+        StreamSet::roundRobin(6, twoCbp1Traces(), 300, 0), result,
+        error));
+    EXPECT_NE(error.find("stream 3"), std::string::npos) << error;
+    EXPECT_NE(error.find("injected fault"), std::string::npos) << error;
+}
+
+TEST(ServingEngine, WorkerStepFaultQuarantinesMidServeDeterministically)
+{
+    QuietLog quiet;
+    const auto streams =
+        StreamSet::roundRobin(8, twoCbp1Traces(), 1000, 0);
+
+    ServeOptions opts;
+    opts.spec = "tage16k+sfc";
+    opts.batch = 100;
+    opts.computeDigests = true;
+
+    ServeResult at_jobs[2];
+    unsigned jobs_values[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+        // Quarantine stream 4 on its second scheduling turn: exactly
+        // one full batch of progress first, at any parallelism.
+        failpoints::ScopedFaults faults(
+            "serve.worker.step:key=4,nth=2");
+        ASSERT_TRUE(faults.ok());
+        opts.jobs = jobs_values[i];
+        at_jobs[i] = serveOrDie(opts, streams);
+    }
+    expectSameServe(at_jobs[0], at_jobs[1]);
+    for (const ServeResult& r : at_jobs) {
+        EXPECT_EQ(r.streamsQuarantined, 1u);
+        EXPECT_EQ(r.quarantinedBranches, 100u);
+        const StreamResult& s = r.perStream[4];
+        EXPECT_EQ(s.status, StreamStatus::Quarantined);
+        EXPECT_EQ(s.fault.site, "serve.worker.step");
+        EXPECT_EQ(s.branchesServed, 100u);
+    }
 }
 
 } // namespace

@@ -11,6 +11,7 @@
 
 #include "trace/profiles.hpp"
 #include "trace/trace_io.hpp"
+#include "util/failpoint.hpp"
 
 namespace tagecon {
 namespace {
@@ -231,6 +232,96 @@ TEST_F(TraceIoTest, WriterFailureIsFatalNotSilentTruncation)
     };
     EXPECT_EXIT(write_many(), ::testing::ExitedWithCode(1),
                 "/dev/full");
+}
+
+TEST_F(TraceIoTest, OpenFactoryReturnsTypedErrors)
+{
+    // The library path never calls the fatal() constructor: open()
+    // classifies each failure so callers can dispatch on the code.
+    auto missing = TraceReader::open("/nonexistent/trace.tcbt");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_EQ(missing.error().code, ErrCode::NotFound);
+    EXPECT_EQ(missing.error().site, "trace.open");
+
+    {
+        std::ofstream out(path_);
+        out << "this is not a trace file at all";
+    }
+    auto garbage = TraceReader::open(path_.string());
+    ASSERT_FALSE(garbage.ok());
+    EXPECT_EQ(garbage.error().code, ErrCode::Corrupt);
+
+    {
+        TraceWriter w(path_.string(), "t");
+        for (int i = 0; i < 10; ++i)
+            w.write({static_cast<uint64_t>(i), true, 1});
+        w.close();
+    }
+    std::filesystem::resize_file(
+        path_, std::filesystem::file_size(path_) - 5);
+    auto truncated = TraceReader::open(path_.string());
+    ASSERT_FALSE(truncated.ok());
+    EXPECT_EQ(truncated.error().code, ErrCode::Truncated);
+
+    const auto probed = probeTrace(path_.string());
+    ASSERT_FALSE(probed.ok());
+    EXPECT_EQ(probed.error().code, ErrCode::Truncated);
+}
+
+TEST_F(TraceIoTest, OpenFactoryYieldsAWorkingReader)
+{
+    {
+        TraceWriter w(path_.string(), "typed");
+        w.write({0x100, true, 5});
+        w.write({0x104, false, 2});
+        w.close();
+    }
+    auto opened = TraceReader::open(path_.string());
+    ASSERT_TRUE(opened.ok()) << opened.error().message();
+    auto reader = opened.take();
+    EXPECT_EQ(reader->totalRecords(), 2u);
+    BranchRecord rec;
+    ASSERT_TRUE(reader->next(rec));
+    EXPECT_EQ(rec.pc, 0x100u);
+    ASSERT_TRUE(reader->next(rec));
+    EXPECT_FALSE(reader->next(rec));
+    EXPECT_EQ(reader->lastError(), nullptr); // exhaustion, not failure
+}
+
+TEST_F(TraceIoTest, InjectedReadFaultLatchesLastError)
+{
+    {
+        TraceWriter w(path_.string(), "t");
+        for (int i = 0; i < 10; ++i)
+            w.write({static_cast<uint64_t>(i), true, 1});
+        w.close();
+    }
+    auto opened = TraceReader::open(path_.string());
+    ASSERT_TRUE(opened.ok()) << opened.error().message();
+    auto reader = opened.take();
+
+    failpoints::ScopedFaults faults("trace.read:nth=3");
+    ASSERT_TRUE(faults.ok());
+    BranchRecord rec;
+    EXPECT_TRUE(reader->next(rec));
+    EXPECT_TRUE(reader->next(rec));
+    EXPECT_FALSE(reader->next(rec));
+    ASSERT_NE(reader->lastError(), nullptr);
+    EXPECT_EQ(reader->lastError()->code, ErrCode::Io);
+    EXPECT_EQ(reader->lastError()->site, "trace.read");
+    // The error is sticky: the stream stays failed until reset().
+    EXPECT_FALSE(reader->next(rec));
+    ASSERT_NE(reader->lastError(), nullptr);
+
+    // reset() clears the latch; nth=3 already fired its one shot, so
+    // the replay runs to clean exhaustion.
+    reader->reset();
+    EXPECT_EQ(reader->lastError(), nullptr);
+    int read = 0;
+    while (reader->next(rec))
+        ++read;
+    EXPECT_EQ(read, 10);
+    EXPECT_EQ(reader->lastError(), nullptr);
 }
 
 } // namespace

@@ -252,7 +252,7 @@ TEST_F(TraceRegistryTest, AsciiReaderParsesTheInterchangeFormat)
     EXPECT_EQ(rec.pc, 0x400a10u);
 }
 
-TEST_F(TraceRegistryTest, AsciiMalformedLineIsFatalWithLineNumber)
+TEST_F(TraceRegistryTest, AsciiMalformedLineLatchesLastError)
 {
     const std::string path = writeText("bad.trace",
                                        "0x10 T\n"
@@ -260,8 +260,26 @@ TEST_F(TraceRegistryTest, AsciiMalformedLineIsFatalWithLineNumber)
     auto src = makeTraceSource("file:" + path, 0);
     BranchRecord rec;
     ASSERT_TRUE(src->next(rec));
-    EXPECT_EXIT(src->next(rec), ::testing::ExitedWithCode(1),
-                "line 2");
+    EXPECT_EQ(src->lastError(), nullptr);
+
+    // A malformed line ends the stream with a typed Parse error naming
+    // path and line number instead of killing the process, so a
+    // serving engine can quarantine just this stream.
+    EXPECT_FALSE(src->next(rec));
+    const Err* err = src->lastError();
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->code, ErrCode::Parse);
+    EXPECT_NE(err->detail.find("line 2"), std::string::npos);
+    EXPECT_NE(err->detail.find(path), std::string::npos);
+
+    // The error is sticky until reset(), which replays cleanly up to
+    // the same latch point.
+    EXPECT_FALSE(src->next(rec));
+    src->reset();
+    EXPECT_EQ(src->lastError(), nullptr);
+    ASSERT_TRUE(src->next(rec));
+    EXPECT_FALSE(src->next(rec));
+    ASSERT_NE(src->lastError(), nullptr);
 }
 
 TEST_F(TraceRegistryTest, AsciiLineParserRejectsGarbage)

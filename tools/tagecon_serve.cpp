@@ -31,10 +31,18 @@
  *                        when present (missing files cold-start)
  *   --digests            report each stream's checkpoint-blob digest
  *   --per-stream         one output row per stream after the summary
+ *                        (with status / fault / retries columns)
  *   --report=FMT         text (default), csv, or json; csv omits the
  *                        banner and wall-clock timing so output can be
  *                        diffed byte for byte across --jobs
  *   --csv                alias for --report=csv
+ *   --faults=SPEC        arm fault-injection sites, e.g.
+ *                        "ckpt.read:key=3;trace.read:rate=0.01,seed=7"
+ *                        (see util/failpoint.hpp for the grammar)
+ *   --strict             fail fast on the first stream error instead
+ *                        of quarantining the stream
+ *   --retries=N          attempts for retryable checkpoint-dir I/O
+ *                        (default 3; 1 disables retry)
  */
 
 #include <algorithm>
@@ -46,6 +54,7 @@
 #include "sim/reporting.hpp"
 #include "sim/sweep.hpp"
 #include "util/cli.hpp"
+#include "util/failpoint.hpp"
 #include "util/logging.hpp"
 #include "util/table_printer.hpp"
 
@@ -60,7 +69,8 @@ main(int argc, char** argv)
         "streams", "spec",           "traces",      "branches",
         "seed",    "jobs",           "shards",      "pool",
         "batch",   "checkpoint-dir", "restore-dir", "digests",
-        "per-stream", "report",      "csv",         "scalar"};
+        "per-stream", "report",      "csv",         "scalar",
+        "faults",  "strict",         "retries"};
     for (const auto& flag : args.flagNames()) {
         if (std::find(known_flags.begin(), known_flags.end(), flag) ==
             known_flags.end())
@@ -68,7 +78,8 @@ main(int argc, char** argv)
                   " (known: --streams --spec --traces --branches "
                   "--seed --jobs --shards --pool --batch "
                   "--checkpoint-dir --restore-dir --digests "
-                  "--per-stream --report --csv --scalar)");
+                  "--per-stream --report --csv --scalar --faults "
+                  "--strict --retries)");
     }
 
     ServeOptions opts;
@@ -85,6 +96,14 @@ main(int argc, char** argv)
     opts.restoreDir = args.getString("restore-dir", "");
     opts.computeDigests = args.getBool("digests", false);
     opts.forceScalar = args.getBool("scalar", false);
+    opts.strict = args.getBool("strict", false);
+    opts.retryAttempts = static_cast<unsigned>(
+        args.getUintInRange("retries", 3, 1, 64));
+
+    std::string fault_error;
+    if (const std::string faults = args.getString("faults", "");
+        !faults.empty() && !failpoints::arm(faults, &fault_error))
+        fatal("--faults: " + fault_error);
 
     const uint64_t num_streams =
         args.getUintInRange("streams", 64, 1, 10000000);
@@ -141,10 +160,13 @@ main(int argc, char** argv)
     totals.addColumn("value");
     totals.addRow({"streams served",
                    std::to_string(result.streamsServed)});
+    totals.addRow({"streams quarantined",
+                   std::to_string(result.streamsQuarantined)});
     totals.addRow({"streams restored",
                    std::to_string(result.streamsRestored)});
     totals.addRow({"branches served",
                    std::to_string(result.totalBranches)});
+    totals.addRow({"retries", std::to_string(result.totalRetries)});
     totals.addRow({"misp/KI", TextTable::num(result.aggregate.mpki(), 3)});
     totals.addRow({"misp rate (MKP)",
                    TextTable::num(result.aggregate.totalMkp(), 1)});
@@ -165,6 +187,11 @@ main(int argc, char** argv)
         TextTable t;
         t.addColumn("stream");
         t.addColumn("trace", TextTable::Align::Left);
+        t.addColumn("status", TextTable::Align::Left);
+        // "code@site" of the quarantining fault; detail text stays out
+        // of the row so CSV output diffs byte for byte across --jobs.
+        t.addColumn("fault", TextTable::Align::Left);
+        t.addColumn("retries");
         t.addColumn("branches");
         t.addColumn("resumed-at");
         t.addColumn("misp/KI");
@@ -172,9 +199,15 @@ main(int argc, char** argv)
         if (opts.computeDigests)
             t.addColumn("state-digest");
         for (const auto& s : result.perStream) {
+            const bool ok = s.status == StreamStatus::Ok;
             std::vector<std::string> row = {
                 std::to_string(s.id),
                 s.trace,
+                ok ? "ok" : "quarantined",
+                ok ? "-"
+                   : std::string(errCodeName(s.fault.code)) + "@" +
+                         s.fault.site,
+                std::to_string(s.retries),
                 std::to_string(s.branchesServed),
                 std::to_string(s.resumedAt),
                 TextTable::num(s.stats.mpki(), 3),

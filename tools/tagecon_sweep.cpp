@@ -206,11 +206,12 @@ main(int argc, char** argv)
     sweep_opt.stats = &exec_stats;
     if (args.getBool("progress", false)) {
         // Progress goes to stderr so CI stdout diffs stay byte-stable;
-        // the sweep runner serializes invocations under its mutex.
+        // logLine() serializes against warn() from parallel workers,
+        // keeping every line atomic.
         sweep_opt.onProgress = [](const SweepProgress& p) {
-            std::cerr << "progress: " << p.completed << "/" << p.total
-                      << "  " << p.cell->spec << " x " << p.cell->trace
-                      << "\n";
+            logLine("progress: " + std::to_string(p.completed) + "/" +
+                    std::to_string(p.total) + "  " + p.cell->spec +
+                    " x " + p.cell->trace);
         };
     }
     const bool per_trace = args.getBool("per-trace", false);
