@@ -1,0 +1,821 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace tagecon {
+namespace lint {
+
+namespace {
+
+/**
+ * One source line after scrubbing: @p code has comments and
+ * string/char literals blanked out (replaced by spaces, so column
+ * positions survive); @p comment holds the text of any comment on the
+ * line. Rules match against code; suppression and reduction tags
+ * match against comment.
+ */
+struct ScrubbedLine {
+    std::string code;
+    std::string comment;
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/**
+ * Scrub @p contents into per-line (code, comment) views with a small
+ * lexer: handles //, block comments, string and char literals with
+ * escapes, and raw strings with empty delimiters. Rules therefore see
+ * only real code — prose and message text mentioning forbidden
+ * constructs never trips them.
+ */
+std::vector<ScrubbedLine>
+scrub(const std::string& contents)
+{
+    enum class State { Code, LineComment, BlockComment, Str, Chr, Raw };
+    std::vector<ScrubbedLine> lines(1);
+    State state = State::Code;
+
+    const size_t n = contents.size();
+    for (size_t i = 0; i < n; ++i) {
+        const char c = contents[i];
+        const char next = i + 1 < n ? contents[i + 1] : '\0';
+        if (c == '\n') {
+            if (state == State::LineComment)
+                state = State::Code;
+            lines.emplace_back();
+            continue;
+        }
+        ScrubbedLine& line = lines.back();
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                ++i;
+            } else if (c == 'R' && next == '"' &&
+                       (line.code.empty() ||
+                        !isIdentChar(line.code.back()))) {
+                // Raw string: skip to )" — delimiters with custom
+                // tags are not used in this codebase.
+                state = State::Raw;
+                line.code += "  ";
+                ++i;
+            } else if (c == '"') {
+                state = State::Str;
+                line.code += ' ';
+            } else if (c == '\'' && !line.code.empty() &&
+                       isIdentChar(line.code.back())) {
+                // Digit separator (1'000'000), not a char literal.
+                line.code += ' ';
+            } else if (c == '\'') {
+                state = State::Chr;
+                line.code += ' ';
+            } else {
+                line.code += c;
+            }
+            break;
+        case State::LineComment:
+            line.comment += c;
+            break;
+        case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            } else {
+                line.comment += c;
+            }
+            break;
+        case State::Str:
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                state = State::Code;
+            break;
+        case State::Chr:
+            if (c == '\\')
+                ++i;
+            else if (c == '\'')
+                state = State::Code;
+            break;
+        case State::Raw:
+            if (c == ')' && next == '"') {
+                state = State::Code;
+                ++i;
+            }
+            break;
+        }
+    }
+    return lines;
+}
+
+/** Find word-boundary occurrences of identifier @p token in @p code. */
+bool
+hasWordToken(const std::string& code, const std::string& token)
+{
+    size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !isIdentChar(code[pos - 1]);
+        const size_t end = pos + token.size();
+        const bool right_ok =
+            end >= code.size() || !isIdentChar(code[end]);
+        if (left_ok && right_ok)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+/** Like hasWordToken, but the token must be called: `token (`-ish. */
+bool
+hasWordTokenCall(const std::string& code, const std::string& token)
+{
+    size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !isIdentChar(code[pos - 1]);
+        size_t end = pos + token.size();
+        if (left_ok &&
+            (end >= code.size() || !isIdentChar(code[end]))) {
+            while (end < code.size() && code[end] == ' ')
+                ++end;
+            if (end < code.size() && code[end] == '(') {
+                // `.time(` / `->time(` is a member call on some other
+                // type, not the libc function.
+                const bool member =
+                    pos > 0 && (code[pos - 1] == '.' ||
+                                (pos > 1 && code[pos - 2] == '-' &&
+                                 code[pos - 1] == '>'));
+                if (!member)
+                    return true;
+            }
+        }
+        pos = pos + token.size();
+    }
+    return false;
+}
+
+/** True when @p rel_path starts with directory prefix @p prefix. */
+bool
+underPath(const std::string& rel_path, const std::string& prefix)
+{
+    if (rel_path == prefix)
+        return true;
+    return rel_path.size() > prefix.size() &&
+           rel_path.compare(0, prefix.size(), prefix) == 0 &&
+           (rel_path[prefix.size()] == '/' ||
+            prefix.back() == '/');
+}
+
+/** Identifiers declared in this file as the given template container. */
+std::vector<std::string>
+declaredContainerNames(const std::vector<ScrubbedLine>& lines,
+                       const std::vector<std::string>& containers)
+{
+    std::vector<std::string> names;
+    for (size_t li = 0; li < lines.size(); ++li) {
+        const std::string& code = lines[li].code;
+        size_t at = std::string::npos;
+        for (const auto& container : containers) {
+            size_t pos = code.find(container);
+            while (pos != std::string::npos) {
+                const bool left_ok =
+                    pos == 0 || !isIdentChar(code[pos - 1]);
+                const size_t end = pos + container.size();
+                if (left_ok && end < code.size() && code[end] == '<') {
+                    at = end;
+                    break;
+                }
+                pos = code.find(container, end);
+            }
+            if (at != std::string::npos)
+                break;
+        }
+        if (at == std::string::npos)
+            continue;
+        // Walk past the template argument list, then take the next
+        // identifier as the declared name (possibly on a later line
+        // for wrapped declarations).
+        int depth = 0;
+        size_t pos = at;
+        size_t line_idx = li;
+        auto advance = [&]() -> char {
+            const std::string* code_now = &lines[line_idx].code;
+            ++pos;
+            while (pos >= code_now->size()) {
+                if (line_idx + 1 >= lines.size())
+                    return '\0';
+                ++line_idx;
+                pos = 0;
+                code_now = &lines[line_idx].code;
+                if (code_now->empty())
+                    continue;
+            }
+            return (*code_now)[pos];
+        };
+        char c = lines[line_idx].code[pos];
+        do {
+            if (c == '<')
+                ++depth;
+            else if (c == '>')
+                --depth;
+            c = advance();
+        } while (c != '\0' && depth > 0);
+        // Skip whitespace, '&', '*' — then read an identifier.
+        while (c != '\0' && !isIdentChar(c) && c != ';' && c != '(' &&
+               c != ')' && c != '{')
+            c = advance();
+        std::string name;
+        while (c != '\0' && isIdentChar(c)) {
+            name += c;
+            c = advance();
+        }
+        if (!name.empty())
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+/**
+ * The range expression of a range-for on this line, or empty. Finds
+ * `for (... : range)` by locating the top-level ':' that is not part
+ * of a '::'.
+ */
+std::string
+rangeForExpression(const std::string& code)
+{
+    size_t pos = 0;
+    while ((pos = code.find("for", pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !isIdentChar(code[pos - 1]);
+        const size_t end = pos + 3;
+        const bool right_ok =
+            end >= code.size() || !isIdentChar(code[end]);
+        if (!left_ok || !right_ok) {
+            pos = end;
+            continue;
+        }
+        size_t open = code.find('(', end);
+        if (open == std::string::npos)
+            return {};
+        int depth = 0;
+        size_t colon = std::string::npos;
+        size_t close = std::string::npos;
+        for (size_t i = open; i < code.size(); ++i) {
+            const char c = code[i];
+            if (c == '(')
+                ++depth;
+            else if (c == ')') {
+                if (--depth == 0) {
+                    close = i;
+                    break;
+                }
+            } else if (c == ':' && depth == 1) {
+                const bool dbl =
+                    (i + 1 < code.size() && code[i + 1] == ':') ||
+                    (i > 0 && code[i - 1] == ':');
+                if (!dbl && colon == std::string::npos)
+                    colon = i;
+            }
+        }
+        if (colon != std::string::npos) {
+            const size_t stop =
+                close == std::string::npos ? code.size() : close;
+            return code.substr(colon + 1, stop - colon - 1);
+        }
+        pos = end;
+    }
+    return {};
+}
+
+/** Names of float/double variables declared in this file. */
+std::vector<std::string>
+declaredFloatNames(const std::vector<ScrubbedLine>& lines)
+{
+    std::vector<std::string> names;
+    for (const auto& line : lines) {
+        const std::string& code = line.code;
+        for (const char* type : {"double", "float"}) {
+            size_t pos = 0;
+            const std::string tok(type);
+            while ((pos = code.find(tok, pos)) != std::string::npos) {
+                const bool left_ok =
+                    pos == 0 || !isIdentChar(code[pos - 1]);
+                size_t end = pos + tok.size();
+                if (!left_ok ||
+                    (end < code.size() && isIdentChar(code[end]))) {
+                    pos = end;
+                    continue;
+                }
+                while (end < code.size() &&
+                       (code[end] == ' ' || code[end] == '&' ||
+                        code[end] == '*'))
+                    ++end;
+                std::string name;
+                while (end < code.size() && isIdentChar(code[end])) {
+                    name += code[end];
+                    ++end;
+                }
+                if (!name.empty())
+                    names.push_back(name);
+                pos = end;
+            }
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+/** True when a comment on lines [line-2, line] carries @p tag. */
+bool
+taggedNearby(const std::vector<ScrubbedLine>& lines, size_t idx,
+             const std::string& tag)
+{
+    const size_t lo = idx >= 2 ? idx - 2 : 0;
+    for (size_t i = lo; i <= idx && i < lines.size(); ++i) {
+        if (lines[i].comment.find(tag) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** True when an inline allow(<rule>) suppression covers this line. */
+bool
+inlineSuppressed(const std::vector<ScrubbedLine>& lines, size_t idx,
+                 const std::string& rule)
+{
+    const std::string tag = "tagecon-lint: allow(" + rule + ")";
+    const size_t lo = idx >= 1 ? idx - 1 : 0;
+    for (size_t i = lo; i <= idx && i < lines.size(); ++i) {
+        if (lines[i].comment.find(tag) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+// ------------------------------------------------------------ rules
+
+void
+ruleNoRawRandom(const std::string&,
+                const std::vector<ScrubbedLine>& lines,
+                std::vector<Diagnostic>& out)
+{
+    static const std::vector<std::string> tokens = {
+        "rand",      "srand",          "drand48",       "lrand48",
+        "mrand48",   "random_device",  "random_shuffle"};
+    for (size_t i = 0; i < lines.size(); ++i) {
+        for (const auto& tok : tokens) {
+            if (hasWordToken(lines[i].code, tok)) {
+                out.push_back(
+                    {"", i + 1, "no-raw-random",
+                     "nondeterministic RNG primitive '" + tok +
+                         "'; use the seedable generators in "
+                         "util/random.hpp"});
+                break;
+            }
+        }
+    }
+}
+
+void
+ruleNoWallClock(const std::string&,
+                const std::vector<ScrubbedLine>& lines,
+                std::vector<Diagnostic>& out)
+{
+    static const std::vector<std::string> word_tokens = {
+        "system_clock",  "steady_clock",  "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "timespec_get",
+        "__rdtsc",       "__builtin_readcyclecounter"};
+    static const std::vector<std::string> call_tokens = {"time",
+                                                         "clock"};
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        std::string hit;
+        for (const auto& tok : word_tokens) {
+            if (hasWordToken(code, tok)) {
+                hit = tok;
+                break;
+            }
+        }
+        if (hit.empty()) {
+            for (const auto& tok : call_tokens) {
+                if (hasWordTokenCall(code, tok)) {
+                    hit = tok;
+                    break;
+                }
+            }
+        }
+        if (!hit.empty()) {
+            out.push_back({"", i + 1, "no-wall-clock",
+                           "wall-clock read '" + hit +
+                               "'; route timing through "
+                               "util/wall_clock.hpp (the one "
+                               "whitelisted seam)"});
+        }
+    }
+}
+
+void
+ruleNoUnorderedIter(const std::string&,
+                    const std::vector<ScrubbedLine>& lines,
+                    std::vector<Diagnostic>& out)
+{
+    static const std::vector<std::string> containers = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    const std::vector<std::string> names =
+        declaredContainerNames(lines, containers);
+    if (names.empty())
+        return;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        const std::string range = rangeForExpression(code);
+        for (const auto& name : names) {
+            const bool ranged =
+                !range.empty() && hasWordToken(range, name);
+            const bool begun =
+                code.find(name + ".begin") != std::string::npos ||
+                code.find(name + ".cbegin") != std::string::npos;
+            if (ranged || begun) {
+                out.push_back(
+                    {"", i + 1, "no-unordered-iter",
+                     "iteration over unordered container '" + name +
+                         "' — element order is nondeterministic; "
+                         "sort first or use an ordered container"});
+                break;
+            }
+        }
+    }
+}
+
+void
+ruleNoFatalInLibrary(const std::string& rel_path,
+                     const std::vector<ScrubbedLine>& lines,
+                     std::vector<Diagnostic>& out)
+{
+    if (!underPath(rel_path, "src"))
+        return;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (hasWordTokenCall(lines[i].code, "fatal")) {
+            out.push_back(
+                {"", i + 1, "no-fatal-in-library",
+                 "fatal() in library code; return Err/Expected "
+                 "(util/errors.hpp) and keep fatal() at tool "
+                 "boundaries"});
+        }
+    }
+}
+
+void
+ruleNoRawStderr(const std::string&,
+                const std::vector<ScrubbedLine>& lines,
+                std::vector<Diagnostic>& out)
+{
+    static const std::vector<std::string> tokens = {"cerr", "clog",
+                                                    "stderr"};
+    for (size_t i = 0; i < lines.size(); ++i) {
+        for (const auto& tok : tokens) {
+            if (hasWordToken(lines[i].code, tok)) {
+                out.push_back(
+                    {"", i + 1, "no-raw-stderr",
+                     "raw stderr write via '" + tok +
+                         "' bypasses the line-atomic logLine()/"
+                         "warn() sinks (util/logging.hpp)"});
+                break;
+            }
+        }
+    }
+}
+
+void
+ruleOrderedReduction(const std::string& rel_path,
+                     const std::vector<ScrubbedLine>& lines,
+                     std::vector<Diagnostic>& out)
+{
+    if (!underPath(rel_path, "src/sim") &&
+        !underPath(rel_path, "src/serve"))
+        return;
+    const std::vector<std::string> names = declaredFloatNames(lines);
+    if (names.empty())
+        return;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        const size_t op = code.find("+=");
+        if (op == std::string::npos)
+            continue;
+        // The accumulator is the identifier immediately left of +=.
+        size_t end = op;
+        while (end > 0 && code[end - 1] == ' ')
+            --end;
+        size_t start = end;
+        while (start > 0 && isIdentChar(code[start - 1]))
+            --start;
+        const std::string target = code.substr(start, end - start);
+        if (target.empty() ||
+            !std::binary_search(names.begin(), names.end(), target))
+            continue;
+        if (taggedNearby(lines, i, "ordered-reduction"))
+            continue;
+        out.push_back(
+            {"", i + 1, "ordered-reduction",
+             "floating-point accumulation into '" + target +
+                 "' in an aggregation path without an "
+                 "'ordered-reduction:' comment stating why the fold "
+                 "order is deterministic"});
+    }
+}
+
+void
+ruleNodiscardResultTypes(const std::string&,
+                         const std::vector<ScrubbedLine>& lines,
+                         std::vector<Diagnostic>& out)
+{
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        for (const char* kw : {"struct", "class"}) {
+            size_t pos = 0;
+            const std::string tok(kw);
+            while ((pos = code.find(tok, pos)) != std::string::npos) {
+                const bool left_ok =
+                    pos == 0 || !isIdentChar(code[pos - 1]);
+                size_t end = pos + tok.size();
+                if (!left_ok ||
+                    (end < code.size() && isIdentChar(code[end]))) {
+                    pos = end;
+                    continue;
+                }
+                // Collect the rest of the declaration head (this line
+                // plus the next, for wrapped heads).
+                std::string head = code.substr(end);
+                if (i + 1 < lines.size())
+                    head += " " + lines[i + 1].code;
+                const bool nodiscard =
+                    head.find("nodiscard") != std::string::npos;
+                // The declared name is the identifier after any
+                // [[...]] attribute block.
+                size_t p = 0;
+                while (p < head.size()) {
+                    if (head[p] == '[' && p + 1 < head.size() &&
+                        head[p + 1] == '[') {
+                        const size_t close = head.find("]]", p);
+                        if (close == std::string::npos)
+                            break;
+                        p = close + 2;
+                    } else if (!isIdentChar(head[p])) {
+                        ++p;
+                    } else {
+                        break;
+                    }
+                }
+                std::string name;
+                while (p < head.size() && isIdentChar(head[p])) {
+                    name += head[p];
+                    ++p;
+                }
+                while (p < head.size() && head[p] == ' ')
+                    ++p;
+                const bool definition =
+                    p < head.size() &&
+                    (head[p] == '{' || head[p] == ':');
+                if ((name == "Err" || name == "Expected") &&
+                    definition && !nodiscard) {
+                    out.push_back(
+                        {"", i + 1, "nodiscard-result-types",
+                         "definition of '" + name +
+                             "' without [[nodiscard]]; dropped "
+                             "errors must stay a compile-time "
+                             "diagnostic"});
+                }
+                pos = end;
+            }
+        }
+    }
+}
+
+using RuleFn = void (*)(const std::string&,
+                        const std::vector<ScrubbedLine>&,
+                        std::vector<Diagnostic>&);
+
+struct RuleEntry {
+    RuleInfo info;
+    RuleFn fn;
+};
+
+const std::vector<RuleEntry>&
+rules()
+{
+    static const std::vector<RuleEntry> table = {
+        {{"no-fatal-in-library",
+          "fatal() belongs at tool boundaries; library code returns "
+          "Err/Expected"},
+         ruleNoFatalInLibrary},
+        {{"no-raw-random",
+          "std/libc RNG primitives; use util/random.hpp"},
+         ruleNoRawRandom},
+        {{"no-raw-stderr",
+          "stderr writes must go through logLine()/warn()"},
+         ruleNoRawStderr},
+        {{"no-unordered-iter",
+          "no iteration over unordered containers"},
+         ruleNoUnorderedIter},
+        {{"no-wall-clock",
+          "clock reads only inside util/wall_clock.cpp"},
+         ruleNoWallClock},
+        {{"nodiscard-result-types",
+          "Err/Expected definitions keep [[nodiscard]]"},
+         ruleNodiscardResultTypes},
+        {{"ordered-reduction",
+          "float accumulation in sim/serve needs an "
+          "ordered-reduction comment"},
+         ruleOrderedReduction},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<RuleInfo>&
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = [] {
+        std::vector<RuleInfo> out;
+        for (const auto& entry : rules())
+            out.push_back(entry.info);
+        return out;
+    }();
+    return catalog;
+}
+
+bool
+isKnownRule(const std::string& name)
+{
+    for (const auto& entry : rules())
+        if (entry.info.name == name)
+            return true;
+    return false;
+}
+
+bool
+Allowlist::parse(const std::string& text, Allowlist& out,
+                 std::string& error)
+{
+    out.entries_.clear();
+    std::istringstream in(text);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::string rule, path, extra;
+        if (!(fields >> rule))
+            continue; // blank or comment-only
+        if (!(fields >> path) || (fields >> extra)) {
+            error = "allowlist line " + std::to_string(lineno) +
+                    ": expected '<rule> <path-prefix>', got '" + line +
+                    "'";
+            return false;
+        }
+        if (!isKnownRule(rule)) {
+            error = "allowlist line " + std::to_string(lineno) +
+                    ": unknown rule '" + rule + "'";
+            return false;
+        }
+        while (!path.empty() && path.back() == '/')
+            path.pop_back();
+        out.entries_.emplace_back(rule, path);
+    }
+    return true;
+}
+
+bool
+Allowlist::loadFile(const std::string& path, Allowlist& out,
+                    std::string& error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open allowlist '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str(), out, error);
+}
+
+void
+Allowlist::add(const std::string& rule, const std::string& path_prefix)
+{
+    entries_.emplace_back(rule, path_prefix);
+}
+
+bool
+Allowlist::allows(const std::string& rule,
+                  const std::string& rel_path) const
+{
+    for (const auto& [r, p] : entries_) {
+        if (r == rule && underPath(rel_path, p))
+            return true;
+    }
+    return false;
+}
+
+std::vector<Diagnostic>
+lintFileContents(const std::string& rel_path,
+                 const std::string& contents, const Allowlist& allow)
+{
+    const std::vector<ScrubbedLine> lines = scrub(contents);
+    std::vector<Diagnostic> raw;
+    for (const auto& entry : rules())
+        entry.fn(rel_path, lines, raw);
+
+    std::vector<Diagnostic> out;
+    for (auto& d : raw) {
+        if (allow.allows(d.rule, rel_path))
+            continue;
+        if (d.line >= 1 && inlineSuppressed(lines, d.line - 1, d.rule))
+            continue;
+        d.file = rel_path;
+        out.push_back(std::move(d));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return out;
+}
+
+bool
+lintTree(const std::string& root,
+         const std::vector<std::string>& subdirs,
+         const Allowlist& allow, std::vector<Diagnostic>& out,
+         std::string& error)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const auto& sub : subdirs) {
+        const fs::path dir = fs::path(root) / sub;
+        std::error_code ec;
+        if (!fs::is_directory(dir, ec)) {
+            error = "not a directory: " + dir.string();
+            return false;
+        }
+        for (fs::recursive_directory_iterator it(dir, ec), end;
+             it != end; it.increment(ec)) {
+            if (ec) {
+                error = "walking " + dir.string() + ": " + ec.message();
+                return false;
+            }
+            if (!it->is_regular_file())
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext != ".hpp" && ext != ".cpp" && ext != ".h" &&
+                ext != ".cc")
+                continue;
+            files.push_back(
+                fs::relative(it->path(), root).generic_string());
+        }
+    }
+    // Directory iteration order is filesystem-dependent; sort so the
+    // report (and therefore CI diffs of it) is deterministic.
+    std::sort(files.begin(), files.end());
+
+    for (const auto& rel : files) {
+        std::ifstream in(fs::path(root) / rel, std::ios::binary);
+        if (!in) {
+            error = "cannot read " + rel;
+            return false;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::vector<Diagnostic> diags =
+            lintFileContents(rel, buf.str(), allow);
+        out.insert(out.end(),
+                   std::make_move_iterator(diags.begin()),
+                   std::make_move_iterator(diags.end()));
+    }
+    return true;
+}
+
+std::string
+formatDiagnostic(const Diagnostic& d)
+{
+    return d.file + ":" + std::to_string(d.line) + ": [" + d.rule +
+           "] " + d.message;
+}
+
+} // namespace lint
+} // namespace tagecon

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * tagecon_lint: the repo's determinism & error-discipline rule engine.
+ *
+ * The codebase promises, in prose, a set of invariants that keep every
+ * sweep/serve/bench output bit-identical at any --jobs and every
+ * failure visible: no ad-hoc randomness, no wall-clock reads outside
+ * the util/wall_clock seam, no iteration over unordered containers
+ * (their order is nondeterministic), fatal() only at tool boundaries,
+ * all logging through the line-atomic logLine()/warn() sinks, ordered
+ * floating-point reductions in aggregation paths, and [[nodiscard]]
+ * result types. This engine turns those promises into checked rules:
+ * it scans the source tree (comments and string literals stripped, so
+ * prose can mention the forbidden constructs), emits file:line
+ * diagnostics, and exits nonzero — a CI gate next to the dynamic
+ * jobs=4-vs-1 diffs, catching what the scheduler didn't happen to
+ * expose.
+ *
+ * Rules are data-driven: legitimate sites live in a checked-in
+ * allowlist file (tools/lint_allowlist.txt; `rule path-prefix` lines),
+ * and a single site can be suppressed inline with a
+ * `tagecon-lint: allow(rule-name)` comment on the offending line or
+ * the line above. Adding a new violation therefore requires a diff to
+ * the allowlist — visible in review — not just code.
+ *
+ * The catalog (see ruleCatalog()):
+ *
+ *   no-raw-random        std/libc RNG primitives (rand, srand,
+ *                        random_device, ...) anywhere — synthesis goes
+ *                        through util/random.hpp's seedable generators
+ *   no-wall-clock        clock reads (steady_clock, system_clock,
+ *                        time(), ...) outside util/wall_clock.cpp
+ *   no-unordered-iter    range-for or .begin() over a std::unordered_
+ *                        map/set declared in the same file
+ *   no-fatal-in-library  fatal() in src/ — library code returns
+ *                        Err/Expected; fatal() is for tools and bench
+ *   no-raw-stderr        std::cerr / stderr / fprintf(stderr, ...)
+ *                        bypassing the line-atomic logLine()/warn()
+ *   ordered-reduction    float/double `+=` accumulation in the
+ *                        sim/serve aggregation paths without an
+ *                        `ordered-reduction:` comment documenting why
+ *                        the fold order is deterministic
+ *   nodiscard-result-types
+ *                        a definition of `struct Err` / `class
+ *                        Expected` missing its [[nodiscard]]
+ */
+
+#ifndef TAGECON_LINT_LINT_HPP
+#define TAGECON_LINT_LINT_HPP
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tagecon {
+namespace lint {
+
+/** One finding: where, which rule, and what is wrong. */
+struct Diagnostic {
+    /** Repo-relative path with forward slashes. */
+    std::string file;
+
+    /** 1-based line number. */
+    size_t line = 0;
+
+    /** Rule name from the catalog. */
+    std::string rule;
+
+    /** Human-readable explanation. */
+    std::string message;
+};
+
+/** Catalog entry of one rule. */
+struct RuleInfo {
+    std::string name;
+    std::string summary;
+};
+
+/** Every rule the engine knows, sorted by name. */
+const std::vector<RuleInfo>& ruleCatalog();
+
+/** True when @p name is a catalog rule name. */
+bool isKnownRule(const std::string& name);
+
+/**
+ * The checked-in exception table: `rule path-prefix` lines. A
+ * diagnostic is dropped when an entry's rule matches and its path is
+ * the diagnostic's file or a directory prefix of it ("src/util" allows
+ * everything under src/util/). '#' starts a comment; blank lines are
+ * skipped.
+ */
+class Allowlist
+{
+  public:
+    /**
+     * Parse allowlist text. Returns false with the reason in
+     * @p error on a malformed line or an unknown rule name (typos in
+     * the allowlist must not silently allow nothing).
+     */
+    [[nodiscard]] static bool parse(const std::string& text,
+                                    Allowlist& out, std::string& error);
+
+    /** Load and parse @p path. */
+    [[nodiscard]] static bool loadFile(const std::string& path,
+                                       Allowlist& out,
+                                       std::string& error);
+
+    /** Add one entry programmatically (tests). */
+    void add(const std::string& rule, const std::string& path_prefix);
+
+    /** True when @p rule at @p rel_path is an allowed site. */
+    bool allows(const std::string& rule,
+                const std::string& rel_path) const;
+
+    /** Number of entries. */
+    size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/**
+ * Lint one file's contents. @p rel_path is the repo-relative path
+ * (used for rule applicability — e.g. no-fatal-in-library only fires
+ * under src/ — and for allowlist matching). Diagnostics come back in
+ * line order.
+ */
+std::vector<Diagnostic> lintFileContents(const std::string& rel_path,
+                                         const std::string& contents,
+                                         const Allowlist& allow);
+
+/**
+ * Walk @p subdirs under @p root (sorted, so output order is
+ * deterministic), lint every .hpp/.cpp file, and append diagnostics in
+ * (file, line) order. Returns false with the reason in @p error when
+ * a directory or file cannot be read.
+ */
+[[nodiscard]] bool lintTree(const std::string& root,
+                            const std::vector<std::string>& subdirs,
+                            const Allowlist& allow,
+                            std::vector<Diagnostic>& out,
+                            std::string& error);
+
+/** "file:line: [rule] message" — the display form the tool prints. */
+std::string formatDiagnostic(const Diagnostic& d);
+
+} // namespace lint
+} // namespace tagecon
+
+#endif // TAGECON_LINT_LINT_HPP

@@ -89,7 +89,7 @@ Err encodePredictorCheckpoint(const GradedPredictor& predictor,
                               std::vector<uint8_t>& out);
 
 /** Legacy bool+string shim. */
-bool encodePredictorCheckpoint(const GradedPredictor& predictor,
+[[nodiscard]] bool encodePredictorCheckpoint(const GradedPredictor& predictor,
                                const std::string& spec,
                                std::vector<uint8_t>& out,
                                std::string& error);
@@ -105,7 +105,7 @@ Err encodeStreamCheckpoint(const GradedPredictor& predictor,
                            std::vector<uint8_t>& out);
 
 /** Legacy bool+string shim. */
-bool encodeStreamCheckpoint(const GradedPredictor& predictor,
+[[nodiscard]] bool encodeStreamCheckpoint(const GradedPredictor& predictor,
                             const std::string& spec, uint64_t stream_id,
                             const std::string& trace, uint64_t consumed,
                             std::vector<uint8_t>& out,
@@ -123,9 +123,9 @@ Err decodeCheckpoint(const uint8_t* data, size_t size, Checkpoint& out);
 Err decodeCheckpoint(const std::vector<uint8_t>& blob, Checkpoint& out);
 
 /** Legacy bool+string shims. */
-bool decodeCheckpoint(const uint8_t* data, size_t size, Checkpoint& out,
+[[nodiscard]] bool decodeCheckpoint(const uint8_t* data, size_t size, Checkpoint& out,
                       std::string& error);
-bool decodeCheckpoint(const std::vector<uint8_t>& blob, Checkpoint& out,
+[[nodiscard]] bool decodeCheckpoint(const std::vector<uint8_t>& blob, Checkpoint& out,
                       std::string& error);
 
 /**
@@ -139,7 +139,7 @@ Err restoreFromCheckpoint(const Checkpoint& ck,
                           const std::string& spec);
 
 /** Legacy bool+string shim. */
-bool restoreFromCheckpoint(const Checkpoint& ck,
+[[nodiscard]] bool restoreFromCheckpoint(const Checkpoint& ck,
                            GradedPredictor& predictor,
                            const std::string& spec, std::string& error);
 
@@ -163,7 +163,7 @@ Err writeCheckpointFile(const std::string& path,
                         const std::vector<uint8_t>& blob);
 
 /** Legacy bool+string shim. */
-bool writeCheckpointFile(const std::string& path,
+[[nodiscard]] bool writeCheckpointFile(const std::string& path,
                          const std::vector<uint8_t>& blob,
                          std::string& error);
 
@@ -176,11 +176,11 @@ Err readCheckpointFile(const std::string& path,
                        std::vector<uint8_t>& out);
 
 /** Legacy bool+string shim. */
-bool readCheckpointFile(const std::string& path,
+[[nodiscard]] bool readCheckpointFile(const std::string& path,
                         std::vector<uint8_t>& out, std::string& error);
 
 /** True when @p path exists and is openable for reading. */
-bool checkpointFileExists(const std::string& path);
+[[nodiscard]] bool checkpointFileExists(const std::string& path);
 
 /** Conventional per-stream checkpoint file name ("stream-<id>.tcsp"). */
 std::string streamCheckpointFileName(uint64_t stream_id);
@@ -193,7 +193,7 @@ std::string checkpointTempName(const std::string& path);
  * checkpoint — the signature of a crash mid-write. Restore paths
  * should warn and cold-start instead of failing.
  */
-bool staleCheckpointTempExists(const std::string& path);
+[[nodiscard]] bool staleCheckpointTempExists(const std::string& path);
 
 } // namespace tagecon
 

@@ -5,7 +5,6 @@
 #include <chrono>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <unordered_set>
@@ -17,6 +16,8 @@
 #include "trace/trace_source.hpp"
 #include "util/failpoint.hpp"
 #include "util/logging.hpp"
+#include "util/mutex.hpp"
+#include "util/wall_clock.hpp"
 
 namespace tagecon {
 
@@ -72,23 +73,29 @@ streamErr(const StreamState& st, Err e)
     return e;
 }
 
-/** Everything one worker needs to process shards. */
+/**
+ * Everything one worker needs to process shards. Each stream's state
+ * is owned by exactly one shard and one worker owns a whole shard at
+ * a time, so StreamState needs no lock; the two cross-worker sinks —
+ * the first-error slot and the pooled latency samples — are guarded
+ * by their own mutexes, and -Wthread-safety checks every access.
+ */
 struct ServeShared {
     const ServeOptions* opts = nullptr;
     std::vector<StreamState>* streams = nullptr;
     const std::vector<std::vector<size_t>>* shardStreams = nullptr;
     std::atomic<size_t> nextShard{0};
     std::atomic<bool> failed{false};
-    std::mutex errorMutex;
-    std::string error;
-    std::mutex latencyMutex;
-    std::vector<double> latencyNs;
+    Mutex errorMutex;
+    std::string error TAGECON_GUARDED_BY(errorMutex);
+    Mutex latencyMutex;
+    std::vector<double> latencyNs TAGECON_GUARDED_BY(latencyMutex);
 };
 
 void
 reportError(ServeShared& sh, const std::string& what)
 {
-    std::lock_guard<std::mutex> lock(sh.errorMutex);
+    MutexLock lock(sh.errorMutex);
     if (sh.error.empty())
         sh.error = what;
     sh.failed.store(true, std::memory_order_relaxed);
@@ -366,7 +373,7 @@ serveShard(ServeShared& sh, const std::vector<size_t>& members)
                 }
             }
 
-            const auto start = std::chrono::steady_clock::now();
+            const uint64_t start_ns = wallclock::monotonicNanos();
             BranchRecord rec;
             uint64_t n = 0;
             GradedPredictor& predictor = *st.predictor;
@@ -424,10 +431,8 @@ serveShard(ServeShared& sh, const std::vector<size_t>& members)
             st.consumed += n;
             st.result.branchesServed += n;
             if (n > 0) {
-                const double elapsed_ns =
-                    std::chrono::duration<double, std::nano>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+                const double elapsed_ns = wallclock::nanosBetween(
+                    start_ns, wallclock::monotonicNanos());
                 latency.push_back(elapsed_ns /
                                   static_cast<double>(n));
             }
@@ -451,7 +456,7 @@ serveShard(ServeShared& sh, const std::vector<size_t>& members)
         }
     }
 
-    std::lock_guard<std::mutex> lock(sh.latencyMutex);
+    MutexLock lock(sh.latencyMutex);
     sh.latencyNs.insert(sh.latencyNs.end(), latency.begin(),
                         latency.end());
 }
@@ -554,7 +559,7 @@ ServingEngine::serve(const std::vector<StreamDesc>& streams,
     sh.streams = &states;
     sh.shardStreams = &shard_streams;
 
-    const auto wall_start = std::chrono::steady_clock::now();
+    const uint64_t wall_start_ns = wallclock::monotonicNanos();
     auto worker = [&sh, &shard_streams]() {
         for (;;) {
             const size_t shard =
@@ -580,12 +585,13 @@ ServingEngine::serve(const std::vector<StreamDesc>& streams,
         for (auto& t : pool)
             t.join();
     }
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
+    const double wall = wallclock::secondsBetween(
+        wall_start_ns, wallclock::monotonicNanos());
 
     if (sh.failed.load(std::memory_order_relaxed)) {
+        // Workers are joined; the lock is for the annotated invariant
+        // (and costs nothing uncontended).
+        MutexLock lock(sh.errorMutex);
         error = sh.error;
         return false;
     }
@@ -618,10 +624,16 @@ ServingEngine::serve(const std::vector<StreamDesc>& streams,
         out.timing.predictionsPerSec =
             static_cast<double>(out.totalBranches) / wall;
     }
-    std::sort(sh.latencyNs.begin(), sh.latencyNs.end());
-    out.timing.latencySamples = sh.latencyNs.size();
-    out.timing.p50LatencyNs = percentileOfSorted(sh.latencyNs, 0.50);
-    out.timing.p99LatencyNs = percentileOfSorted(sh.latencyNs, 0.99);
+    {
+        // Workers are joined; locked for the annotated invariant.
+        MutexLock lock(sh.latencyMutex);
+        std::sort(sh.latencyNs.begin(), sh.latencyNs.end());
+        out.timing.latencySamples = sh.latencyNs.size();
+        out.timing.p50LatencyNs =
+            percentileOfSorted(sh.latencyNs, 0.50);
+        out.timing.p99LatencyNs =
+            percentileOfSorted(sh.latencyNs, 0.99);
+    }
     return true;
 }
 

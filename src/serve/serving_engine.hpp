@@ -254,7 +254,7 @@ class ServingEngine
      * checkpoint/restore/digests are requested. Returns false with the
      * reason in @p error. serve() calls this implicitly.
      */
-    bool validate(std::string* error = nullptr);
+    [[nodiscard]] bool validate(std::string* error = nullptr);
 
     /** The options, with spec canonicalized after validate(). */
     const ServeOptions& options() const { return opts_; }
@@ -267,8 +267,8 @@ class ServingEngine
      * still returns true. Results are in @p streams order regardless
      * of jobs/shards/pool/batch.
      */
-    bool serve(const std::vector<StreamDesc>& streams, ServeResult& out,
-               std::string& error);
+    [[nodiscard]] bool serve(const std::vector<StreamDesc>& streams,
+                             ServeResult& out, std::string& error);
 
   private:
     ServeOptions opts_;

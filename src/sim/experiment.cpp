@@ -17,6 +17,7 @@ foldIntoSet(SetResult& sr, RunResult&& rr, double& mpki_sum)
 {
     sr.aggregate.merge(rr.stats);
     sr.confusion.merge(rr.confusion);
+    // ordered-reduction: callers fold traces serially in set order.
     mpki_sum += rr.stats.mpki();
     sr.perTrace.push_back(std::move(rr));
 }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "sim/registry.hpp"
@@ -198,18 +197,22 @@ runSweep(SweepPlan plan, const SweepOptions& opt)
                       : std::max(1u, std::thread::hardware_concurrency());
     jobs = std::min(jobs, to_run.size());
 
-    // Progress callbacks are serialized under one mutex so a consumer
-    // printing lines never interleaves; the completed count is owned
-    // by the same mutex. No-op (and cost-free) when unset.
-    std::mutex progress_mutex;
-    size_t completed = 0;
+    // Progress callbacks are serialized under one per-call mutex so a
+    // consumer printing lines never interleaves; the completed count
+    // is owned by the same mutex (see the SweepOptions::onProgress
+    // locking contract). No-op (and cost-free) when unset.
+    struct ProgressState {
+        Mutex mutex;
+        size_t completed TAGECON_GUARDED_BY(mutex) = 0;
+    } progress_state;
     auto report_progress = [&](size_t i) {
         if (!opt.onProgress)
             return;
-        std::lock_guard<std::mutex> lock(progress_mutex);
-        ++completed;
-        const SweepProgress progress{completed, to_run.size(),
-                                     &cells[i], &results[i]};
+        MutexLock lock(progress_state.mutex);
+        ++progress_state.completed;
+        const SweepProgress progress{progress_state.completed,
+                                     to_run.size(), &cells[i],
+                                     &results[i]};
         opt.onProgress(progress);
     };
 
@@ -264,6 +267,8 @@ runSweepRows(SweepPlan plan, const SweepOptions& opt)
             RunResult& rr = flat[s * per_row + t];
             row.aggregate.merge(rr.stats);
             row.confusion.merge(rr.confusion);
+            // ordered-reduction: serial fold over flat[] in canonical
+            // plan order — independent of jobs/scheduling.
             mpki_sum += rr.stats.mpki();
             row.storageBits = rr.storageBits;
             if (rr.analysis.histogram) {

@@ -28,13 +28,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "util/mutex.hpp"
 
 namespace tagecon {
 
@@ -109,7 +109,7 @@ struct SweepPlan {
      * re-probing the predictors; mutating the plan after a successful
      * validate() is a usage error.
      */
-    bool validate(std::string* error = nullptr);
+    [[nodiscard]] bool validate(std::string* error = nullptr);
 
     /** True once validate() has succeeded on this plan (or a copy). */
     bool validated = false;
@@ -166,15 +166,22 @@ struct SweepExecStats {
  * analysis — are served from memory instead of re-run; because cells
  * are pure functions of their key, cached results are bit-identical to
  * fresh ones.
+ *
+ * Locking contract: every access to the underlying map — lookup,
+ * store, size, clear — takes mutex_ for its whole duration, and
+ * lookup() *copies* the result out under the lock, so a caller never
+ * holds a reference into the map that a concurrent store() could
+ * invalidate. The TAGECON_GUARDED_BY annotation makes -Wthread-safety
+ * prove it, and the TSan cache-hammer test exercises it dynamically.
  */
 class SweepResultCache
 {
   public:
     /** Copy the cached result for @p key into @p out, if present. */
-    bool
+    [[nodiscard]] bool
     lookup(const std::string& key, RunResult& out) const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = results_.find(key);
         if (it == results_.end())
             return false;
@@ -186,7 +193,7 @@ class SweepResultCache
     void
     store(const std::string& key, const RunResult& result)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         results_[key] = result;
     }
 
@@ -194,7 +201,7 @@ class SweepResultCache
     size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return results_.size();
     }
 
@@ -202,13 +209,14 @@ class SweepResultCache
     void
     clear()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         results_.clear();
     }
 
   private:
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, RunResult> results_;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, RunResult> results_
+        TAGECON_GUARDED_BY(mutex_);
 };
 
 /** Execution knobs of a sweep. */
@@ -217,14 +225,26 @@ struct SweepOptions {
     unsigned jobs = 1;
 
     /**
-     * Per-cell completion callback for long grids. Invoked under an
-     * internal mutex (never concurrently) after each cell finishes,
-     * from whichever worker ran the cell; completion order is
-     * scheduling-dependent, so treat it as progress reporting only —
-     * results themselves are returned in canonical plan order.
-     * Leave empty (the default) for zero overhead. With a cache
-     * attached, progress fires for executed cells only (total is the
-     * executed count), since cached cells complete instantly.
+     * Per-cell completion callback for long grids.
+     *
+     * Locking contract: the callback is invoked with runSweep()'s
+     * per-call progress mutex held, so invocations are serialized —
+     * it never runs concurrently with itself, and the SweepProgress
+     * counters are consistent. It runs on whichever worker thread
+     * finished the cell, so anything it touches *outside* the
+     * callback's arguments must be its own synchronized state (e.g.
+     * route printing through logLine(), which is line-atomic). It
+     * must not block on work scheduled in the same runSweep() call
+     * (that would deadlock the pool behind the progress mutex);
+     * calling into an independent runSweep() is safe because the
+     * mutex is per-call, not global.
+     *
+     * Completion order is scheduling-dependent, so treat it as
+     * progress reporting only — results themselves are returned in
+     * canonical plan order. Leave empty (the default) for zero
+     * overhead. With a cache attached, progress fires for executed
+     * cells only (total is the executed count), since cached cells
+     * complete instantly.
      */
     std::function<void(const SweepProgress&)> onProgress;
 
@@ -242,15 +262,15 @@ struct SweepOptions {
 };
 
 /** Run one cell: fresh trace + fresh predictor through runTrace(). */
-RunResult runSweepCell(const SweepCell& cell);
+[[nodiscard]] RunResult runSweepCell(const SweepCell& cell);
 
 /**
  * Run every cell of @p plan across @p opt.jobs threads. fatal()s on an
  * invalid plan. Results are in plan.cells() order regardless of the
  * thread count or scheduling.
  */
-std::vector<RunResult> runSweep(SweepPlan plan,
-                                const SweepOptions& opt = {});
+[[nodiscard]] std::vector<RunResult>
+runSweep(SweepPlan plan, const SweepOptions& opt = {});
 
 /** One spec's row of a sweep, pooled over the plan's traces. */
 struct SweepRow {
@@ -288,8 +308,8 @@ struct SweepRow {
  * of the comparison benches (one table row per spec, pooled over both
  * benchmark sets).
  */
-std::vector<SweepRow> runSweepRows(SweepPlan plan,
-                                   const SweepOptions& opt = {});
+[[nodiscard]] std::vector<SweepRow>
+runSweepRows(SweepPlan plan, const SweepOptions& opt = {});
 
 } // namespace tagecon
 

@@ -230,7 +230,7 @@ openTraceSource(const TraceSpec& spec, uint64_t branches,
     std::unique_ptr<TraceSource> src = opened.take();
     if (branches != 0)
         src = std::make_unique<LimitedTrace>(std::move(src), branches);
-    return std::move(src);
+    return src;
 }
 
 Expected<std::unique_ptr<TraceSource>>

@@ -70,7 +70,7 @@ struct TraceSpec {
  * with the reason in @p error (when non-null) on e.g. "file:" with an
  * empty path.
  */
-bool parseTraceSpec(const std::string& text, TraceSpec& out,
+[[nodiscard]] bool parseTraceSpec(const std::string& text, TraceSpec& out,
                     std::string* error = nullptr);
 
 /**
@@ -81,7 +81,7 @@ bool parseTraceSpec(const std::string& text, TraceSpec& out,
  * SweepPlan::validate() calls so workers can't hit a bad trace
  * mid-sweep.
  */
-bool validateTraceSpec(const TraceSpec& spec,
+[[nodiscard]] bool validateTraceSpec(const TraceSpec& spec,
                        std::string* error = nullptr);
 
 /**
@@ -104,7 +104,7 @@ std::vector<std::string> registeredTraceSets();
  * registerTraceSet() names, case-insensitive). Every resulting spec is
  * validated. Returns false with the reason in @p error.
  */
-bool resolveTraceSpecs(const std::vector<std::string>& args,
+[[nodiscard]] bool resolveTraceSpecs(const std::vector<std::string>& args,
                        std::vector<std::string>& out,
                        std::string& error);
 

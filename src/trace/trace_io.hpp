@@ -58,7 +58,7 @@ struct TraceFileInfo {
 Expected<TraceFileInfo> probeTrace(const std::string& path);
 
 /** Legacy bool+string shim over probeTrace(). */
-bool probeTraceFile(const std::string& path, TraceFileInfo* info,
+[[nodiscard]] bool probeTraceFile(const std::string& path, TraceFileInfo* info,
                     std::string* error);
 
 /**

@@ -15,7 +15,10 @@
  *
  * Convention: library functions on recoverable paths return `Err`
  * (empty = success) or `Expected<T>`; `fatal()` stays at tool
- * boundaries (tools/*, bench mains) and `panic()` for internal bugs.
+ * boundaries (tools and bench mains) and `panic()` for internal
+ * bugs. Both result types are [[nodiscard]]: silently dropping a
+ * failure is a compile-time warning everywhere and an error in the
+ * -Werror CI builds.
  */
 
 #ifndef TAGECON_UTIL_ERRORS_HPP
@@ -66,8 +69,12 @@ errIsRetryable(ErrCode code)
  *
  * A default-constructed Err is success; functions returning Err use
  * that as their "no error" value.
+ *
+ * [[nodiscard]]: a returned Err must be checked (or explicitly
+ * ignored with a cast) — dropping one on the floor is exactly the
+ * error-discipline bug the taxonomy exists to prevent.
  */
-struct Err {
+struct [[nodiscard]] Err {
     ErrCode code = ErrCode::None;
     std::string site;
     std::string detail;
@@ -92,7 +99,7 @@ struct Err {
  * combinators, just ok()/value()/error()/take().
  */
 template <typename T>
-class Expected
+class [[nodiscard]] Expected
 {
   public:
     Expected(T value) : value_(std::move(value)) {}

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <unordered_map>
 
+#include "util/mutex.hpp"
 #include "util/strict_parse.hpp"
 
 namespace tagecon {
@@ -28,9 +28,11 @@ struct RuleState {
 };
 
 struct Registry {
-    std::mutex mutex;
-    std::map<std::string, std::vector<RuleState>> bySite;
-    std::map<std::string, SiteStats> siteStats;
+    Mutex mutex;
+    std::map<std::string, std::vector<RuleState>> bySite
+        TAGECON_GUARDED_BY(mutex);
+    std::map<std::string, SiteStats> siteStats
+        TAGECON_GUARDED_BY(mutex);
 };
 
 Registry&
@@ -226,7 +228,7 @@ void
 armRules(std::vector<FailRule> rules)
 {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     r.bySite.clear();
     r.siteStats.clear();
     for (auto& rule : rules)
@@ -247,7 +249,7 @@ check(const char* site)
     if (!anyArmed())
         return std::nullopt;
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     const auto it = r.bySite.find(site);
     if (it == r.bySite.end())
         return std::nullopt;
@@ -301,7 +303,7 @@ SiteStats
 stats(const std::string& site)
 {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     const auto it = r.siteStats.find(site);
     return it == r.siteStats.end() ? SiteStats{} : it->second;
 }

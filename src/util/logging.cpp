@@ -2,7 +2,8 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace tagecon {
 
@@ -10,28 +11,28 @@ namespace {
 
 /**
  * One mutex serializes every log emission: concurrent sweep/serve
- * workers used to interleave warn()/--progress lines mid-line.
- * Function-local statics so static-initialization order can't bite.
+ * workers used to interleave warn()/--progress lines mid-line. The
+ * sink pointer is guarded by the same mutex — setLogStream() races
+ * warn() in the logging tests, and -Wthread-safety proves every
+ * access goes through the lock. Function-local static so static-
+ * initialization order can't bite.
  */
-std::mutex&
-logMutex()
-{
-    static std::mutex m;
-    return m;
-}
+struct LogState {
+    Mutex mutex;
+    std::ostream* sink TAGECON_GUARDED_BY(mutex) = nullptr; // null = stderr
+};
 
-std::ostream*&
-logSink()
+LogState&
+logState()
 {
-    static std::ostream* sink = nullptr; // nullptr = stderr
-    return sink;
+    static LogState state;
+    return state;
 }
 
 std::ostream&
-sinkOrStderr()
+sinkOrStderr(LogState& state) TAGECON_REQUIRES(state.mutex)
 {
-    std::ostream* s = logSink();
-    return s ? *s : std::cerr;
+    return state.sink ? *state.sink : std::cerr;
 }
 
 } // namespace
@@ -39,9 +40,10 @@ sinkOrStderr()
 std::ostream*
 setLogStream(std::ostream* os)
 {
-    std::lock_guard<std::mutex> lock(logMutex());
-    std::ostream* prev = logSink();
-    logSink() = os;
+    LogState& state = logState();
+    MutexLock lock(state.mutex);
+    std::ostream* prev = state.sink;
+    state.sink = os;
     return prev;
 }
 
@@ -49,8 +51,9 @@ void
 panic(const std::string& msg)
 {
     {
-        std::lock_guard<std::mutex> lock(logMutex());
-        sinkOrStderr() << "panic: " << msg << std::endl;
+        LogState& state = logState();
+        MutexLock lock(state.mutex);
+        sinkOrStderr(state) << "panic: " << msg << std::endl;
     }
     std::abort();
 }
@@ -59,8 +62,9 @@ void
 fatal(const std::string& msg)
 {
     {
-        std::lock_guard<std::mutex> lock(logMutex());
-        sinkOrStderr() << "fatal: " << msg << std::endl;
+        LogState& state = logState();
+        MutexLock lock(state.mutex);
+        sinkOrStderr(state) << "fatal: " << msg << std::endl;
     }
     std::exit(1);
 }
@@ -68,15 +72,17 @@ fatal(const std::string& msg)
 void
 warn(const std::string& msg)
 {
-    std::lock_guard<std::mutex> lock(logMutex());
-    sinkOrStderr() << "warn: " << msg << std::endl;
+    LogState& state = logState();
+    MutexLock lock(state.mutex);
+    sinkOrStderr(state) << "warn: " << msg << std::endl;
 }
 
 void
 logLine(const std::string& line)
 {
-    std::lock_guard<std::mutex> lock(logMutex());
-    sinkOrStderr() << line << '\n' << std::flush;
+    LogState& state = logState();
+    MutexLock lock(state.mutex);
+    sinkOrStderr(state) << line << '\n' << std::flush;
 }
 
 } // namespace tagecon

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Capability-annotated mutex wrappers for library code.
+ *
+ * std::mutex and std::lock_guard carry no Clang thread-safety
+ * annotations, so code using them is invisible to -Wthread-safety.
+ * tagecon::Mutex is a zero-overhead std::mutex wrapper declared as a
+ * capability, and tagecon::MutexLock the matching RAII guard, so
+ * TAGECON_GUARDED_BY members are statically checked:
+ *
+ *   class Cache {
+ *       mutable Mutex mutex_;
+ *       std::map<K, V> entries_ TAGECON_GUARDED_BY(mutex_);
+ *   };
+ *
+ *   MutexLock lock(mutex_);   // analysis knows mutex_ is now held
+ *   entries_[k] = v;          // OK; without the lock: build error
+ *
+ * Library convention: every std::mutex in src/ is a tagecon::Mutex
+ * (tools and tests may use either; only the library carries the
+ * annotated invariants).
+ */
+
+#ifndef TAGECON_UTIL_MUTEX_HPP
+#define TAGECON_UTIL_MUTEX_HPP
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace tagecon {
+
+/** An annotated std::mutex: the capability -Wthread-safety tracks. */
+class TAGECON_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() TAGECON_ACQUIRE() { impl_.lock(); }
+    void unlock() TAGECON_RELEASE() { impl_.unlock(); }
+    bool try_lock() TAGECON_TRY_ACQUIRE(true)
+    {
+        return impl_.try_lock();
+    }
+
+  private:
+    std::mutex impl_;
+};
+
+/** RAII guard over Mutex; the annotated std::lock_guard equivalent. */
+class TAGECON_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& mutex) TAGECON_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~MutexLock() TAGECON_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& mutex_;
+};
+
+} // namespace tagecon
+
+#endif // TAGECON_UTIL_MUTEX_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Clang thread-safety analysis annotations, as no-op-off-Clang macros.
+ *
+ * The determinism contract of this repo (bit-identical sweeps and
+ * serves at any --jobs) is only as strong as its locking discipline,
+ * so every mutex-protected structure in the library is annotated and
+ * the Clang CI build compiles with -Wthread-safety -Werror: an access
+ * to a TAGECON_GUARDED_BY member without its mutex held, or a function
+ * called without a declared TAGECON_REQUIRES capability, is a build
+ * error — not a race TSan has to get lucky to schedule.
+ *
+ * Under GCC (the container toolchain) every macro expands to nothing;
+ * the annotations carry zero runtime or codegen cost everywhere.
+ *
+ * Use util/mutex.hpp's tagecon::Mutex / tagecon::MutexLock rather than
+ * std::mutex / std::lock_guard in library code: the std types carry no
+ * capability annotations, so the analysis cannot see their lock and
+ * unlock effects.
+ */
+
+#ifndef TAGECON_UTIL_THREAD_ANNOTATIONS_HPP
+#define TAGECON_UTIL_THREAD_ANNOTATIONS_HPP
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TAGECON_THREAD_ATTR__(x) __has_attribute(x)
+#else
+#define TAGECON_THREAD_ATTR__(x) 0
+#endif
+
+#if TAGECON_THREAD_ATTR__(capability)
+#define TAGECON_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TAGECON_THREAD_ANNOTATION__(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define TAGECON_CAPABILITY(name) \
+    TAGECON_THREAD_ANNOTATION__(capability(name))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define TAGECON_SCOPED_CAPABILITY \
+    TAGECON_THREAD_ANNOTATION__(scoped_lockable)
+
+/** Data member readable/writable only with @p x held. */
+#define TAGECON_GUARDED_BY(x) TAGECON_THREAD_ANNOTATION__(guarded_by(x))
+
+/** Pointer member whose pointee is protected by @p x. */
+#define TAGECON_PT_GUARDED_BY(x) \
+    TAGECON_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/** Function callable only with the listed capabilities held. */
+#define TAGECON_REQUIRES(...) \
+    TAGECON_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the listed capabilities. */
+#define TAGECON_ACQUIRE(...) \
+    TAGECON_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the listed capabilities. */
+#define TAGECON_RELEASE(...) \
+    TAGECON_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability when returning @p ret. */
+#define TAGECON_TRY_ACQUIRE(...) \
+    TAGECON_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/** Function callable only with the listed capabilities NOT held. */
+#define TAGECON_EXCLUDES(...) \
+    TAGECON_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/** Returns a reference to the capability guarding the callee. */
+#define TAGECON_RETURN_CAPABILITY(x) \
+    TAGECON_THREAD_ANNOTATION__(lock_returned(x))
+
+/** Escape hatch; use only with a comment explaining why it is safe. */
+#define TAGECON_NO_THREAD_SAFETY_ANALYSIS \
+    TAGECON_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif // TAGECON_UTIL_THREAD_ANNOTATIONS_HPP

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * tagecon_lint rule-engine tests: per rule, a clean fixture is
+ * accepted, a fixture with one seeded violation is rejected at the
+ * right line, and both allowlist entries and inline
+ * `tagecon-lint: allow(...)` suppressions clear the finding. Plus the
+ * allowlist parser's failure modes and the scrubber's blind spots
+ * (comments, strings, raw strings must never trip a rule).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace tagecon {
+namespace lint {
+namespace {
+
+std::vector<Diagnostic>
+lint(const std::string& rel_path, const std::string& contents)
+{
+    Allowlist empty;
+    return lintFileContents(rel_path, contents, empty);
+}
+
+/** All diagnostics of one rule. */
+std::vector<Diagnostic>
+lintRule(const std::string& rel_path, const std::string& contents,
+         const std::string& rule)
+{
+    std::vector<Diagnostic> out;
+    for (auto& d : lint(rel_path, contents))
+        if (d.rule == rule)
+            out.push_back(std::move(d));
+    return out;
+}
+
+TEST(LintCatalog, SevenRulesSortedAndKnown)
+{
+    const auto& catalog = ruleCatalog();
+    ASSERT_EQ(catalog.size(), 7u);
+    for (size_t i = 1; i < catalog.size(); ++i)
+        EXPECT_LT(catalog[i - 1].name, catalog[i].name);
+    for (const auto& rule : catalog)
+        EXPECT_TRUE(isKnownRule(rule.name));
+    EXPECT_FALSE(isKnownRule("no-such-rule"));
+}
+
+// ----------------------------------------------------- no-raw-random
+
+TEST(LintNoRawRandom, RejectsSeededViolation)
+{
+    const auto diags = lintRule("src/core/foo.cpp",
+                                "int pick() {\n"
+                                "    return rand() % 4;\n"
+                                "}\n",
+                                "no-raw-random");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 2u);
+    EXPECT_EQ(diags[0].file, "src/core/foo.cpp");
+}
+
+TEST(LintNoRawRandom, RejectsRandomDeviceEverywhere)
+{
+    // The rule has no path restriction — tools are not exempt.
+    const auto diags =
+        lintRule("tools/foo.cpp", "std::random_device rd;\n",
+                 "no-raw-random");
+    ASSERT_EQ(diags.size(), 1u);
+}
+
+TEST(LintNoRawRandom, AcceptsCleanAndLookalikes)
+{
+    // XorShift128Plus-style identifiers contain no bare 'rand' token.
+    EXPECT_TRUE(lintRule("src/core/foo.cpp",
+                         "XorShift128Plus rng(seed);\n"
+                         "uint64_t x = rng.next();\n"
+                         "int operand = 3; // operand, not rand\n",
+                         "no-raw-random")
+                    .empty());
+}
+
+// ------------------------------------------------------ no-wall-clock
+
+TEST(LintNoWallClock, RejectsSteadyClock)
+{
+    const auto diags = lintRule(
+        "src/serve/foo.cpp",
+        "auto t0 = std::chrono::steady_clock::now();\n",
+        "no-wall-clock");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 1u);
+}
+
+TEST(LintNoWallClock, RejectsLibcTimeCall)
+{
+    const auto diags = lintRule("src/sim/foo.cpp",
+                                "long now = time(nullptr);\n",
+                                "no-wall-clock");
+    ASSERT_EQ(diags.size(), 1u);
+}
+
+TEST(LintNoWallClock, AcceptsMemberNamedTimeAndTimingWords)
+{
+    EXPECT_TRUE(lintRule("src/sim/foo.cpp",
+                         "double s = result.timing.wallSeconds;\n"
+                         "uint64_t t = obj.time(3);\n"
+                         "int timeout = 5;\n",
+                         "no-wall-clock")
+                    .empty());
+}
+
+// --------------------------------------------------- no-unordered-iter
+
+TEST(LintNoUnorderedIter, RejectsRangeForOverUnorderedMap)
+{
+    const auto diags = lintRule(
+        "src/sim/foo.cpp",
+        "std::unordered_map<std::string, int> counts;\n"
+        "void dump() {\n"
+        "    for (const auto& [k, v] : counts)\n"
+        "        use(k, v);\n"
+        "}\n",
+        "no-unordered-iter");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 3u);
+}
+
+TEST(LintNoUnorderedIter, RejectsExplicitBegin)
+{
+    const auto diags = lintRule(
+        "src/sim/foo.cpp",
+        "std::unordered_set<int> seen;\n"
+        "auto it = seen.begin();\n",
+        "no-unordered-iter");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 2u);
+}
+
+TEST(LintNoUnorderedIter, AcceptsLookupsAndOrderedIteration)
+{
+    EXPECT_TRUE(lintRule("src/sim/foo.cpp",
+                         "std::unordered_map<std::string, int> m;\n"
+                         "std::vector<int> v;\n"
+                         "int f() { return m.count(key) + m.at(key); }\n"
+                         "void g() { for (int x : v) use(x); }\n",
+                         "no-unordered-iter")
+                    .empty());
+}
+
+// ------------------------------------------------- no-fatal-in-library
+
+TEST(LintNoFatalInLibrary, RejectsFatalUnderSrc)
+{
+    const auto diags = lintRule("src/core/foo.cpp",
+                                "void f(int n) {\n"
+                                "    if (n < 0)\n"
+                                "        fatal(\"bad n\");\n"
+                                "}\n",
+                                "no-fatal-in-library");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 3u);
+}
+
+TEST(LintNoFatalInLibrary, AcceptsFatalInToolsAndBench)
+{
+    const std::string body = "int main() { fatal(\"usage\"); }\n";
+    EXPECT_TRUE(
+        lintRule("tools/foo.cpp", body, "no-fatal-in-library").empty());
+    EXPECT_TRUE(
+        lintRule("bench/foo.cpp", body, "no-fatal-in-library").empty());
+}
+
+TEST(LintNoFatalInLibrary, AcceptsNonCallMentions)
+{
+    EXPECT_TRUE(lintRule("src/core/foo.cpp",
+                         "// fatal() is for tool boundaries\n"
+                         "bool is_fatal = level > 3;\n"
+                         "handler.fatal(msg); // member, not ours\n",
+                         "no-fatal-in-library")
+                    .empty());
+}
+
+// ------------------------------------------------------ no-raw-stderr
+
+TEST(LintNoRawStderr, RejectsCerrAndFprintfStderr)
+{
+    const auto diags = lintRule(
+        "src/sim/foo.cpp",
+        "void f() {\n"
+        "    std::cerr << \"oops\\n\";\n"
+        "    fprintf(stderr, \"oops\\n\");\n"
+        "}\n",
+        "no-raw-stderr");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].line, 2u);
+    EXPECT_EQ(diags[1].line, 3u);
+}
+
+TEST(LintNoRawStderr, AcceptsLogLine)
+{
+    EXPECT_TRUE(lintRule("src/sim/foo.cpp",
+                         "logLine(\"progress 3/4\");\n",
+                         "no-raw-stderr")
+                    .empty());
+}
+
+// -------------------------------------------------- ordered-reduction
+
+TEST(LintOrderedReduction, RejectsUntaggedDoubleAccumulation)
+{
+    const auto diags = lintRule(
+        "src/sim/foo.cpp",
+        "double mpki_sum = 0.0;\n"
+        "for (const auto& r : results)\n"
+        "    mpki_sum += r.mpki;\n",
+        "ordered-reduction");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 3u);
+}
+
+TEST(LintOrderedReduction, AcceptsTaggedAccumulation)
+{
+    EXPECT_TRUE(lintRule("src/sim/foo.cpp",
+                         "double mpki_sum = 0.0;\n"
+                         "// ordered-reduction: serial fold in plan "
+                         "order\n"
+                         "for (const auto& r : results)\n"
+                         "    mpki_sum += r.mpki;\n",
+                         "ordered-reduction")
+                    .empty());
+}
+
+TEST(LintOrderedReduction, IgnoresIntegersAndOtherDirs)
+{
+    // Integer accumulators are exact; order cannot matter.
+    EXPECT_TRUE(lintRule("src/sim/foo.cpp",
+                         "uint64_t total = 0;\n"
+                         "total += r.branches;\n",
+                         "ordered-reduction")
+                    .empty());
+    // The rule only patrols the sim/serve aggregation paths.
+    EXPECT_TRUE(lintRule("src/core/foo.cpp",
+                         "double sum = 0.0;\n"
+                         "sum += x;\n",
+                         "ordered-reduction")
+                    .empty());
+}
+
+// -------------------------------------------- nodiscard-result-types
+
+TEST(LintNodiscardResultTypes, RejectsPlainErrDefinition)
+{
+    const auto diags = lintRule("src/util/foo.hpp",
+                                "struct Err {\n"
+                                "    int code = 0;\n"
+                                "};\n",
+                                "nodiscard-result-types");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 1u);
+}
+
+TEST(LintNodiscardResultTypes, AcceptsAnnotatedAndForwardDecls)
+{
+    EXPECT_TRUE(lintRule("src/util/foo.hpp",
+                         "struct [[nodiscard]] Err {\n"
+                         "    int code = 0;\n"
+                         "};\n"
+                         "template <typename T>\n"
+                         "class [[nodiscard]] Expected\n"
+                         "{\n"
+                         "};\n"
+                         "struct Err;\n"      // forward declaration
+                         "class Expected;\n"  // forward declaration
+                         "struct ErrSite {};\n",
+                         "nodiscard-result-types")
+                    .empty());
+}
+
+// ------------------------------------------------- scrubber behavior
+
+TEST(LintScrubber, CommentsAndStringsNeverTripRules)
+{
+    EXPECT_TRUE(lint("src/core/foo.cpp",
+                     "// rand() and std::cerr and fatal() in prose\n"
+                     "/* steady_clock::now() in a block comment */\n"
+                     "const char* msg = \"call rand() then fatal()\";\n"
+                     "const char* raw = R\"(cerr stderr time( )\";\n"
+                     "char c = 'a';\n")
+                    .empty());
+}
+
+TEST(LintScrubber, CodeAfterBlockCommentStillScanned)
+{
+    const auto diags = lintRule("src/core/foo.cpp",
+                                "/* benign */ int x = rand();\n",
+                                "no-raw-random");
+    ASSERT_EQ(diags.size(), 1u);
+}
+
+// --------------------------------------- suppression and allowlisting
+
+TEST(LintSuppression, InlineAllowClearsOnlyThatRule)
+{
+    // Same-line suppression.
+    EXPECT_TRUE(
+        lintRule("src/core/foo.cpp",
+                 "int x = rand(); // tagecon-lint: allow(no-raw-random)\n",
+                 "no-raw-random")
+            .empty());
+    // Line-above suppression.
+    EXPECT_TRUE(
+        lintRule("src/core/foo.cpp",
+                 "// tagecon-lint: allow(no-raw-random)\n"
+                 "int x = rand();\n",
+                 "no-raw-random")
+            .empty());
+    // A different rule's tag does not suppress.
+    EXPECT_EQ(
+        lintRule("src/core/foo.cpp",
+                 "int x = rand(); // tagecon-lint: allow(no-wall-clock)\n",
+                 "no-raw-random")
+            .size(),
+        1u);
+}
+
+TEST(LintAllowlist, FileAndDirectoryPrefixesOverride)
+{
+    Allowlist allow;
+    allow.add("no-raw-random", "src/legacy");
+    allow.add("no-fatal-in-library", "src/core/foo.cpp");
+
+    const std::string rng = "int x = rand();\n";
+    EXPECT_TRUE(
+        lintFileContents("src/legacy/gen.cpp", rng, allow).empty());
+    EXPECT_FALSE(
+        lintFileContents("src/legacyish/gen.cpp", rng, allow).empty());
+
+    const std::string die = "void f() { fatal(\"x\"); }\n";
+    EXPECT_TRUE(
+        lintFileContents("src/core/foo.cpp", die, allow).empty());
+    EXPECT_FALSE(
+        lintFileContents("src/core/bar.cpp", die, allow).empty());
+}
+
+TEST(LintAllowlist, ParserRejectsUnknownRulesAndMalformedLines)
+{
+    Allowlist out;
+    std::string error;
+
+    EXPECT_TRUE(Allowlist::parse("# comment\n"
+                                 "\n"
+                                 "no-raw-random src/legacy # trailing\n",
+                                 out, error));
+    EXPECT_EQ(out.size(), 1u);
+
+    EXPECT_FALSE(Allowlist::parse("no-such-rule src/foo\n", out, error));
+    EXPECT_NE(error.find("unknown rule"), std::string::npos);
+
+    EXPECT_FALSE(
+        Allowlist::parse("no-raw-random src/a src/b\n", out, error));
+    EXPECT_FALSE(Allowlist::parse("no-raw-random\n", out, error));
+}
+
+TEST(LintFormat, DiagnosticDisplayForm)
+{
+    Diagnostic d;
+    d.file = "src/a.cpp";
+    d.line = 12;
+    d.rule = "no-raw-random";
+    d.message = "boom";
+    EXPECT_EQ(formatDiagnostic(d), "src/a.cpp:12: [no-raw-random] boom");
+}
+
+TEST(LintOrdering, DiagnosticsSortedByLineThenRule)
+{
+    const auto diags = lint("src/sim/foo.cpp",
+                            "std::cerr << 1;\n"
+                            "int x = rand();\n"
+                            "auto t = std::chrono::steady_clock::now();"
+                            " srand(0);\n");
+    ASSERT_GE(diags.size(), 4u);
+    for (size_t i = 1; i < diags.size(); ++i) {
+        EXPECT_TRUE(diags[i - 1].line < diags[i].line ||
+                    (diags[i - 1].line == diags[i].line &&
+                     diags[i - 1].rule <= diags[i].rule));
+    }
+}
+
+} // namespace
+} // namespace lint
+} // namespace tagecon
