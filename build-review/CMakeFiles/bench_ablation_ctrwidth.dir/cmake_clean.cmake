@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ctrwidth.dir/bench/bench_ablation_ctrwidth.cpp.o"
+  "CMakeFiles/bench_ablation_ctrwidth.dir/bench/bench_ablation_ctrwidth.cpp.o.d"
+  "bench_ablation_ctrwidth"
+  "bench_ablation_ctrwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ctrwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

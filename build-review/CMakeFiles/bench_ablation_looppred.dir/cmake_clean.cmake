@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_looppred.dir/bench/bench_ablation_looppred.cpp.o"
+  "CMakeFiles/bench_ablation_looppred.dir/bench/bench_ablation_looppred.cpp.o.d"
+  "bench_ablation_looppred"
+  "bench_ablation_looppred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_looppred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_usealt.dir/bench/bench_ablation_usealt.cpp.o"
+  "CMakeFiles/bench_ablation_usealt.dir/bench/bench_ablation_usealt.cpp.o.d"
+  "bench_ablation_usealt"
+  "bench_ablation_usealt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_usealt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

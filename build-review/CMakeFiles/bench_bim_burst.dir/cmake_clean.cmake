@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bim_burst.dir/bench/bench_bim_burst.cpp.o"
+  "CMakeFiles/bench_bim_burst.dir/bench/bench_bim_burst.cpp.o.d"
+  "bench_bim_burst"
+  "bench_bim_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bim_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

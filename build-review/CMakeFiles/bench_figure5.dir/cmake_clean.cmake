@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5.dir/bench/bench_figure5.cpp.o"
+  "CMakeFiles/bench_figure5.dir/bench/bench_figure5.cpp.o.d"
+  "bench_figure5"
+  "bench_figure5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

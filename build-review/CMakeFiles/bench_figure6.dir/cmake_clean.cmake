@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6.dir/bench/bench_figure6.cpp.o"
+  "CMakeFiles/bench_figure6.dir/bench/bench_figure6.cpp.o.d"
+  "bench_figure6"
+  "bench_figure6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_predictor.dir/bench/bench_micro_predictor.cpp.o"
+  "CMakeFiles/bench_micro_predictor.dir/bench/bench_micro_predictor.cpp.o.d"
+  "bench_micro_predictor"
+  "bench_micro_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prob_sweep.dir/bench/bench_prob_sweep.cpp.o"
+  "CMakeFiles/bench_prob_sweep.dir/bench/bench_prob_sweep.cpp.o.d"
+  "bench_prob_sweep"
+  "bench_prob_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prob_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section5.dir/bench/bench_section5.cpp.o"
+  "CMakeFiles/bench_section5.dir/bench/bench_section5.cpp.o.d"
+  "bench_section5"
+  "bench_section5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

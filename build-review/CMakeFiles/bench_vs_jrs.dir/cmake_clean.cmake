@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_jrs.dir/bench/bench_vs_jrs.cpp.o"
+  "CMakeFiles/bench_vs_jrs.dir/bench/bench_vs_jrs.cpp.o.d"
+  "bench_vs_jrs"
+  "bench_vs_jrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_jrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_selfconf.dir/bench/bench_vs_selfconf.cpp.o"
+  "CMakeFiles/bench_vs_selfconf.dir/bench/bench_vs_selfconf.cpp.o.d"
+  "bench_vs_selfconf"
+  "bench_vs_selfconf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_selfconf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_confidence_explorer.dir/examples/confidence_explorer.cpp.o"
+  "CMakeFiles/example_confidence_explorer.dir/examples/confidence_explorer.cpp.o.d"
+  "example_confidence_explorer"
+  "example_confidence_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_confidence_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fetch_gating.dir/examples/fetch_gating.cpp.o"
+  "CMakeFiles/example_fetch_gating.dir/examples/fetch_gating.cpp.o.d"
+  "example_fetch_gating"
+  "example_fetch_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fetch_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

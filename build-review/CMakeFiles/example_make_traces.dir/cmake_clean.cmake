@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_make_traces.dir/examples/make_traces.cpp.o"
+  "CMakeFiles/example_make_traces.dir/examples/make_traces.cpp.o.d"
+  "example_make_traces"
+  "example_make_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_make_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_make_traces.
+# This may be replaced when dependencies are built.

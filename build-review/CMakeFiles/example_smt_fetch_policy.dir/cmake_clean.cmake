@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_smt_fetch_policy.dir/examples/smt_fetch_policy.cpp.o"
+  "CMakeFiles/example_smt_fetch_policy.dir/examples/smt_fetch_policy.cpp.o.d"
+  "example_smt_fetch_policy"
+  "example_smt_fetch_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_smt_fetch_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_smt_fetch_policy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analysis_config.cpp" "CMakeFiles/tagecon.dir/src/analysis/analysis_config.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/analysis/analysis_config.cpp.o.d"
+  "/root/repo/src/analysis/observers.cpp" "CMakeFiles/tagecon.dir/src/analysis/observers.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/analysis/observers.cpp.o.d"
+  "/root/repo/src/baseline/bimodal_predictor.cpp" "CMakeFiles/tagecon.dir/src/baseline/bimodal_predictor.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/baseline/bimodal_predictor.cpp.o.d"
+  "/root/repo/src/baseline/graded_baselines.cpp" "CMakeFiles/tagecon.dir/src/baseline/graded_baselines.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/baseline/graded_baselines.cpp.o.d"
+  "/root/repo/src/baseline/gshare_predictor.cpp" "CMakeFiles/tagecon.dir/src/baseline/gshare_predictor.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/baseline/gshare_predictor.cpp.o.d"
+  "/root/repo/src/baseline/jrs_estimator.cpp" "CMakeFiles/tagecon.dir/src/baseline/jrs_estimator.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/baseline/jrs_estimator.cpp.o.d"
+  "/root/repo/src/baseline/ogehl_predictor.cpp" "CMakeFiles/tagecon.dir/src/baseline/ogehl_predictor.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/baseline/ogehl_predictor.cpp.o.d"
+  "/root/repo/src/baseline/perceptron_predictor.cpp" "CMakeFiles/tagecon.dir/src/baseline/perceptron_predictor.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/baseline/perceptron_predictor.cpp.o.d"
+  "/root/repo/src/core/adaptive_probability.cpp" "CMakeFiles/tagecon.dir/src/core/adaptive_probability.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/core/adaptive_probability.cpp.o.d"
+  "/root/repo/src/core/class_stats.cpp" "CMakeFiles/tagecon.dir/src/core/class_stats.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/core/class_stats.cpp.o.d"
+  "/root/repo/src/core/prediction_class.cpp" "CMakeFiles/tagecon.dir/src/core/prediction_class.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/core/prediction_class.cpp.o.d"
+  "/root/repo/src/lint/lint.cpp" "CMakeFiles/tagecon.dir/src/lint/lint.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/lint/lint.cpp.o.d"
+  "/root/repo/src/serve/checkpoint.cpp" "CMakeFiles/tagecon.dir/src/serve/checkpoint.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/serve/checkpoint.cpp.o.d"
+  "/root/repo/src/serve/serving_engine.cpp" "CMakeFiles/tagecon.dir/src/serve/serving_engine.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/serve/serving_engine.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "CMakeFiles/tagecon.dir/src/sim/experiment.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/interval_stats.cpp" "CMakeFiles/tagecon.dir/src/sim/interval_stats.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/sim/interval_stats.cpp.o.d"
+  "/root/repo/src/sim/registry.cpp" "CMakeFiles/tagecon.dir/src/sim/registry.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/sim/registry.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "CMakeFiles/tagecon.dir/src/sim/report.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/sim/report.cpp.o.d"
+  "/root/repo/src/sim/reporting.cpp" "CMakeFiles/tagecon.dir/src/sim/reporting.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/sim/reporting.cpp.o.d"
+  "/root/repo/src/sim/spec_params.cpp" "CMakeFiles/tagecon.dir/src/sim/spec_params.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/sim/spec_params.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "CMakeFiles/tagecon.dir/src/sim/sweep.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/sim/sweep.cpp.o.d"
+  "/root/repo/src/sim/trace_registry.cpp" "CMakeFiles/tagecon.dir/src/sim/trace_registry.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/sim/trace_registry.cpp.o.d"
+  "/root/repo/src/tage/graded_tage.cpp" "CMakeFiles/tagecon.dir/src/tage/graded_tage.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/tage/graded_tage.cpp.o.d"
+  "/root/repo/src/tage/loop_predictor.cpp" "CMakeFiles/tagecon.dir/src/tage/loop_predictor.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/tage/loop_predictor.cpp.o.d"
+  "/root/repo/src/tage/tage_config.cpp" "CMakeFiles/tagecon.dir/src/tage/tage_config.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/tage/tage_config.cpp.o.d"
+  "/root/repo/src/tage/tage_predictor.cpp" "CMakeFiles/tagecon.dir/src/tage/tage_predictor.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/tage/tage_predictor.cpp.o.d"
+  "/root/repo/src/trace/behavior.cpp" "CMakeFiles/tagecon.dir/src/trace/behavior.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/trace/behavior.cpp.o.d"
+  "/root/repo/src/trace/cbp_ascii.cpp" "CMakeFiles/tagecon.dir/src/trace/cbp_ascii.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/trace/cbp_ascii.cpp.o.d"
+  "/root/repo/src/trace/profiles.cpp" "CMakeFiles/tagecon.dir/src/trace/profiles.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/trace/profiles.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "CMakeFiles/tagecon.dir/src/trace/trace_io.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_source.cpp" "CMakeFiles/tagecon.dir/src/trace/trace_source.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/trace/trace_source.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "CMakeFiles/tagecon.dir/src/trace/workload.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/trace/workload.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/tagecon.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/errors.cpp" "CMakeFiles/tagecon.dir/src/util/errors.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/util/errors.cpp.o.d"
+  "/root/repo/src/util/failpoint.cpp" "CMakeFiles/tagecon.dir/src/util/failpoint.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/util/failpoint.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/tagecon.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "CMakeFiles/tagecon.dir/src/util/random.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/util/random.cpp.o.d"
+  "/root/repo/src/util/state_io.cpp" "CMakeFiles/tagecon.dir/src/util/state_io.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/util/state_io.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/tagecon.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/strict_parse.cpp" "CMakeFiles/tagecon.dir/src/util/strict_parse.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/util/strict_parse.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "CMakeFiles/tagecon.dir/src/util/table_printer.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/util/table_printer.cpp.o.d"
+  "/root/repo/src/util/wall_clock.cpp" "CMakeFiles/tagecon.dir/src/util/wall_clock.cpp.o" "gcc" "CMakeFiles/tagecon.dir/src/util/wall_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

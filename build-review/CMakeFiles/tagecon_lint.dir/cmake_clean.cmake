@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagecon_lint.dir/tools/tagecon_lint.cpp.o"
+  "CMakeFiles/tagecon_lint.dir/tools/tagecon_lint.cpp.o.d"
+  "tagecon_lint"
+  "tagecon_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagecon_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

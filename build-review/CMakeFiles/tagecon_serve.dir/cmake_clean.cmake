@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagecon_serve.dir/tools/tagecon_serve.cpp.o"
+  "CMakeFiles/tagecon_serve.dir/tools/tagecon_serve.cpp.o.d"
+  "tagecon_serve"
+  "tagecon_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagecon_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagecon_sweep.dir/tools/tagecon_sweep.cpp.o"
+  "CMakeFiles/tagecon_sweep.dir/tools/tagecon_sweep.cpp.o.d"
+  "tagecon_sweep"
+  "tagecon_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagecon_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

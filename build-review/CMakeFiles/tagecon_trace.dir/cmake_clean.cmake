@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagecon_trace.dir/tools/tagecon_trace.cpp.o"
+  "CMakeFiles/tagecon_trace.dir/tools/tagecon_trace.cpp.o.d"
+  "tagecon_trace"
+  "tagecon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagecon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_observers.dir/tests/test_analysis_observers.cpp.o"
+  "CMakeFiles/test_analysis_observers.dir/tests/test_analysis_observers.cpp.o.d"
+  "test_analysis_observers"
+  "test_analysis_observers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_observers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_predictors.dir/tests/test_baseline_predictors.cpp.o"
+  "CMakeFiles/test_baseline_predictors.dir/tests/test_baseline_predictors.cpp.o.d"
+  "test_baseline_predictors"
+  "test_baseline_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

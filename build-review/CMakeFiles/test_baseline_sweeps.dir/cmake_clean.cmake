@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_sweeps.dir/tests/test_baseline_sweeps.cpp.o"
+  "CMakeFiles/test_baseline_sweeps.dir/tests/test_baseline_sweeps.cpp.o.d"
+  "test_baseline_sweeps"
+  "test_baseline_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_adaptive.dir/tests/test_core_adaptive.cpp.o"
+  "CMakeFiles/test_core_adaptive.dir/tests/test_core_adaptive.cpp.o.d"
+  "test_core_adaptive"
+  "test_core_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_binary_metrics.dir/tests/test_core_binary_metrics.cpp.o"
+  "CMakeFiles/test_core_binary_metrics.dir/tests/test_core_binary_metrics.cpp.o.d"
+  "test_core_binary_metrics"
+  "test_core_binary_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_binary_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

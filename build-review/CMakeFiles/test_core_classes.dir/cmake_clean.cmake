@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_classes.dir/tests/test_core_classes.cpp.o"
+  "CMakeFiles/test_core_classes.dir/tests/test_core_classes.cpp.o.d"
+  "test_core_classes"
+  "test_core_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_confident_tage.dir/tests/test_core_confident_tage.cpp.o"
+  "CMakeFiles/test_core_confident_tage.dir/tests/test_core_confident_tage.cpp.o.d"
+  "test_core_confident_tage"
+  "test_core_confident_tage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_confident_tage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

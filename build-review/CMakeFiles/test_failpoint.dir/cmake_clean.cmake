@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failpoint.dir/tests/test_failpoint.cpp.o"
+  "CMakeFiles/test_failpoint.dir/tests/test_failpoint.cpp.o.d"
+  "test_failpoint"
+  "test_failpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

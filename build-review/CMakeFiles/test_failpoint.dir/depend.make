@@ -1,0 +1,2 @@
+# Empty dependencies file for test_failpoint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graded_predictor.dir/tests/test_graded_predictor.cpp.o"
+  "CMakeFiles/test_graded_predictor.dir/tests/test_graded_predictor.cpp.o.d"
+  "test_graded_predictor"
+  "test_graded_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graded_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lint_rules.dir/tests/test_lint_rules.cpp.o"
+  "CMakeFiles/test_lint_rules.dir/tests/test_lint_rules.cpp.o.d"
+  "test_lint_rules"
+  "test_lint_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lint_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

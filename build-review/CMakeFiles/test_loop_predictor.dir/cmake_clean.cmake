@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loop_predictor.dir/tests/test_loop_predictor.cpp.o"
+  "CMakeFiles/test_loop_predictor.dir/tests/test_loop_predictor.cpp.o.d"
+  "test_loop_predictor"
+  "test_loop_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loop_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ogehl_predictor.dir/tests/test_ogehl_predictor.cpp.o"
+  "CMakeFiles/test_ogehl_predictor.dir/tests/test_ogehl_predictor.cpp.o.d"
+  "test_ogehl_predictor"
+  "test_ogehl_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ogehl_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serve_checkpoint.dir/tests/test_serve_checkpoint.cpp.o"
+  "CMakeFiles/test_serve_checkpoint.dir/tests/test_serve_checkpoint.cpp.o.d"
+  "test_serve_checkpoint"
+  "test_serve_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serve_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serve_engine.dir/tests/test_serve_engine.cpp.o"
+  "CMakeFiles/test_serve_engine.dir/tests/test_serve_engine.cpp.o.d"
+  "test_serve_engine"
+  "test_serve_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serve_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

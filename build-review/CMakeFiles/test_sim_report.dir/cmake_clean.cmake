@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_report.dir/tests/test_sim_report.cpp.o"
+  "CMakeFiles/test_sim_report.dir/tests/test_sim_report.cpp.o.d"
+  "test_sim_report"
+  "test_sim_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

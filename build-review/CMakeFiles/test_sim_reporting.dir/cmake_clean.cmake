@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_reporting.dir/tests/test_sim_reporting.cpp.o"
+  "CMakeFiles/test_sim_reporting.dir/tests/test_sim_reporting.cpp.o.d"
+  "test_sim_reporting"
+  "test_sim_reporting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_reporting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_sweep.dir/tests/test_sim_sweep.cpp.o"
+  "CMakeFiles/test_sim_sweep.dir/tests/test_sim_sweep.cpp.o.d"
+  "test_sim_sweep"
+  "test_sim_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tage_aging.dir/tests/test_tage_aging.cpp.o"
+  "CMakeFiles/test_tage_aging.dir/tests/test_tage_aging.cpp.o.d"
+  "test_tage_aging"
+  "test_tage_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tage_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tage_batched_golden.dir/tests/test_tage_batched_golden.cpp.o"
+  "CMakeFiles/test_tage_batched_golden.dir/tests/test_tage_batched_golden.cpp.o.d"
+  "test_tage_batched_golden"
+  "test_tage_batched_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tage_batched_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

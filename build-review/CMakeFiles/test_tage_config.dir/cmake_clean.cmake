@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tage_config.dir/tests/test_tage_config.cpp.o"
+  "CMakeFiles/test_tage_config.dir/tests/test_tage_config.cpp.o.d"
+  "test_tage_config"
+  "test_tage_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tage_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tage_predictor.dir/tests/test_tage_predictor.cpp.o"
+  "CMakeFiles/test_tage_predictor.dir/tests/test_tage_predictor.cpp.o.d"
+  "test_tage_predictor"
+  "test_tage_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tage_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

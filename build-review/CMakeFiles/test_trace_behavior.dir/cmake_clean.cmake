@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_behavior.dir/tests/test_trace_behavior.cpp.o"
+  "CMakeFiles/test_trace_behavior.dir/tests/test_trace_behavior.cpp.o.d"
+  "test_trace_behavior"
+  "test_trace_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_loop_bodies.dir/tests/test_trace_loop_bodies.cpp.o"
+  "CMakeFiles/test_trace_loop_bodies.dir/tests/test_trace_loop_bodies.cpp.o.d"
+  "test_trace_loop_bodies"
+  "test_trace_loop_bodies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_loop_bodies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

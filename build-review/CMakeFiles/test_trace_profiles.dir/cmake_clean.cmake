@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_profiles.dir/tests/test_trace_profiles.cpp.o"
+  "CMakeFiles/test_trace_profiles.dir/tests/test_trace_profiles.cpp.o.d"
+  "test_trace_profiles"
+  "test_trace_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

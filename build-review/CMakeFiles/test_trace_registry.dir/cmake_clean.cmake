@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_registry.dir/tests/test_trace_registry.cpp.o"
+  "CMakeFiles/test_trace_registry.dir/tests/test_trace_registry.cpp.o.d"
+  "test_trace_registry"
+  "test_trace_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

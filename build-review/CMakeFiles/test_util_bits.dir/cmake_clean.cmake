@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_bits.dir/tests/test_util_bits.cpp.o"
+  "CMakeFiles/test_util_bits.dir/tests/test_util_bits.cpp.o.d"
+  "test_util_bits"
+  "test_util_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

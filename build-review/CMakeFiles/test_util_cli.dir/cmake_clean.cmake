@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_cli.dir/tests/test_util_cli.cpp.o"
+  "CMakeFiles/test_util_cli.dir/tests/test_util_cli.cpp.o.d"
+  "test_util_cli"
+  "test_util_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_counters.dir/tests/test_util_counters.cpp.o"
+  "CMakeFiles/test_util_counters.dir/tests/test_util_counters.cpp.o.d"
+  "test_util_counters"
+  "test_util_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_history.dir/tests/test_util_history.cpp.o"
+  "CMakeFiles/test_util_history.dir/tests/test_util_history.cpp.o.d"
+  "test_util_history"
+  "test_util_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

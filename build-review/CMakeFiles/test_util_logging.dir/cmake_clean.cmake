@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_logging.dir/tests/test_util_logging.cpp.o"
+  "CMakeFiles/test_util_logging.dir/tests/test_util_logging.cpp.o.d"
+  "test_util_logging"
+  "test_util_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_random.dir/tests/test_util_random.cpp.o"
+  "CMakeFiles/test_util_random.dir/tests/test_util_random.cpp.o.d"
+  "test_util_random"
+  "test_util_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
