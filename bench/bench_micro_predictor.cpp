@@ -23,6 +23,12 @@
  *    injection site check. Unarmed must stay a branch on one relaxed
  *    atomic load (~1 ns) — the sites sit on trace-read and checkpoint
  *    paths, so this is the price every production run pays.
+ *  - BM_MetricsDisabled / BM_MetricsEnabled / BM_TimingHistogramRecord
+ *    / BM_SpanDisabled: cost of an observability site. Disabled sites
+ *    (the default) must stay one relaxed atomic load, same discipline
+ *    as an unarmed failpoint; enabled counters are one relaxed
+ *    fetch_add and a histogram record is a short binary search plus
+ *    two fetch_adds. Committed in BENCH_obs.json.
  *
  * Run with --benchmark_out=BENCH_micro.json --benchmark_out_format=json
  * to extend the committed perf trajectory (see README, "Performance").
@@ -33,6 +39,8 @@
 #include <vector>
 
 #include "core/confidence_observer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_trace.hpp"
 #include "tage/tage_predictor.hpp"
 #include "trace/profiles.hpp"
 #include "util/failpoint.hpp"
@@ -257,6 +265,63 @@ BM_FailpointArmed(benchmark::State& state)
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 
+void
+BM_MetricsDisabled(benchmark::State& state)
+{
+    obs::setMetricsEnabled(false);
+    obs::Counter& c = obs::counter("bench.metrics.disabled");
+    for (auto _ : state) {
+        c.add();
+        benchmark::DoNotOptimize(&c);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_MetricsEnabled(benchmark::State& state)
+{
+    obs::setMetricsEnabled(true);
+    obs::Counter& c = obs::counter("bench.metrics.enabled");
+    for (auto _ : state) {
+        c.add();
+        benchmark::DoNotOptimize(&c);
+    }
+    obs::setMetricsEnabled(false);
+    c.reset();
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_TimingHistogramRecord(benchmark::State& state)
+{
+    obs::setMetricsEnabled(true);
+    obs::TimingHistogram& h =
+        obs::timingHistogram("bench.metrics.histogram");
+    // Vary the sample so the bucket binary search sees the spread a
+    // real latency distribution would.
+    uint64_t v = 50;
+    for (auto _ : state) {
+        h.record(v);
+        v = (v * 13) % 2000003;
+    }
+    obs::setMetricsEnabled(false);
+    h.reset();
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_SpanDisabled(benchmark::State& state)
+{
+    // With tracing off a SpanScope never reads the clock or touches the
+    // thread-local buffer — one relaxed load decides. (No enabled
+    // variant: live spans buffer until drained, so a benchmark loop
+    // would measure allocator growth, not the span itself.)
+    for (auto _ : state) {
+        TAGECON_SPAN("bench.span.disabled");
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
 BENCHMARK(BM_TagePredictUpdate)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_TagePredictUpdateBatched)
     ->ArgsProduct({{0, 1, 2}, {16, 64, 512}});
@@ -267,6 +332,10 @@ BENCHMARK(BM_TagePredictUpdateClassify)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(BM_SyntheticTraceGeneration);
 BENCHMARK(BM_FailpointUnarmed);
 BENCHMARK(BM_FailpointArmed);
+BENCHMARK(BM_MetricsDisabled);
+BENCHMARK(BM_MetricsEnabled);
+BENCHMARK(BM_TimingHistogramRecord);
+BENCHMARK(BM_SpanDisabled);
 
 } // namespace
 

@@ -426,6 +426,41 @@ ruleNoWallClock(const std::string&,
 }
 
 void
+ruleNoRawTiming(const std::string& rel_path,
+                const std::vector<ScrubbedLine>& lines,
+                std::vector<Diagnostic>& out)
+{
+    // Allowed sites are built into the rule, not the checked-in
+    // allowlist: the wall-clock seam itself, and the obs layer that is
+    // defined as the consumer of that seam.
+    if (rel_path == "src/util/wall_clock.cpp" ||
+        underPath(rel_path, "src/obs"))
+        return;
+    static const std::vector<std::string> word_tokens = {
+        "chrono", "sleep_for", "sleep_until", "nanosleep", "usleep"};
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string& code = lines[i].code;
+        std::string hit;
+        for (const auto& tok : word_tokens) {
+            if (hasWordToken(code, tok)) {
+                hit = tok;
+                break;
+            }
+        }
+        if (hit.empty() && hasWordTokenCall(code, "sleep"))
+            hit = "sleep";
+        if (!hit.empty()) {
+            out.push_back({"", i + 1, "no-raw-timing",
+                           "raw timing primitive '" + hit +
+                               "'; durations and sleeps go through "
+                               "util/wall_clock.hpp "
+                               "(wallclock::monotonicNanos / "
+                               "sleepNanos)"});
+        }
+    }
+}
+
+void
 ruleNoUnorderedIter(const std::string&,
                     const std::vector<ScrubbedLine>& lines,
                     std::vector<Diagnostic>& out)
@@ -625,6 +660,10 @@ rules()
         {{"no-raw-stderr",
           "stderr writes must go through logLine()/warn()"},
          ruleNoRawStderr},
+        {{"no-raw-timing",
+          "std::chrono / sleeps only inside util/wall_clock.cpp "
+          "and src/obs"},
+         ruleNoRawTiming},
         {{"no-unordered-iter",
           "no iteration over unordered containers"},
          ruleNoUnorderedIter},

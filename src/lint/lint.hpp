@@ -30,6 +30,11 @@
  *                        through util/random.hpp's seedable generators
  *   no-wall-clock        clock reads (steady_clock, system_clock,
  *                        time(), ...) outside util/wall_clock.cpp
+ *   no-raw-timing        std::chrono mentions and sleeps (sleep_for,
+ *                        nanosleep, ...) outside util/wall_clock.cpp
+ *                        and src/obs — the allowed sites are built into
+ *                        the rule, so the checked-in allowlist cannot
+ *                        quietly widen the seam
  *   no-unordered-iter    range-for or .begin() over a std::unordered_
  *                        map/set declared in the same file
  *   no-fatal-in-library  fatal() in src/ — library code returns

@@ -1,0 +1,213 @@
+#include "obs/span_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "sim/report.hpp" // jsonEscape
+#include "util/mutex.hpp"
+#include "util/wall_clock.hpp"
+
+namespace tagecon {
+namespace obs {
+
+namespace detail {
+std::atomic<int> g_tracingEnabled{0};
+} // namespace detail
+
+namespace {
+
+/** Global event store; thread buffers drain into it under the mutex. */
+struct TraceStore {
+    Mutex mutex;
+    std::vector<SpanEvent> events TAGECON_GUARDED_BY(mutex);
+    uint32_t nextTid TAGECON_GUARDED_BY(mutex) = 0;
+};
+
+TraceStore&
+store()
+{
+    static TraceStore* s = new TraceStore; // outlives static teardown:
+                                           // thread-local buffers flush
+                                           // through it on thread exit
+    return *s;
+}
+
+/**
+ * Per-thread span buffer. Appends are unsynchronized; the destructor
+ * (thread exit) and takeTraceEvents() drain it into the global store
+ * under the tracer mutex.
+ */
+struct ThreadBuffer {
+    std::vector<SpanEvent> events;
+    uint32_t tid = 0;
+    bool tidAssigned = false;
+
+    void
+    flush()
+    {
+        if (events.empty())
+            return;
+        TraceStore& s = store();
+        MutexLock lock(s.mutex);
+        s.events.insert(s.events.end(),
+                        std::make_move_iterator(events.begin()),
+                        std::make_move_iterator(events.end()));
+        events.clear();
+    }
+
+    uint32_t
+    ensureTid()
+    {
+        if (!tidAssigned) {
+            TraceStore& s = store();
+            MutexLock lock(s.mutex);
+            tid = s.nextTid++;
+            tidAssigned = true;
+        }
+        return tid;
+    }
+
+    ~ThreadBuffer() { flush(); }
+};
+
+ThreadBuffer&
+threadBuffer()
+{
+    thread_local ThreadBuffer buf;
+    return buf;
+}
+
+} // namespace
+
+void
+startTracing()
+{
+    TraceStore& s = store();
+    {
+        MutexLock lock(s.mutex);
+        s.events.clear();
+    }
+    detail::g_tracingEnabled.store(1, std::memory_order_relaxed);
+}
+
+void
+stopTracing()
+{
+    detail::g_tracingEnabled.store(0, std::memory_order_relaxed);
+}
+
+SpanScope::SpanScope(const char* name, uint64_t id)
+    : name_(tracingEnabled() ? name : nullptr), id_(id)
+{
+    if (name_ != nullptr)
+        startNs_ = wallclock::monotonicNanos();
+}
+
+void
+SpanScope::detail(std::string text)
+{
+    if (name_ != nullptr)
+        detail_ = std::move(text);
+}
+
+SpanScope::~SpanScope()
+{
+    if (name_ == nullptr)
+        return;
+    ThreadBuffer& buf = threadBuffer();
+    SpanEvent e;
+    e.name = name_;
+    e.id = id_;
+    e.startNs = startNs_;
+    e.endNs = wallclock::monotonicNanos();
+    e.tid = buf.ensureTid();
+    e.detail = std::move(detail_);
+    buf.events.push_back(std::move(e));
+}
+
+std::vector<SpanEvent>
+takeTraceEvents()
+{
+    threadBuffer().flush();
+    TraceStore& s = store();
+    MutexLock lock(s.mutex);
+    std::vector<SpanEvent> out = std::move(s.events);
+    s.events.clear();
+    return out;
+}
+
+void
+writeChromeTrace(std::ostream& os)
+{
+    std::vector<SpanEvent> events = takeTraceEvents();
+    // Stable display order (and stable output for identical inputs):
+    // by start time, then thread.
+    std::sort(events.begin(), events.end(),
+              [](const SpanEvent& a, const SpanEvent& b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.endNs < b.endNs;
+              });
+    uint64_t t0 = UINT64_MAX;
+    for (const auto& e : events)
+        t0 = std::min(t0, e.startNs);
+    if (events.empty())
+        t0 = 0;
+
+    // Microsecond timestamps with nanosecond resolution kept in the
+    // fraction — the unit chrome://tracing / Perfetto expect.
+    auto micros = [&](uint64_t ns) {
+        std::ostringstream v;
+        v << (ns / 1000) << '.' << static_cast<char>('0' + ns % 1000 / 100)
+          << static_cast<char>('0' + ns % 100 / 10)
+          << static_cast<char>('0' + ns % 10);
+        return v.str();
+    };
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto& e : events) {
+        const std::string name(e.name);
+        const size_t dot = name.find('.');
+        const std::string cat =
+            dot == std::string::npos ? name : name.substr(0, dot);
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << jsonEscape(name) << "\",\"cat\":\""
+           << jsonEscape(cat) << "\",\"ph\":\"X\",\"ts\":"
+           << micros(e.startNs - t0) << ",\"dur\":"
+           << micros(e.endNs - e.startNs) << ",\"pid\":1,\"tid\":"
+           << e.tid << ",\"args\":{\"id\":" << e.id;
+        if (!e.detail.empty())
+            os << ",\"detail\":\"" << jsonEscape(e.detail) << "\"";
+        os << "}}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+Err
+writeChromeTraceFile(const std::string& path)
+{
+    if (path == "-") {
+        writeChromeTrace(std::cout);
+        return {};
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return Err(ErrCode::Io, "trace.export",
+                   "cannot open '" + path + "' for writing");
+    writeChromeTrace(os);
+    os.flush();
+    if (!os)
+        return Err(ErrCode::Io, "trace.export",
+                   "short write to '" + path + "'");
+    return {};
+}
+
+} // namespace obs
+} // namespace tagecon

@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics.hpp"
+#include "obs/span_trace.hpp"
 #include "util/failpoint.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -16,6 +18,30 @@
 namespace tagecon {
 
 namespace {
+
+/**
+ * Cached obs handles for checkpoint traffic. Counters tick on success
+ * only, so they are a pure function of the workload + fault schedule
+ * (deterministic); the .ns histograms are wall-clock and live in the
+ * timing section.
+ */
+struct CkptMetrics {
+    obs::Counter& encodes = obs::counter("ckpt.encodes");
+    obs::Counter& decodes = obs::counter("ckpt.decodes");
+    obs::Counter& writes = obs::counter("ckpt.writes");
+    obs::Counter& reads = obs::counter("ckpt.reads");
+    obs::Counter& bytesWritten = obs::counter("ckpt.bytes.written");
+    obs::Counter& bytesRead = obs::counter("ckpt.bytes.read");
+    obs::TimingHistogram& writeNs = obs::timingHistogram("ckpt.write.ns");
+    obs::TimingHistogram& readNs = obs::timingHistogram("ckpt.read.ns");
+};
+
+CkptMetrics&
+ckptMetrics()
+{
+    static CkptMetrics* m = new CkptMetrics;
+    return *m;
+}
 
 Err
 encodeCheckpoint(const GradedPredictor& predictor,
@@ -46,6 +72,7 @@ encodeCheckpoint(const GradedPredictor& predictor,
     w.bytes(payload.data().data(), payload.size());
     w.u64(fnv1a64(w.data().data(), w.size()));
     out = w.take();
+    ckptMetrics().encodes.add();
     return {};
 }
 
@@ -167,6 +194,7 @@ decodeCheckpoint(const uint8_t* data, size_t size, Checkpoint& out)
     if (!in.ok() || !in.exhausted())
         return Err(ErrCode::Corrupt, kSite,
                    "checkpoint blob is malformed");
+    ckptMetrics().decodes.add();
     return {};
 }
 
@@ -242,6 +270,8 @@ writeCheckpointFile(const std::string& path,
 {
     constexpr const char* kSite = "ckpt.write";
     const std::string tmp = checkpointTempName(path);
+    TAGECON_SPAN("ckpt.write");
+    obs::ScopedTimer timer(ckptMetrics().writeNs);
 
     if (failpoints::anyArmed()) {
         if (auto injected = failpoints::check(kSite)) {
@@ -287,6 +317,8 @@ writeCheckpointFile(const std::string& path,
         return Err(ErrCode::Io, kSite,
                    "cannot rename '" + tmp + "' to '" + path + "'");
     }
+    ckptMetrics().writes.add();
+    ckptMetrics().bytesWritten.add(blob.size());
     return {};
 }
 
@@ -305,6 +337,8 @@ Err
 readCheckpointFile(const std::string& path, std::vector<uint8_t>& out)
 {
     constexpr const char* kSite = "ckpt.read";
+    TAGECON_SPAN("ckpt.read");
+    obs::ScopedTimer timer(ckptMetrics().readNs);
     if (failpoints::anyArmed()) {
         if (auto injected = failpoints::check(kSite))
             return std::move(*injected);
@@ -321,6 +355,8 @@ readCheckpointFile(const std::string& path, std::vector<uint8_t>& out)
     if (!is)
         return Err(ErrCode::Io, kSite,
                    "short read from '" + path + "'");
+    ckptMetrics().reads.add();
+    ckptMetrics().bytesRead.add(out.size());
     return {};
 }
 

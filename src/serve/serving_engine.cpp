@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <deque>
 #include <memory>
 #include <span>
@@ -10,6 +9,8 @@
 #include <unordered_set>
 
 #include "core/graded_predictor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_trace.hpp"
 #include "serve/checkpoint.hpp"
 #include "sim/registry.hpp"
 #include "sim/trace_registry.hpp"
@@ -92,6 +93,29 @@ struct ServeShared {
     std::vector<double> latencyNs TAGECON_GUARDED_BY(latencyMutex);
 };
 
+/**
+ * Cached obs registry handles for the serving hot path — one name
+ * lookup per process, then a relaxed atomic per event. All counters
+ * here are deterministic for a fixed workload configuration (streams,
+ * spec, shards, pool, batch, faults): each shard is served by exactly
+ * one worker in a fixed order, so the sums are independent of --jobs.
+ */
+struct ServeMetrics {
+    obs::Counter& predictions = obs::counter("serve.predictions");
+    obs::Counter& turns = obs::counter("serve.turns");
+    obs::Counter& admissions = obs::counter("serve.pool.admissions");
+    obs::Counter& evictions = obs::counter("serve.pool.evictions");
+    obs::Counter& quarantines = obs::counter("serve.quarantines");
+    obs::TimingHistogram& turnNs = obs::timingHistogram("serve.turn.ns");
+};
+
+ServeMetrics&
+serveMetrics()
+{
+    static ServeMetrics* m = new ServeMetrics;
+    return *m;
+}
+
 void
 reportError(ServeShared& sh, const std::string& what)
 {
@@ -123,8 +147,7 @@ withRetry(ServeShared& sh, StreamState& st,
         if (sh.opts->retrySleep)
             sh.opts->retrySleep(delay);
         else
-            std::this_thread::sleep_for(
-                std::chrono::nanoseconds(delay));
+            wallclock::sleepNanos(delay);
     }
 }
 
@@ -236,6 +259,7 @@ Err
 finalizeStream(ServeShared& sh, StreamState& st)
 {
     const ServeOptions& opts = *sh.opts;
+    st.result.allocations = st.predictor->allocations();
     if (!opts.checkpointDir.empty() || opts.computeDigests) {
         std::vector<uint8_t> blob;
         if (Err e = encodeStreamCheckpoint(*st.predictor, opts.spec,
@@ -244,6 +268,7 @@ finalizeStream(ServeShared& sh, StreamState& st)
             e.failed())
             return e;
         st.result.stateDigest = checkpointDigest(blob);
+        st.result.checkpointBytes = blob.size();
         if (!opts.checkpointDir.empty()) {
             const std::string path =
                 opts.checkpointDir + "/" +
@@ -275,6 +300,7 @@ quarantineStream(StreamState& st, Err e)
          " quarantined: " + e.message());
     st.result.status = StreamStatus::Quarantined;
     st.result.fault = std::move(e);
+    serveMetrics().quarantines.add();
     st.predictor.reset();
     st.trace.reset();
     st.parked.clear();
@@ -290,9 +316,12 @@ quarantineStream(StreamState& st, Err e)
 constexpr size_t kServeChunk = 512;
 
 void
-serveShard(ServeShared& sh, const std::vector<size_t>& members)
+serveShard(ServeShared& sh, size_t shard_index,
+           const std::vector<size_t>& members)
 {
+    TAGECON_SPAN("serve.shard", shard_index);
     const ServeOptions& opts = *sh.opts;
+    ServeMetrics& metrics = serveMetrics();
     const size_t cap = opts.poolPerShard;
     std::deque<size_t> live; // admission order, for FIFO eviction
     std::vector<double> latency;
@@ -358,11 +387,13 @@ serveShard(ServeShared& sh, const std::vector<size_t>& members)
                     --remaining;
                     continue;
                 }
+                metrics.admissions.add();
                 live.push_back(idx);
                 while (cap != 0 && live.size() > cap) {
                     const size_t victim = live.front();
                     live.pop_front();
                     StreamState& vs = (*sh.streams)[victim];
+                    metrics.evictions.add();
                     if (Err e = evictStream(sh, vs); e.failed()) {
                         // The victim, not the stream being admitted,
                         // is the one that failed.
@@ -430,9 +461,13 @@ serveShard(ServeShared& sh, const std::vector<size_t>& members)
             }
             st.consumed += n;
             st.result.branchesServed += n;
+            metrics.turns.add();
+            metrics.predictions.add(n);
             if (n > 0) {
-                const double elapsed_ns = wallclock::nanosBetween(
-                    start_ns, wallclock::monotonicNanos());
+                const uint64_t end_ns = wallclock::monotonicNanos();
+                metrics.turnNs.record(end_ns - start_ns);
+                const double elapsed_ns =
+                    wallclock::nanosBetween(start_ns, end_ns);
                 latency.push_back(elapsed_ns /
                                   static_cast<double>(n));
             }
@@ -569,7 +604,7 @@ ServingEngine::serve(const std::vector<StreamDesc>& streams,
             if (sh.failed.load(std::memory_order_relaxed))
                 return;
             if (!shard_streams[shard].empty())
-                serveShard(sh, shard_streams[shard]);
+                serveShard(sh, shard, shard_streams[shard]);
         }
     };
 
@@ -602,6 +637,7 @@ ServingEngine::serve(const std::vector<StreamDesc>& streams,
             out.aggregate.merge(st.result.stats);
             out.confusion.merge(st.result.confusion);
             out.totalBranches += st.result.branchesServed;
+            out.totalAllocations += st.result.allocations;
             ++out.streamsServed;
             if (st.result.resumedAt != 0)
                 ++out.streamsRestored;
@@ -612,6 +648,16 @@ ServingEngine::serve(const std::vector<StreamDesc>& streams,
         out.totalRetries += st.result.retries;
         out.perStream.push_back(std::move(st.result));
     }
+    // Stream-outcome counters, bumped here (single-threaded, input
+    // order) rather than in the workers: same totals either way, but
+    // this keeps the aggregation the one place outcome accounting
+    // lives.
+    obs::counter("serve.streams.ok").add(out.streamsServed);
+    obs::counter("serve.streams.quarantined")
+        .add(out.streamsQuarantined);
+    obs::counter("serve.streams.restored").add(out.streamsRestored);
+    obs::counter("serve.allocs").add(out.totalAllocations);
+    obs::counter("serve.retries").add(out.totalRetries);
     {
         auto probe = tryMakePredictor(opts_.spec, nullptr);
         out.storageBits = probe ? probe->storageBits() : 0;

@@ -189,6 +189,21 @@ struct StreamResult {
 
     /** Backoff retries spent on this stream's checkpoint-dir I/O. */
     uint32_t retries = 0;
+
+    /**
+     * Tagged-table entries the stream's predictor allocated over its
+     * whole lifetime (GradedPredictor::allocations()). Serialized in
+     * snapshots, so eviction/restore round-trips preserve it — a pure
+     * function of the stream recipe, invariant to jobs/shards/pool.
+     */
+    uint64_t allocations = 0;
+
+    /**
+     * Size of the stream's final checkpoint blob in bytes, when
+     * digests or checkpointing were requested; 0 otherwise. Blobs are
+     * bit-identical across configs, so this is config-invariant too.
+     */
+    uint64_t checkpointBytes = 0;
 };
 
 /** Wall-clock throughput of a serve (non-deterministic). */
@@ -235,6 +250,9 @@ struct ServeResult {
 
     /** Streams warm-started from a restore-dir checkpoint. */
     uint64_t streamsRestored = 0;
+
+    /** Lifetime predictor allocations summed over Ok streams. */
+    uint64_t totalAllocations = 0;
 
     /** Per-predictor storage in bits (one stream's predictor). */
     uint64_t storageBits = 0;

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/span_trace.hpp"
 #include "sim/registry.hpp"
 #include "sim/trace_registry.hpp"
 #include "util/logging.hpp"
@@ -191,6 +193,11 @@ runSweep(SweepPlan plan, const SweepOptions& opt)
         opt.stats->executed = to_run.size();
         opt.stats->cacheHits = cache_hits;
     }
+    // Planner-side counters: resolved before the pool starts, so
+    // deterministic at any --jobs.
+    obs::counter("sweep.cells").add(cells.size());
+    obs::counter("sweep.cells.executed").add(to_run.size());
+    obs::counter("sweep.cache.hits").add(cache_hits);
 
     size_t jobs = opt.jobs != 0
                       ? opt.jobs
@@ -216,9 +223,18 @@ runSweep(SweepPlan plan, const SweepOptions& opt)
         opt.onProgress(progress);
     };
 
+    obs::TimingHistogram& cell_ns = obs::timingHistogram("sweep.cell.ns");
+    auto run_cell = [&](size_t i) {
+        obs::SpanScope span("sweep.cell", i);
+        if (obs::tracingEnabled())
+            span.detail(cells[i].spec + " x " + cells[i].trace);
+        obs::ScopedTimer timer(cell_ns);
+        results[i] = runSweepCell(cells[i]);
+    };
+
     if (jobs <= 1) {
         for (const size_t i : to_run) {
-            results[i] = runSweepCell(cells[i]);
+            run_cell(i);
             report_progress(i);
         }
     } else {
@@ -229,9 +245,8 @@ runSweep(SweepPlan plan, const SweepOptions& opt)
         auto worker = [&] {
             for (size_t w = next.fetch_add(1); w < to_run.size();
                  w = next.fetch_add(1)) {
-                const size_t i = to_run[w];
-                results[i] = runSweepCell(cells[i]);
-                report_progress(i);
+                run_cell(to_run[w]);
+                report_progress(to_run[w]);
             }
         };
         std::vector<std::thread> pool;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <map>
 
+#include "obs/metrics.hpp"
 #include "trace/cbp_ascii.hpp"
 #include "trace/profiles.hpp"
 #include "trace/trace_io.hpp"
@@ -181,9 +182,11 @@ resolveTraceSpecs(const std::vector<std::string>& args,
     return true;
 }
 
+namespace {
+
 Expected<std::unique_ptr<TraceSource>>
-openTraceSource(const TraceSpec& spec, uint64_t branches,
-                uint64_t seed_salt)
+openTraceSourceImpl(const TraceSpec& spec, uint64_t branches,
+                    uint64_t seed_salt)
 {
     if (failpoints::anyArmed()) {
         if (auto injected = failpoints::check("trace.open"))
@@ -231,6 +234,21 @@ openTraceSource(const TraceSpec& spec, uint64_t branches,
     if (branches != 0)
         src = std::make_unique<LimitedTrace>(std::move(src), branches);
     return src;
+}
+
+} // namespace
+
+Expected<std::unique_ptr<TraceSource>>
+openTraceSource(const TraceSpec& spec, uint64_t branches,
+                uint64_t seed_salt)
+{
+    auto opened = openTraceSourceImpl(spec, branches, seed_salt);
+    // Open counts are a pure function of the workload (sweep plans and
+    // stream admission schedules are), so this is a deterministic
+    // metric despite ticking on worker threads.
+    if (opened.ok())
+        obs::counter("trace.sources.opened").add();
+    return opened;
 }
 
 Expected<std::unique_ptr<TraceSource>>

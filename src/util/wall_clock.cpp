@@ -1,6 +1,7 @@
 #include "util/wall_clock.hpp"
 
 #include <chrono>
+#include <thread>
 
 namespace tagecon {
 namespace wallclock {
@@ -28,6 +29,13 @@ double
 nanosBetween(uint64_t start_ns, uint64_t end_ns)
 {
     return static_cast<double>(end_ns - start_ns);
+}
+
+void
+sleepNanos(uint64_t ns)
+{
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(static_cast<int64_t>(ns)));
 }
 
 } // namespace wallclock

@@ -34,6 +34,14 @@ double secondsBetween(uint64_t start_ns, uint64_t end_ns);
 /** Nanoseconds elapsed from @p start_ns to @p end_ns, as a double. */
 double nanosBetween(uint64_t start_ns, uint64_t end_ns);
 
+/**
+ * Block the calling thread for at least @p ns nanoseconds. Sleeping is
+ * as timing-dependent as reading the clock, so it lives behind the
+ * same seam (the `no-raw-timing` lint rule bans direct
+ * std::this_thread::sleep_for elsewhere).
+ */
+void sleepNanos(uint64_t ns);
+
 } // namespace wallclock
 } // namespace tagecon
 

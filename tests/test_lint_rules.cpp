@@ -38,10 +38,10 @@ lintRule(const std::string& rel_path, const std::string& contents,
     return out;
 }
 
-TEST(LintCatalog, SevenRulesSortedAndKnown)
+TEST(LintCatalog, EightRulesSortedAndKnown)
 {
     const auto& catalog = ruleCatalog();
-    ASSERT_EQ(catalog.size(), 7u);
+    ASSERT_EQ(catalog.size(), 8u);
     for (size_t i = 1; i < catalog.size(); ++i)
         EXPECT_LT(catalog[i - 1].name, catalog[i].name);
     for (const auto& rule : catalog)
@@ -110,6 +110,62 @@ TEST(LintNoWallClock, AcceptsMemberNamedTimeAndTimingWords)
                          "uint64_t t = obj.time(3);\n"
                          "int timeout = 5;\n",
                          "no-wall-clock")
+                    .empty());
+}
+
+// ------------------------------------------------------ no-raw-timing
+
+TEST(LintNoRawTiming, RejectsChronoAndSleeps)
+{
+    const auto diags = lintRule(
+        "src/serve/foo.cpp",
+        "#include <chrono>\n"
+        "void f() {\n"
+        "    std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+        "}\n",
+        "no-raw-timing");
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].line, 1u);
+    EXPECT_EQ(diags[1].line, 3u);
+}
+
+TEST(LintNoRawTiming, RejectsLibcSleepCallEverywhere)
+{
+    // Unlike no-fatal-in-library this rule patrols tools and bench too.
+    const auto diags = lintRule("bench/foo.cpp", "usleep(100);\n",
+                                "no-raw-timing");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(lintRule("tools/foo.cpp", "sleep(1);\n", "no-raw-timing")
+                  .size(),
+              1u);
+}
+
+TEST(LintNoRawTiming, AcceptsBuiltInSeamSites)
+{
+    const std::string body =
+        "#include <chrono>\n"
+        "std::this_thread::sleep_for(std::chrono::nanoseconds(n));\n";
+    // The wall-clock seam and the obs layer are the rule's built-in
+    // allowed sites; no allowlist entry involved.
+    EXPECT_TRUE(
+        lintRule("src/util/wall_clock.cpp", body, "no-raw-timing")
+            .empty());
+    EXPECT_TRUE(
+        lintRule("src/obs/metrics.cpp", body, "no-raw-timing").empty());
+    // A neighboring util file is not exempt.
+    EXPECT_EQ(
+        lintRule("src/util/mutex.hpp", body, "no-raw-timing").size(),
+        2u);
+}
+
+TEST(LintNoRawTiming, AcceptsWallclockSeamUsersAndLookalikes)
+{
+    EXPECT_TRUE(lintRule("src/serve/foo.cpp",
+                         "wallclock::sleepNanos(delay);\n"
+                         "uint64_t t0 = wallclock::monotonicNanos();\n"
+                         "int chronology = 3; // not chrono\n"
+                         "obj.sleep(5); // member, not libc\n",
+                         "no-raw-timing")
                     .empty());
 }
 

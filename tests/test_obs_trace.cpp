@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Span tracer tests: the off-by-default gate (disabled spans record
+ * nothing), RAII span collection across threads, and the Chrome
+ * trace_event JSON shape — complete "X" events with microsecond
+ * timestamps normalized to the earliest span, the form
+ * chrome://tracing and Perfetto ingest. Plus the end-to-end check that
+ * a sharded serve emits one serve.shard span per non-empty shard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/span_trace.hpp"
+#include "serve/serving_engine.hpp"
+#include "sim/trace_registry.hpp"
+
+namespace tagecon {
+namespace {
+
+class ObsTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // startTracing() clears leftovers from earlier tests.
+        obs::startTracing();
+    }
+
+    void
+    TearDown() override
+    {
+        obs::stopTracing();
+        (void)obs::takeTraceEvents();
+    }
+};
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing)
+{
+    obs::stopTracing();
+    (void)obs::takeTraceEvents();
+    {
+        TAGECON_SPAN("test.disabled", 1);
+    }
+    EXPECT_TRUE(obs::takeTraceEvents().empty());
+}
+
+TEST_F(ObsTraceTest, SpansRecordNameIdAndOrderedTimestamps)
+{
+    {
+        TAGECON_SPAN("test.outer", 7);
+        {
+            obs::SpanScope inner("test.inner", 9);
+            inner.detail("unit");
+        }
+    }
+    const std::vector<obs::SpanEvent> events = obs::takeTraceEvents();
+    ASSERT_EQ(events.size(), 2u);
+    // Scopes close inner-first, so the buffer holds inner then outer.
+    EXPECT_EQ(std::string(events[0].name), "test.inner");
+    EXPECT_EQ(events[0].id, 9u);
+    EXPECT_EQ(events[0].detail, "unit");
+    EXPECT_EQ(std::string(events[1].name), "test.outer");
+    EXPECT_EQ(events[1].id, 7u);
+    for (const auto& e : events)
+        EXPECT_LE(e.startNs, e.endNs);
+    // The outer span brackets the inner one.
+    EXPECT_LE(events[1].startNs, events[0].startNs);
+    EXPECT_GE(events[1].endNs, events[0].endNs);
+}
+
+TEST_F(ObsTraceTest, TakeDrainsAndClears)
+{
+    {
+        TAGECON_SPAN("test.once");
+    }
+    EXPECT_EQ(obs::takeTraceEvents().size(), 1u);
+    EXPECT_TRUE(obs::takeTraceEvents().empty());
+}
+
+TEST_F(ObsTraceTest, WorkerThreadSpansGetDistinctTids)
+{
+    {
+        TAGECON_SPAN("test.main");
+    }
+    std::thread worker([] { TAGECON_SPAN("test.worker"); });
+    worker.join(); // thread exit flushes its buffer
+    const std::vector<obs::SpanEvent> events = obs::takeTraceEvents();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(ObsTraceTest, ChromeTraceJsonShape)
+{
+    {
+        TAGECON_SPAN("test.alpha", 3);
+    }
+    {
+        obs::SpanScope span("test.beta", 4);
+        span.detail("with \"quotes\"");
+    }
+    std::ostringstream os;
+    obs::writeChromeTrace(os);
+    const std::string json = os.str();
+
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    // Complete events, category = first dot component of the name.
+    EXPECT_NE(json.find("\"name\":\"test.alpha\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"id\":3}"), std::string::npos);
+    // Details are JSON-escaped into args.
+    EXPECT_NE(json.find("\"detail\":\"with \\\"quotes\\\"\""),
+              std::string::npos);
+    // Timestamps are normalized: the earliest span starts at ts 0.
+    EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, EmptyTraceIsStillValidJson)
+{
+    std::ostringstream os;
+    obs::writeChromeTrace(os);
+    EXPECT_EQ(os.str(),
+              "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST_F(ObsTraceTest, ServeEmitsOneShardSpanPerNonEmptyShard)
+{
+    std::vector<std::string> traces;
+    std::string error;
+    ASSERT_TRUE(resolveTraceSpecs({"cbp1"}, traces, error)) << error;
+    traces.resize(1);
+
+    ServeOptions opts;
+    opts.spec = "gshare:hist=12+jrs";
+    opts.jobs = 2;
+    opts.shards = 4;
+    opts.poolPerShard = 0;
+    opts.batch = 256;
+
+    ServingEngine engine(opts);
+    ServeResult result;
+    ASSERT_TRUE(engine.serve(StreamSet::roundRobin(8, traces, 300, 0),
+                             result, error))
+        << error;
+
+    size_t shard_spans = 0;
+    std::vector<bool> seen(4, false);
+    for (const auto& e : obs::takeTraceEvents()) {
+        if (std::string(e.name) == "serve.shard") {
+            ++shard_spans;
+            ASSERT_LT(e.id, 4u);
+            seen[static_cast<size_t>(e.id)] = true;
+        }
+    }
+    // 8 streams over 4 shards: every shard is non-empty and served
+    // exactly once.
+    EXPECT_EQ(shard_spans, 4u);
+    for (const bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+} // namespace
+} // namespace tagecon

@@ -71,6 +71,12 @@ expectSameServe(const ServeResult& a, const ServeResult& b)
         EXPECT_EQ(x.trace, y.trace);
         EXPECT_EQ(x.branchesServed, y.branchesServed);
         EXPECT_EQ(x.stateDigest, y.stateDigest) << "stream " << x.id;
+        // Config-invariant per-stream metrics: allocations ride in
+        // snapshots across evictions, checkpoint blobs are
+        // bit-identical across configs by contract.
+        EXPECT_EQ(x.allocations, y.allocations) << "stream " << x.id;
+        EXPECT_EQ(x.checkpointBytes, y.checkpointBytes)
+            << "stream " << x.id;
         for (const auto c : kAllPredictionClasses) {
             EXPECT_EQ(x.stats.predictions(c), y.stats.predictions(c));
             EXPECT_EQ(x.stats.mispredictions(c),
@@ -123,6 +129,12 @@ TEST(ServingEngine, ResultsIdenticalAtAnyJobsShardsPoolBatch)
     const ServeResult reference = serveOrDie(base, streams);
     EXPECT_EQ(reference.streamsServed, 26u);
     EXPECT_EQ(reference.totalBranches, 26u * 1200u);
+    // A TAGE spec allocates from the first mispredictions on; the
+    // per-stream counts and blob sizes must survive every pool/batch
+    // permutation below (expectSameServe compares them).
+    EXPECT_GT(reference.totalAllocations, 0u);
+    for (const auto& s : reference.perStream)
+        EXPECT_GT(s.checkpointBytes, 0u) << "stream " << s.id;
 
     ServeOptions threaded = base;
     threaded.jobs = 4;

@@ -43,12 +43,26 @@
  *                        of quarantining the stream
  *   --retries=N          attempts for retryable checkpoint-dir I/O
  *                        (default 3; 1 disables retry)
+ *   --metrics            append the obs metrics tables to the report
+ *                        (deterministic counters; plus the wall-clock
+ *                        stage timing table in non-CSV views)
+ *   --metrics-out=PATH   write the Prometheus-style metrics dump to
+ *                        PATH ("-" = stdout). The dump's
+ *                        "# --- deterministic ---" section is
+ *                        byte-identical at any --jobs for a fixed
+ *                        workload configuration; implies --metrics.
+ *   --trace-out=PATH     collect spans and write a Chrome trace_event
+ *                        JSON file ("-" = stdout) — open it in
+ *                        chrome://tracing or https://ui.perfetto.dev
  */
 
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
 
+#include "obs/metrics.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/span_trace.hpp"
 #include "serve/serving_engine.hpp"
 #include "sim/registry.hpp"
 #include "sim/reporting.hpp"
@@ -70,7 +84,8 @@ main(int argc, char** argv)
         "seed",    "jobs",           "shards",      "pool",
         "batch",   "checkpoint-dir", "restore-dir", "digests",
         "per-stream", "report",      "csv",         "scalar",
-        "faults",  "strict",         "retries"};
+        "faults",  "strict",         "retries",     "metrics",
+        "metrics-out", "trace-out"};
     for (const auto& flag : args.flagNames()) {
         if (std::find(known_flags.begin(), known_flags.end(), flag) ==
             known_flags.end())
@@ -79,7 +94,8 @@ main(int argc, char** argv)
                   "--seed --jobs --shards --pool --batch "
                   "--checkpoint-dir --restore-dir --digests "
                   "--per-stream --report --csv --scalar --faults "
-                  "--strict --retries)");
+                  "--strict --retries --metrics --metrics-out "
+                  "--trace-out)");
     }
 
     ServeOptions opts;
@@ -110,6 +126,10 @@ main(int argc, char** argv)
     const uint64_t branches = args.getUint("branches", 10000);
     const uint64_t seed = args.getUint("seed", 0);
     const bool per_stream = args.getBool("per-stream", false);
+    const std::string metrics_out = args.getString("metrics-out", "");
+    const std::string trace_out = args.getString("trace-out", "");
+    const bool metrics =
+        args.getBool("metrics", false) || !metrics_out.empty();
 
     ReportFormat format = ReportFormat::Text;
     std::string error;
@@ -137,11 +157,18 @@ main(int argc, char** argv)
     if (!engine.validate(&error))
         fatal(error);
 
+    if (metrics)
+        obs::setMetricsEnabled(true);
+    if (!trace_out.empty())
+        obs::startTracing();
+
     const auto streams =
         StreamSet::roundRobin(num_streams, traces, branches, seed);
     ServeResult result;
     if (!engine.serve(streams, result, error))
         fatal(error);
+    if (!trace_out.empty())
+        obs::stopTracing();
 
     Report report("serve",
                   "tagecon_serve: " + std::to_string(num_streams) +
@@ -167,6 +194,7 @@ main(int argc, char** argv)
     totals.addRow({"branches served",
                    std::to_string(result.totalBranches)});
     totals.addRow({"retries", std::to_string(result.totalRetries)});
+    totals.addRow({"allocs", std::to_string(result.totalAllocations)});
     totals.addRow({"misp/KI", TextTable::num(result.aggregate.mpki(), 3)});
     totals.addRow({"misp rate (MKP)",
                    TextTable::num(result.aggregate.totalMkp(), 1)});
@@ -196,6 +224,10 @@ main(int argc, char** argv)
         t.addColumn("resumed-at");
         t.addColumn("misp/KI");
         t.addColumn("misp rate (MKP)");
+        // Both config-invariant: allocations ride in snapshots across
+        // evictions, checkpoint blobs are bit-identical by contract.
+        t.addColumn("allocs");
+        t.addColumn("ckpt-bytes");
         if (opts.computeDigests)
             t.addColumn("state-digest");
         for (const auto& s : result.perStream) {
@@ -211,7 +243,9 @@ main(int argc, char** argv)
                 std::to_string(s.branchesServed),
                 std::to_string(s.resumedAt),
                 TextTable::num(s.stats.mpki(), 3),
-                TextTable::num(s.stats.totalMkp(), 1)};
+                TextTable::num(s.stats.totalMkp(), 1),
+                std::to_string(s.allocations),
+                std::to_string(s.checkpointBytes)};
             if (opts.computeDigests)
                 row.push_back(std::to_string(s.stateDigest));
             t.addRow(row);
@@ -246,6 +280,24 @@ main(int argc, char** argv)
                                     std::move(timing)});
     }
 
+    obs::MetricsSnapshot snapshot;
+    if (metrics) {
+        snapshot = obs::snapshotMetrics();
+        report.addBlank();
+        obs::addMetricsTables(report, snapshot,
+                              format != ReportFormat::Csv);
+    }
+
     report.emit(format, std::cout);
+
+    if (!metrics_out.empty()) {
+        if (Err e = obs::writePrometheusFile(snapshot, metrics_out);
+            e.failed())
+            fatal("--metrics-out: " + e.message());
+    }
+    if (!trace_out.empty()) {
+        if (Err e = obs::writeChromeTraceFile(trace_out); e.failed())
+            fatal("--trace-out: " + e.message());
+    }
     return 0;
 }

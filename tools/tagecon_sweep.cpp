@@ -35,6 +35,11 @@
  *   --per-trace          one output row per (spec, trace) cell
  *                        instead of one pooled row per spec
  *   --csv                legacy alias for --report=csv
+ *   --metrics            append the obs metrics tables to the report
+ *   --metrics-out=PATH   write the Prometheus-style metrics dump to
+ *                        PATH ("-" = stdout); implies --metrics
+ *   --trace-out=PATH     collect spans (one per executed cell) and
+ *                        write Chrome trace_event JSON ("-" = stdout)
  *   --list-predictors    print bases / estimators / examples and exit
  *   --list-observers     print selectable analysis observers and exit
  */
@@ -43,6 +48,9 @@
 #include <iostream>
 
 #include "analysis/analysis_config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/span_trace.hpp"
 #include "sim/registry.hpp"
 #include "sim/reporting.hpp"
 #include "sim/sweep.hpp"
@@ -138,7 +146,7 @@ main(int argc, char** argv)
         "predictors", "traces",   "branches",        "seed",
         "jobs",       "baseline", "analysis",        "report",
         "progress",   "per-trace", "csv",            "list-predictors",
-        "list-observers"};
+        "list-observers", "metrics", "metrics-out",   "trace-out"};
     for (const auto& flag : args.flagNames()) {
         if (std::find(known_flags.begin(), known_flags.end(), flag) ==
             known_flags.end())
@@ -146,7 +154,8 @@ main(int argc, char** argv)
                   " (known: --predictors --traces --branches --seed "
                   "--jobs --baseline --analysis --report --progress "
                   "--per-trace --csv --list-predictors "
-                  "--list-observers)");
+                  "--list-observers --metrics --metrics-out "
+                  "--trace-out)");
     }
 
     // Rejoin parameterized specs the comma-split cut apart, so
@@ -215,6 +224,14 @@ main(int argc, char** argv)
         };
     }
     const bool per_trace = args.getBool("per-trace", false);
+    const std::string metrics_out = args.getString("metrics-out", "");
+    const std::string trace_out = args.getString("trace-out", "");
+    const bool metrics_on =
+        args.getBool("metrics", false) || !metrics_out.empty();
+    if (metrics_on)
+        obs::setMetricsEnabled(true);
+    if (!trace_out.empty())
+        obs::startTracing();
 
     ReportFormat format = ReportFormat::Text;
     if (args.getBool("csv", false))
@@ -346,6 +363,26 @@ main(int argc, char** argv)
         ++cell_idx;
     }
 
+    if (!trace_out.empty())
+        obs::stopTracing();
+    obs::MetricsSnapshot snapshot;
+    if (metrics_on) {
+        snapshot = obs::snapshotMetrics();
+        report.addBlank();
+        obs::addMetricsTables(report, snapshot,
+                              format != ReportFormat::Csv);
+    }
+
     report.emit(format, std::cout);
+
+    if (!metrics_out.empty()) {
+        if (Err e = obs::writePrometheusFile(snapshot, metrics_out);
+            e.failed())
+            fatal("--metrics-out: " + e.message());
+    }
+    if (!trace_out.empty()) {
+        if (Err e = obs::writeChromeTraceFile(trace_out); e.failed())
+            fatal("--trace-out: " + e.message());
+    }
     return 0;
 }
